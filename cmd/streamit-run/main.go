@@ -1,0 +1,118 @@
+// Command streamit-run executes a StreamIt (.str) program on the
+// sequential runtime and reports throughput.
+//
+// Usage:
+//
+//	streamit-run [-top Main] [-iters N] [-linear] [-strategy name] prog.str
+//
+// With -strategy, the program is instead mapped onto the simulated 16-tile
+// machine with the chosen strategy (sequential, task, task+data, task+swp,
+// task+data+swp, space) and the simulated throughput is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"streamit/internal/core"
+	"streamit/internal/linear"
+	"streamit/internal/machine"
+	"streamit/internal/partition"
+)
+
+func main() {
+	top := flag.String("top", "Main", "top-level stream to elaborate")
+	iters := flag.Int("iters", 1000, "steady-state iterations to run")
+	doLinear := flag.Bool("linear", false, "apply the linear optimizer first")
+	strategy := flag.String("strategy", "", "map onto the simulated multicore with this strategy instead of running sequentially")
+	parallel := flag.Bool("parallel", false, "run on the goroutine-per-filter parallel backend")
+	dynamic := flag.Bool("dynamic", false, "run on the demand-driven dynamic-rate backend (-iters counts sink items)")
+	traceOut := flag.String("trace", "", "with -strategy: write a Chrome trace JSON of the simulated execution to this file")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: streamit-run [flags] prog.str")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *dynamic {
+		d, err := core.CompileSourceDynamic(string(src), *top)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		if err := d.Run(int64(*iters)); err != nil {
+			fatal(err)
+		}
+		dur := time.Since(start)
+		fmt.Printf("dynamic run: %d sink items in %v (%.0f items/sec)\n",
+			d.SinkItems(), dur.Round(time.Microsecond), float64(d.SinkItems())/dur.Seconds())
+		return
+	}
+	opts := core.Options{}
+	if *doLinear {
+		lo := linear.DefaultOptions()
+		opts.Linear = &lo
+	}
+	c, err := core.CompileSource(string(src), *top, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *strategy != "" {
+		cfg := machine.DefaultConfig()
+		var res *machine.Result
+		var err error
+		if *traceOut != "" {
+			res, err = c.MapOntoTraced(partition.Strategy(*strategy), cfg, 24, *traceOut)
+		} else {
+			res, err = c.MapOnto(partition.Strategy(*strategy), cfg, 24)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("strategy %s on %d tiles:\n", *strategy, cfg.Tiles())
+		fmt.Printf("  %.0f cycles/steady-iteration (%.0f iterations/sec at %v MHz)\n",
+			res.CyclesPerIter, res.ItersPerSec, cfg.ClockMHz)
+		fmt.Printf("  compute utilization %.0f%%, %.0f MFLOPS (peak %.0f)\n",
+			100*res.Utilization, res.MFLOPS, cfg.PeakMFLOPS())
+		return
+	}
+
+	if *parallel {
+		pe, err := c.ParallelEngine()
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		if err := pe.Run(*iters); err != nil {
+			fatal(err)
+		}
+		dur := time.Since(start)
+		fmt.Printf("ran %d steady-state iterations on the parallel backend in %v\n", *iters, dur.Round(time.Microsecond))
+		fmt.Printf("%.0f iterations/sec\n", float64(*iters)/dur.Seconds())
+		return
+	}
+	e, err := c.Engine()
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	if err := e.Run(*iters); err != nil {
+		fatal(err)
+	}
+	dur := time.Since(start)
+	fmt.Printf("ran %d steady-state iterations (%d firings) in %v\n", *iters, e.Firings, dur.Round(time.Microsecond))
+	fmt.Printf("%.0f firings/sec\n", float64(e.Firings)/dur.Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "streamit-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Semantics tour: the paper's information-wavefront machinery made
+// visible. Builds a small rate-changing pipeline and shows (1) the
+// closed-form filter transfer functions against the simulation-based ones,
+// (2) end-to-end information latency, and (3) a MAXITEMS-bounded schedule
+// (the operational-semantics extension that caps live items).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamit/internal/apps"
+	"streamit/internal/core"
+	"streamit/internal/ir"
+	"streamit/internal/sched"
+	"streamit/internal/sdep"
+)
+
+func main() {
+	// src -> A (peek 5, pop 2, push 3) -> B (peek 4, pop 4, push 1) -> sink
+	prog := &ir.Program{Name: "semantics", Top: ir.Pipe("main",
+		apps.Source("src"),
+		apps.FIRDecim("A", 5, 2, 0.2), // peek 5, pop 2, push 1... see below
+		apps.Adder("B", 4),
+		apps.Sink("out", 1),
+	)}
+	c, err := core.Compile(prog, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, s := c.Graph, c.Schedule
+	calc := sdep.NewCalc(g, s)
+
+	var edgeIntoA, edgeIntoB, edgeOut *ir.Edge
+	for _, e := range g.Edges {
+		if e.Dst.Kind == ir.NodeFilter {
+			switch e.Dst.Filter.Kernel.Name {
+			case "A":
+				edgeIntoA = e
+			case "B":
+				edgeIntoB = e
+			case "out":
+				edgeOut = e
+			}
+		}
+	}
+
+	fmt.Println("filter A transfer functions: closed form vs simulation")
+	fmt.Printf("%6s %10s %10s %10s %10s\n", "x", "ma(x)", "sim", "mi(x)", "sim")
+	kA := findKernel(g, "A")
+	for _, x := range []int64{1, 3, 5, 8, 13, 21} {
+		ma := sdep.FilterMax(kA.Peek, kA.Pop, kA.Push, x)
+		maSim, err := calc.Ma(edgeIntoA, edgeIntoB, x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mi := sdep.FilterMin(kA.Peek, kA.Pop, kA.Push, x)
+		miSim, err := calc.Mi(edgeIntoA, edgeIntoB, x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %10d %10d %10d %10d\n", x, ma, maSim, mi, miSim)
+	}
+
+	lat, err := sdep.InfoLatency(calc, edgeIntoA, edgeOut, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninformation latency A-input -> sink-input at item 10: %d items\n", lat)
+
+	// MAXITEMS: the same program scheduled under a live-item bound.
+	free, err := sched.Compute(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bounded, err := sched.ComputeOpts(g, sched.Options{MaxLiveItems: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbuffer bounds (items), unconstrained vs MAXITEMS=16:\n")
+	for _, e := range g.Edges {
+		fmt.Printf("  %-24s %4d  ->  %4d\n", e.String(), free.BufCap[e.ID], bounded.BufCap[e.ID])
+	}
+}
+
+func findKernel(g *ir.Graph, name string) *struct{ Peek, Pop, Push int } {
+	for _, n := range g.Nodes {
+		if n.Kind == ir.NodeFilter && n.Filter.Kernel.Name == name {
+			k := n.Filter.Kernel
+			return &struct{ Peek, Pop, Push int }{k.Peek, k.Pop, k.Push}
+		}
+	}
+	log.Fatalf("filter %s not found", name)
+	return nil
+}

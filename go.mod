@@ -1,0 +1,3 @@
+module streamit
+
+go 1.22

@@ -1,0 +1,279 @@
+package apps
+
+import (
+	"streamit/internal/ir"
+	"streamit/internal/wfunc"
+)
+
+// BitSource pushes a deterministic pseudo-random bit per firing.
+func BitSource(name string) *ir.Filter {
+	b := wfunc.NewKernel(name, 0, 0, 1)
+	st := b.Field("s", 1)
+	b.WorkBody(
+		wfunc.SetF(st, wfunc.Bin(wfunc.Mod,
+			wfunc.AddX(wfunc.MulX(st, wfunc.C(75)), wfunc.C(74)), wfunc.C(65537))),
+		wfunc.Push1(wfunc.Bin(wfunc.Mod, st, wfunc.C(2))),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeVoid, Out: ir.TypeBit}
+}
+
+func bitFilterType(f *ir.Filter) *ir.Filter {
+	f.In, f.Out = ir.TypeBit, ir.TypeBit
+	return f
+}
+
+// DES builds the 16-round DES benchmark on bit streams: each round splits
+// the 64-bit block into halves, runs the Feistel function (expansion, key
+// mix, S-boxes, permutation) against one half, XORs with the other, and
+// crosses over — the published StreamIt structure of nested split-joins
+// repeated per round.
+func DES(rounds int) *ir.Program {
+	const half = 32
+	p := ir.Pipe("DESPipe", BitSource("plaintext"))
+	for r := 0; r < rounds; r++ {
+		// Split the 64-bit block into L (32) and R (32).
+		fPath := ir.Pipe(mustName("feistel", r),
+			bitFilterType(expand(mustName("expand", r), half)),
+			bitFilterType(KeyXor(mustName("keymix", r), 48, r)),
+			bitFilterType(Sbox(mustName("sbox", r), 48)),
+			bitFilterType(compress48(mustName("pbox", r))),
+		)
+		// Duplicate R into the Feistel path and the crossover; XOR with L.
+		round := ir.SJ(mustName("round", r),
+			ir.RoundRobin(half, half), // L | R
+			ir.RoundRobin(half, half*2),
+			ir.Identity(ir.TypeBit), // L passes
+			ir.SJ(mustName("rsplit", r), ir.Duplicate(), ir.RoundRobin(half, half),
+				fPath, ir.Identity(ir.TypeBit)),
+		)
+		// After the round splitjoin the stream is L | f(R) | R; XOR the
+		// first two and emit R first (crossover).
+		p.Add(round, bitFilterType(desCombine(mustName("combine", r), half)))
+	}
+	p.Add(bitFilterType(Sink("ciphertext", 64)))
+	return &ir.Program{Name: "DES", Top: p}
+}
+
+// expand widens 32 bits to 48 by re-reading edge bits (the DES E-box).
+func expand(name string, in int) *ir.Filter {
+	out := in * 3 / 2
+	b := wfunc.NewKernel(name, in, in, out)
+	i := b.Local("i")
+	b.WorkBody(
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(out),
+			wfunc.Push1(wfunc.PeekX(wfunc.Bin(wfunc.Mod, wfunc.MulX(i, wfunc.C(5)), wfunc.Ci(in))))),
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(in), wfunc.Pop1()),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeBit, Out: ir.TypeBit}
+}
+
+// compress48 narrows 48 bits back to 32 with a P-box style selection.
+func compress48(name string) *ir.Filter {
+	b := wfunc.NewKernel(name, 48, 48, 32)
+	i := b.Local("i")
+	b.WorkBody(
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(32),
+			wfunc.Push1(wfunc.PeekX(wfunc.Bin(wfunc.Mod, wfunc.MulX(i, wfunc.C(7)), wfunc.C(48))))),
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(48), wfunc.Pop1()),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeBit, Out: ir.TypeBit}
+}
+
+// desCombine takes L | f(R) | R (32+32+32) and emits R | (L xor f(R)).
+func desCombine(name string, half int) *ir.Filter {
+	b := wfunc.NewKernel(name, 3*half, 3*half, 2*half)
+	i := b.Local("i")
+	b.WorkBody(
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(half),
+			wfunc.Push1(wfunc.PeekX(wfunc.AddX(i, wfunc.Ci(2*half))))),
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(half),
+			wfunc.Push1(wfunc.Bin(wfunc.BitXor,
+				wfunc.PeekX(i), wfunc.PeekX(wfunc.AddX(i, wfunc.Ci(half)))))),
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(3*half), wfunc.Pop1()),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeBit, Out: ir.TypeBit}
+}
+
+// Serpent builds the Serpent cipher benchmark: a long pipeline of rounds,
+// each a key mix, S-box substitution, and linear transform over 128-bit
+// blocks — fused-down-to-a-pipeline shape where space multiplexing shines.
+func Serpent(rounds int) *ir.Program {
+	const width = 128
+	p := ir.Pipe("SerpentPipe", BitSource("plain"))
+	for r := 0; r < rounds; r++ {
+		p.Add(
+			bitFilterType(KeyXor(mustName("skey", r), width, r)),
+			bitFilterType(Sbox(mustName("ssbox", r), width)),
+			bitFilterType(Permute(mustName("slt", r), width, 5)),
+		)
+	}
+	p.Add(bitFilterType(Sink("cipher", width)))
+	return &ir.Program{Name: "Serpent", Top: p}
+}
+
+// BitonicSort builds the bitonic sorting network: log2(n)*(log2(n)+1)/2
+// stages of parallel 2-key compare-exchange filters connected by
+// round-robin shuffles — the finest-granularity benchmark in the suite.
+func BitonicSort(n int) *ir.Program {
+	p := ir.Pipe("BitonicPipe", keySource("keys"))
+	stage := 0
+	for k := 2; k <= n; k *= 2 {
+		for j := k / 2; j >= 1; j /= 2 {
+			p.Add(bitonicStage(stage, n, j, k))
+			stage++
+		}
+	}
+	p.Add(Sink("sorted", n))
+	return &ir.Program{Name: "BitonicSort", Top: p}
+}
+
+// keySource pushes pseudo-random keys.
+func keySource(name string) *ir.Filter {
+	b := wfunc.NewKernel(name, 0, 0, 1)
+	st := b.Field("s", 7)
+	b.WorkBody(
+		wfunc.SetF(st, wfunc.Bin(wfunc.Mod,
+			wfunc.AddX(wfunc.MulX(st, wfunc.C(137)), wfunc.C(29)), wfunc.C(2048))),
+		wfunc.Push1(st),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeVoid, Out: ir.TypeFloat}
+}
+
+// bitonicStage pairs keys at distance j within blocks of size k and
+// compare-exchanges each pair in parallel (n/2 tiny filters). The sort
+// direction alternates per k-block: pairs whose first element has bit k
+// clear sort ascending, the rest descending — the classic bitonic network.
+func bitonicStage(stage, n, j, k int) ir.Stream {
+	perm := pairPerm(n, j)
+	var ces []ir.Stream
+	weights := make([]int, n/2)
+	for i := 0; i < n/2; i++ {
+		asc := perm[2*i]&k == 0
+		ces = append(ces, compareExchange(mustName(mustName("ce", stage)+"_", i), asc))
+		weights[i] = 2 // each compare-exchange takes a consecutive pair
+	}
+	sj := ir.SJ(mustName("cestage", stage),
+		ir.RoundRobin(weights...), ir.RoundRobin(weights...), ces...)
+	return ir.Pipe(mustName("bstage", stage),
+		pairShuffle(mustName("shuf", stage), n, j, false),
+		sj,
+		pairShuffle(mustName("unshuf", stage), n, j, true),
+	)
+}
+
+// compareExchange emits the pair in ascending or descending order.
+func compareExchange(name string, asc bool) *ir.Filter {
+	b := wfunc.NewKernel(name, 2, 2, 2)
+	a := b.Local("a")
+	c := b.Local("c")
+	first, second := wfunc.Min, wfunc.Max
+	if !asc {
+		first, second = wfunc.Max, wfunc.Min
+	}
+	b.WorkBody(
+		wfunc.Set(a, wfunc.PopE()),
+		wfunc.Set(c, wfunc.PopE()),
+		wfunc.Push1(wfunc.Bin(first, a, c)),
+		wfunc.Push1(wfunc.Bin(second, a, c)),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+}
+
+// pairPerm lists the n positions so partners at distance j are adjacent.
+func pairPerm(n, j int) []int {
+	perm := make([]int, 0, n)
+	used := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if used[i] {
+			continue
+		}
+		partner := i ^ j
+		if partner < n && !used[partner] && partner != i {
+			perm = append(perm, i, partner)
+			used[i], used[partner] = true, true
+		} else if !used[i] {
+			perm = append(perm, i)
+			used[i] = true
+		}
+	}
+	return perm
+}
+
+// pairShuffle reorders an n-key block so elements paired at distance j
+// become adjacent (or restores the order when invert is set).
+func pairShuffle(name string, n, j int, invert bool) *ir.Filter {
+	perm := pairPerm(n, j)
+	table := make([]float64, n)
+	if invert {
+		for pos, src := range perm {
+			table[src] = float64(pos)
+		}
+	} else {
+		for pos, src := range perm {
+			table[pos] = float64(src)
+		}
+	}
+	b := wfunc.NewKernel(name, n, n, n)
+	tf := b.FieldArray("perm", n, table...)
+	i := b.Local("i")
+	b.WorkBody(
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(n),
+			wfunc.Push1(wfunc.PeekX(wfunc.FIdx(tf, i)))),
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(n), wfunc.Pop1()),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+}
+
+// MPEG2Decoder builds the block/motion-vector subset of the MPEG-2
+// decoder: a split-join of motion-vector decoding (lightly stateful:
+// predictors persist across macroblocks) against block decoding (inverse
+// quantization and the dominant iDCT), joined for motion compensation and
+// saturation.
+func MPEG2Decoder() *ir.Program {
+	const blk = 64
+	mv := func() *ir.Filter {
+		b := wfunc.NewKernel("motionVectors", 8, 8, 8)
+		pred := b.Field("pred", 0)
+		i := b.Local("i")
+		v := b.Local("v")
+		b.WorkBody(
+			wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(8),
+				wfunc.Set(v, wfunc.AddX(wfunc.PeekX(i), pred)),
+				wfunc.Push1(v),
+			),
+			wfunc.SetF(pred, wfunc.MulX(wfunc.PeekE(7), wfunc.C(0.5))),
+			wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(8), wfunc.Pop1()),
+		)
+		return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+	}()
+	blockPath := ir.Pipe("blockDecode",
+		Gain("iquant", 0.125),
+		MatMul("idct8x8", blk, blk, 0.017), // dominant filter
+		Gain("mismatch", 1.0001),
+	)
+	sj := ir.SJ("mbSplit", ir.RoundRobin(8, blk), ir.RoundRobin(8, blk),
+		mv, blockPath)
+	top := ir.Pipe("MPEG2Decoder",
+		Source("bitstream"),
+		sj,
+		motionComp("motionComp", 8, blk),
+		boundSat("clip"),
+		Sink("frames", 1),
+	)
+	return &ir.Program{Name: "MPEG2Decoder", Top: top}
+}
+
+// motionComp merges motion vectors with decoded blocks.
+func motionComp(name string, mvN, blkN int) *ir.Filter {
+	total := mvN + blkN
+	b := wfunc.NewKernel(name, total, total, blkN)
+	i := b.Local("i")
+	b.WorkBody(
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(blkN),
+			wfunc.Push1(wfunc.AddX(
+				wfunc.PeekX(wfunc.AddX(i, wfunc.Ci(mvN))),
+				wfunc.MulX(wfunc.PeekX(wfunc.Bin(wfunc.Mod, i, wfunc.Ci(mvN))), wfunc.C(0.01))))),
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(total), wfunc.Pop1()),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+}

@@ -1,0 +1,274 @@
+package apps
+
+import (
+	"math"
+
+	"streamit/internal/ir"
+	"streamit/internal/wfunc"
+)
+
+// FMRadio builds the software FM radio of §3: a low-pass front end, an FM
+// demodulator, and a multi-band equalizer (duplicate split-join of
+// band-pass filter pipelines re-combined by an adder).
+func FMRadio(bands, taps int) *ir.Program {
+	var branches []ir.Stream
+	for i := 0; i < bands; i++ {
+		low := 0.1 + 0.8*float64(i)/float64(bands)
+		branches = append(branches, ir.Pipe(mustName("band", i),
+			FIR(mustName("bpfLow", i), taps, low),
+			FIR(mustName("bpfHigh", i), taps, low+0.8/float64(bands)),
+			Gain(mustName("bandGain", i), 1.0/float64(bands)),
+		))
+	}
+	eq := ir.SJ("equalizer", ir.Duplicate(), ir.RoundRobin(), branches...)
+	top := ir.Pipe("FMRadio",
+		Source("antenna"),
+		FIR("lowpass", taps, 0.25),
+		FMDemod("demod"),
+		eq,
+		Adder("eqsum", bands),
+		Sink("speaker", 1),
+	)
+	return &ir.Program{Name: "FMRadio", Top: top}
+}
+
+// FMDemod approximates FM demodulation (stateless, peek 2 pop 1).
+func FMDemod(name string) *ir.Filter {
+	b := wfunc.NewKernel(name, 2, 1, 1)
+	b.WorkBody(
+		wfunc.Push1(wfunc.MulX(
+			wfunc.Un(wfunc.Atan, wfunc.MulX(wfunc.PeekE(0), wfunc.PeekE(1))),
+			wfunc.C(0.7))),
+		wfunc.Pop1(),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+}
+
+// FilterBank builds the classic multirate analysis/synthesis filter bank:
+// M branches, each delaying, band-filtering, down- and up-sampling, and
+// re-filtering before the bands are summed.
+func FilterBank(branchesN, taps int) *ir.Program {
+	var branches []ir.Stream
+	for i := 0; i < branchesN; i++ {
+		branches = append(branches, ir.Pipe(mustName("fbBranch", i),
+			FIR(mustName("analysis", i), taps, 0.05+0.9*float64(i)/float64(branchesN)),
+			Downsample(mustName("down", i), branchesN),
+			Upsample(mustName("up", i), branchesN),
+			FIR(mustName("synthesis", i), taps, 0.05+0.9*float64(i)/float64(branchesN)),
+		))
+	}
+	sj := ir.SJ("bank", ir.Duplicate(), ir.RoundRobin(), branches...)
+	top := ir.Pipe("FilterBank",
+		Source("in"),
+		sj,
+		Adder("combine", branchesN),
+		Sink("out", 1),
+	)
+	return &ir.Program{Name: "FilterBank", Top: top}
+}
+
+// ChannelVocoder: a pitch detector running alongside a bank of band-pass
+// channel filters with magnitude envelopes.
+func ChannelVocoder(channels, taps int) *ir.Program {
+	var branches []ir.Stream
+	branches = append(branches, ir.Pipe("pitchPath",
+		FIRDecim("pitchDetector", taps*2, 1, 0.31),
+		Gain("pitchGain", 1.5),
+	))
+	for i := 0; i < channels; i++ {
+		branches = append(branches, ir.Pipe(mustName("chan", i),
+			FIR(mustName("chanFilt", i), taps, 0.05+0.9*float64(i)/float64(channels)),
+			envelope(mustName("chanEnv", i)),
+		))
+	}
+	sj := ir.SJ("vocoderBank", ir.Duplicate(), ir.RoundRobin(), branches...)
+	top := ir.Pipe("ChannelVocoder",
+		Source("mic"),
+		sj,
+		Sink("features", channels+1),
+	)
+	return &ir.Program{Name: "ChannelVocoder", Top: top}
+}
+
+// envelope computes |x| smoothed over a short window (nonlinear).
+func envelope(name string) *ir.Filter {
+	b := wfunc.NewKernel(name, 4, 1, 1)
+	i := b.Local("i")
+	s := b.Local("s")
+	b.WorkBody(
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(4),
+			wfunc.Set(s, wfunc.AddX(s, wfunc.Un(wfunc.Abs, wfunc.PeekX(i))))),
+		wfunc.Pop1(),
+		wfunc.Push1(wfunc.MulX(s, wfunc.C(0.25))),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+}
+
+// DCT builds the 16x16 IEEE-reference two-dimensional DCT benchmark: a
+// pipeline of light pre/post stages around one dominant dense transform
+// filter (the data-parallelism case study: the bottleneck filter does >6x
+// the work of any other).
+func DCT() *ir.Program {
+	n := 16
+	top := ir.Pipe("DCT",
+		Source("blocks"),
+		Gain("level", 1.0/128),
+		MatMul("rowPre", n, n, 0.11),
+		MatMul("dct2d", n*n/4, n*n/4, 0.013), // the dominant filter
+		MatMul("colPost", n, n, 0.07),
+		Gain("descale", 4),
+		boundSat("saturate"),
+		Sink("coeffs", 1),
+	)
+	return &ir.Program{Name: "DCT", Top: top}
+}
+
+func boundSat(name string) *ir.Filter {
+	b := wfunc.NewKernel(name, 1, 1, 1)
+	x := b.Local("x")
+	b.WorkBody(
+		wfunc.Set(x, wfunc.PopE()),
+		wfunc.Push1(wfunc.Bin(wfunc.Max, wfunc.C(-255), wfunc.Bin(wfunc.Min, wfunc.C(255), x))),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+}
+
+// FFTApp builds the paper's FFT benchmark (Figure radiocode's FFT class):
+// bit-reverse reordering via nested weighted-round-robin split-joins of
+// identities, followed by log2(N)-1 butterfly stages, each a pair of
+// split-joins (twiddle multiply + identity, then add/sub combine).
+func FFTApp(n int) *ir.Program {
+	p := ir.Pipe("FFTApp", Source("signal"))
+	// Reordering stage.
+	var outer []ir.Stream
+	for i := 0; i < 2; i++ {
+		outer = append(outer, ir.SJ(mustName("reorderInner", i),
+			ir.RoundRobin(1, 1),
+			ir.RoundRobin(n/4, n/4),
+			ir.Identity(ir.TypeFloat), ir.Identity(ir.TypeFloat)))
+	}
+	p.Add(ir.SJ("reorder", ir.RoundRobin(n/2, n/2), ir.RoundRobin(1, 1), outer...))
+	// Butterfly stages.
+	for size, s := 2, 0; size < n; size, s = size*2, s+1 {
+		p.Add(butterfly(mustName("bfly", s), size, n))
+	}
+	p.Add(Sink("spectrum", n))
+	return &ir.Program{Name: "FFT", Top: p}
+}
+
+// butterfly is the paper's Butterfly(N, W) stream: a weighted split-join
+// applying twiddle weights to the second half, then a duplicate split-join
+// computing sums and differences.
+func butterfly(name string, size, total int) ir.Stream {
+	twiddle := func() *ir.Filter {
+		b := wfunc.NewKernel(name+"Twiddle", size, size, size)
+		w := b.FieldArray("w", size)
+		i := b.Local("i")
+		b.InitBody(
+			wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(size),
+				wfunc.SetFIdx(w, i, wfunc.Un(wfunc.Cos, wfunc.MulX(i, wfunc.C(math.Pi/float64(size)))))),
+		)
+		b.WorkBody(
+			wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(size),
+				wfunc.Push1(wfunc.MulX(wfunc.PeekX(i), wfunc.FIdx(w, i)))),
+			wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(size), wfunc.Pop1()),
+		)
+		return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+	}()
+	sub := func() *ir.Filter {
+		b := wfunc.NewKernel(name+"Sub", 2, 2, 1)
+		b.WorkBody(wfunc.Push1(wfunc.SubX(wfunc.PopE(), wfunc.PopE())))
+		return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+	}()
+	add := func() *ir.Filter {
+		b := wfunc.NewKernel(name+"Add", 2, 2, 1)
+		b.WorkBody(wfunc.Push1(wfunc.AddX(wfunc.PopE(), wfunc.PopE())))
+		return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+	}()
+	sj1 := ir.SJ(name+"Weight", ir.RoundRobin(size, size), ir.RoundRobin(1, 1),
+		twiddle, ir.Identity(ir.TypeFloat))
+	sj2 := ir.SJ(name+"Combine", ir.Duplicate(), ir.RoundRobin(size, size), sub, add)
+	return ir.Pipe(name, sj1, sj2)
+}
+
+// TDE is the time-delay equalization benchmark: a long stateless pipeline
+// (block FFT, per-bin scaling, inverse FFT) with little splitting — the
+// shape on which the prior work's space multiplexing does well.
+func TDE(block int, stages int) *ir.Program {
+	p := ir.Pipe("TDEPipe", Source("sonar"))
+	for s := 0; s < stages; s++ {
+		p.Add(
+			MatMul(mustName("tdeFwd", s), block, block, 0.029+float64(s)/100),
+			Gain(mustName("tdeScale", s), 0.97),
+			MatMul(mustName("tdeInv", s), block, block, 0.041+float64(s)/100),
+		)
+	}
+	p.Add(Sink("equalized", 1))
+	return &ir.Program{Name: "TDE", Top: p}
+}
+
+// Vocoder is the phase vocoder: a DFT filter bank, magnitude/phase
+// separation, stateful phase unwrapping and accumulation per bin (the
+// state that paralyzes data parallelism), and resynthesis.
+func Vocoder(bins int) *ir.Program {
+	var analysis []ir.Stream
+	for i := 0; i < bins; i++ {
+		analysis = append(analysis, ir.Pipe(mustName("bin", i),
+			FIR(mustName("dftRe", i), 64, 0.02+0.9*float64(i)/float64(bins)),
+			PhaseUnwrap(mustName("unwrap", i), 25),
+			Gain(mustName("pitch", i), 1.02),
+		))
+	}
+	bank := ir.SJ("dftBank", ir.Duplicate(), ir.RoundRobin(), analysis...)
+	top := ir.Pipe("Vocoder",
+		Source("voice"),
+		bank,
+		Adder("resynth", bins),
+		FIR("smooth", 16, 0.2),
+		Sink("outVoice", 1),
+	)
+	return &ir.Program{Name: "Vocoder", Top: top}
+}
+
+// Radar is the coarse-grained beamformer: per-channel stateful input FIRs
+// (nearly all the work, unfissable), followed by beamforming matrix
+// stages and detectors.
+func Radar(channels, beams int) *ir.Program {
+	var chans []ir.Stream
+	for i := 0; i < channels; i++ {
+		chans = append(chans, ir.Pipe(mustName("chanPipe", i),
+			chanSource(mustName("antennaIn", i)),
+			StatefulFIR(mustName("inputFIR", i), 64, 2),
+			StatefulFIR(mustName("decimFIR", i), 16, 2),
+		))
+	}
+	front := ir.SJ("frontEnd", ir.Null(), ir.RoundRobin(), chans...)
+	var beamsS []ir.Stream
+	for b := 0; b < beams; b++ {
+		beamsS = append(beamsS, ir.Pipe(mustName("beam", b),
+			MatMul(mustName("beamWeights", b), 1, channels, 0.03+float64(b)/50),
+			magnitude1(mustName("detect", b)),
+		))
+	}
+	bf := ir.SJ("beamform", ir.Duplicate(), ir.RoundRobin(), beamsS...)
+	top := ir.Pipe("Radar", front, bf, Sink("targets", beams))
+	return &ir.Program{Name: "Radar", Top: top}
+}
+
+// chanSource generates a per-channel waveform.
+func chanSource(name string) *ir.Filter {
+	b := wfunc.NewKernel(name, 0, 0, 1)
+	n := b.Field("n", 0)
+	b.WorkBody(
+		wfunc.Push1(wfunc.Un(wfunc.Sin, wfunc.MulX(n, wfunc.C(0.21)))),
+		wfunc.SetF(n, wfunc.AddX(n, wfunc.C(1))),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeVoid, Out: ir.TypeFloat}
+}
+
+// Magnitude2 pops one item and pushes |x| (detector stage).
+func magnitude1(name string) *ir.Filter {
+	b := wfunc.NewKernel(name, 1, 1, 1)
+	b.WorkBody(wfunc.Push1(wfunc.Un(wfunc.Abs, wfunc.PopE())))
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+}

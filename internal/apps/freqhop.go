@@ -1,0 +1,216 @@
+package apps
+
+import (
+	"math"
+
+	"streamit/internal/ir"
+	"streamit/internal/wfunc"
+)
+
+// FreqHoppingRadio builds the paper's trunked-radio receiver (Figure
+// "radiocode"): an A/D source, an RF-to-IF downconverter whose mixing
+// frequency is retuned by teleport messages, a spectral check stage that
+// detects energy in guard channels and sends setFreq upstream, and an
+// audio back end.
+//
+// When teleport is false, the same application is built the way
+// programmers had to before teleport messaging: the control information is
+// manually embedded in the data stream — every sample becomes a (tag,
+// value) pair, every filter in the path inspects and forwards tags, and
+// the detector raises tags instead of sending messages. The 49%
+// improvement reported in the paper's conclusion comes from removing
+// exactly this overhead.
+func FreqHoppingRadio(teleport bool) *ir.Program {
+	prog := &ir.Program{Name: "FreqHoppingRadio"}
+	if teleport {
+		portal := prog.NewPortal("freqHop")
+		rf := rfToIF("RFtoIF", false)
+		portal.Register(rf)
+		prog.Top = ir.Pipe("FreqHopRadio",
+			Source("AtoD"),
+			rf,
+			FIR("ifFilter", 32, 0.2),
+			Gain("ifGain", 1.5),
+			Gain("audioGain", 0.8),
+			checkFreqHop("checkHop", portal.ID),
+			Sink("audioOut", 1),
+		)
+		return prog
+	}
+	prog.Top = ir.Pipe("FreqHopRadioManual",
+		Source("AtoD"),
+		tagInject("tagger"),
+		rfToIF("RFtoIFManual", true),
+		taggedFIR("ifFilterManual", 32, 0.2),
+		taggedGain("ifGainManual", 1.5),
+		taggedGain("audioGainManual", 0.8),
+		checkFreqHopManual("checkHopManual"),
+		Sink("audioOut", 1),
+	)
+	return prog
+}
+
+// rfToIF mixes the input with a tunable carrier (the paper's RFtoIF
+// filter). The teleport version processes plain samples and has a setFreq
+// handler; the manual version processes (tag, value) pairs, retuning when
+// it sees a nonzero tag.
+func rfToIF(name string, manual bool) *ir.Filter {
+	size := 16
+	b := wfunc.NewKernel(name, 1, 1, 1)
+	w := b.FieldArray("w", size)
+	count := b.Field("count", 0)
+	freq := b.Field("freq", 1)
+	i := b.Local("i")
+	tag := b.Local("tag")
+
+	retune := []wfunc.Stmt{
+		// Recompute the mixing table for the new frequency (setf in the
+		// paper: weight[i] = sin(i*pi*freq/size)).
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(size),
+			wfunc.SetFIdx(w, i, wfunc.Un(wfunc.Sin,
+				wfunc.MulX(wfunc.MulX(i, freq), wfunc.C(math.Pi/float64(size)))))),
+		wfunc.SetF(count, wfunc.C(0)),
+	}
+	b.InitBody(retune...)
+
+	mix := []wfunc.Stmt{
+		wfunc.Push1(wfunc.MulX(wfunc.PopE(), wfunc.FIdx(w, count))),
+		wfunc.SetF(count, wfunc.Bin(wfunc.Mod, wfunc.AddX(count, wfunc.C(1)), wfunc.Ci(size))),
+	}
+	if manual {
+		// Per-item state machine: tag items alternate with value items, so
+		// the filter fires twice per audio sample and inspects the tag
+		// lane every time — the overhead teleport messaging removes.
+		parity := b.Field("parity", 0)
+		b.WorkBody(
+			wfunc.IfElse(wfunc.Bin(wfunc.Eq, parity, wfunc.C(0)),
+				[]wfunc.Stmt{
+					wfunc.Set(tag, wfunc.PopE()),
+					wfunc.IfS(wfunc.Bin(wfunc.Ne, tag, wfunc.C(0)),
+						append([]wfunc.Stmt{wfunc.SetF(freq, tag)}, retune...)...),
+					wfunc.Push1(tag),
+				},
+				mix,
+			),
+			wfunc.SetF(parity, wfunc.SubX(wfunc.C(1), parity)),
+		)
+	} else {
+		b.WorkBody(mix...)
+		newFreq := b.Local("newFreq")
+		b.Handler("setFreq", 1, append([]wfunc.Stmt{wfunc.SetF(freq, newFreq)}, retune...)...)
+	}
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+}
+
+// checkFreqHop watches the filtered signal; when guard-channel energy
+// crosses a threshold it teleports setFreq upstream with latency 4 and
+// passes the sample through unchanged.
+func checkFreqHop(name string, portal int) *ir.Filter {
+	b := wfunc.NewKernel(name, 1, 1, 1)
+	avg := b.Field("avg", 0)
+	hop := b.Field("hop", 2)
+	v := b.Local("v")
+	b.WorkBody(
+		wfunc.Set(v, wfunc.PopE()),
+		wfunc.SetF(avg, wfunc.AddX(wfunc.MulX(avg, wfunc.C(0.95)),
+			wfunc.MulX(wfunc.Un(wfunc.Abs, v), wfunc.C(0.05)))),
+		wfunc.IfS(wfunc.Bin(wfunc.Gt, avg, wfunc.C(0.32)),
+			&wfunc.Send{Portal: portal, Handler: "setFreq",
+				Args:       []wfunc.Expr{hop},
+				MinLatency: 4, MaxLatency: 4},
+			wfunc.SetF(hop, wfunc.AddX(wfunc.Bin(wfunc.Mod, hop, wfunc.C(5)), wfunc.C(1))),
+			wfunc.SetF(avg, wfunc.C(0)),
+		),
+		wfunc.Push1(v),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+}
+
+// checkFreqHopManual performs the same detection but communicates by
+// dropping the tag lane and (conceptually) relying on the upstream tagger:
+// it consumes (tag, value) pairs and emits the audio value, recording the
+// hop decision in its state for the next tag the tagger injects.
+func checkFreqHopManual(name string) *ir.Filter {
+	b := wfunc.NewKernel(name, 2, 2, 1)
+	avg := b.Field("avg", 0)
+	hop := b.Field("hop", 2)
+	v := b.Local("v")
+	b.WorkBody(
+		wfunc.Pop1(), // tag lane
+		wfunc.Set(v, wfunc.PopE()),
+		wfunc.SetF(avg, wfunc.AddX(wfunc.MulX(avg, wfunc.C(0.95)),
+			wfunc.MulX(wfunc.Un(wfunc.Abs, v), wfunc.C(0.05)))),
+		wfunc.IfS(wfunc.Bin(wfunc.Gt, avg, wfunc.C(0.32)),
+			wfunc.SetF(hop, wfunc.AddX(wfunc.Bin(wfunc.Mod, hop, wfunc.C(5)), wfunc.C(1))),
+			wfunc.SetF(avg, wfunc.C(0)),
+		),
+		wfunc.Push1(v),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+}
+
+// taggedGain scales the value lane and forwards the tag lane — another
+// filter paying the manual scheme's per-item tag tax.
+func taggedGain(name string, g float64) *ir.Filter {
+	b := wfunc.NewKernel(name, 1, 1, 1)
+	parity := b.Field("parity", 0)
+	b.WorkBody(
+		wfunc.IfElse(wfunc.Bin(wfunc.Eq, parity, wfunc.C(0)),
+			[]wfunc.Stmt{wfunc.Push1(wfunc.PopE())}, // forward tag
+			[]wfunc.Stmt{wfunc.Push1(wfunc.MulX(wfunc.PopE(), wfunc.C(g)))},
+		),
+		wfunc.SetF(parity, wfunc.SubX(wfunc.C(1), parity)),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+}
+
+// tagInject turns the sample stream into (tag, value) pairs; tags are 0
+// except when a (deterministic, rare) hop command is issued.
+func tagInject(name string) *ir.Filter {
+	b := wfunc.NewKernel(name, 1, 1, 2)
+	n := b.Field("n", 0)
+	b.WorkBody(
+		wfunc.IfElse(wfunc.Bin(wfunc.Eq, wfunc.Bin(wfunc.Mod, n, wfunc.C(4096)), wfunc.C(4095)),
+			[]wfunc.Stmt{wfunc.Push1(wfunc.AddX(wfunc.Bin(wfunc.Mod, n, wfunc.C(5)), wfunc.C(1)))},
+			[]wfunc.Stmt{wfunc.Push1(wfunc.C(0))}),
+		wfunc.SetF(n, wfunc.AddX(n, wfunc.C(1))),
+		wfunc.Push1(wfunc.PopE()),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+}
+
+// taggedFIR is the FIR filter adapted to (tag, value) pairs: it forwards
+// the tag lane untouched and filters the value lane — paying the doubled
+// traffic and per-item tag handling the manual scheme imposes on every
+// filter along the control path.
+func taggedFIR(name string, taps int, cutoff float64) *ir.Filter {
+	b := wfunc.NewKernel(name, 2*taps, 1, 1)
+	w := b.FieldArray("w", taps)
+	parity := b.Field("parity", 0)
+	i := b.Local("i")
+	sum := b.Local("sum")
+	b.InitBody(
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(taps),
+			wfunc.SetFIdx(w, i, wfunc.MulX(
+				wfunc.Un(wfunc.Sin, wfunc.MulX(wfunc.AddX(i, wfunc.C(1)), wfunc.C(cutoff))),
+				wfunc.C(1.0/float64(taps))))),
+	)
+	b.WorkBody(
+		wfunc.IfElse(wfunc.Bin(wfunc.Eq, parity, wfunc.C(0)),
+			[]wfunc.Stmt{wfunc.Push1(wfunc.PeekE(0))}, // forward tag
+			[]wfunc.Stmt{
+				wfunc.Set(sum, wfunc.C(0)),
+				// The value lane sits at even offsets from the current
+				// (value) item: 0, 2, 4, ...
+				wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(taps),
+					wfunc.Set(sum, wfunc.AddX(sum, wfunc.MulX(
+						wfunc.PeekX(wfunc.MulX(i, wfunc.C(2))),
+						wfunc.FIdx(w, i))))),
+				wfunc.Push1(sum),
+			},
+		),
+		wfunc.Pop1(),
+		wfunc.SetF(parity, wfunc.SubX(wfunc.C(1), parity)),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+}

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"streamit/internal/linear"
+	"streamit/internal/machine"
+	"streamit/internal/partition"
+	"streamit/internal/wfunc"
+)
+
+// The ablation experiments go beyond the paper's figures: they vary the
+// design parameters DESIGN.md calls out (tile count, synchronization cost,
+// communication substrate) to show which conclusions are robust and which
+// are artifacts of one machine point.
+
+// ScalingRow reports geometric-mean speedup over single core at one
+// machine size.
+type ScalingRow struct {
+	Tiles    int
+	Task     float64
+	TaskData float64
+	Combined float64
+}
+
+// Scaling sweeps the tile count (grids of 1xN/4xN) and reports geomean
+// speedups of the three headline strategies — the scalability curve of the
+// combined technique.
+func Scaling(tileCounts []int) ([]ScalingRow, error) {
+	ps, err := suite()
+	if err != nil {
+		return nil, err
+	}
+	var out []ScalingRow
+	for _, tiles := range tileCounts {
+		cfg := machine.DefaultConfig()
+		switch {
+		case tiles < 4:
+			cfg.Rows, cfg.Cols = 1, tiles
+		default:
+			cfg.Rows, cfg.Cols = tiles/4, 4
+		}
+		if cfg.Rows*cfg.Cols != tiles {
+			return nil, fmt.Errorf("tile count %d does not fit a 4-wide grid", tiles)
+		}
+		row := ScalingRow{Tiles: tiles}
+		for _, strat := range []partition.Strategy{partition.StratTask, partition.StratCoarseData, partition.StratCombined} {
+			var sp []float64
+			for _, p := range ps {
+				seqPlan, err := p.pg.Map(partition.StratSequential, tiles)
+				if err != nil {
+					return nil, err
+				}
+				seq, err := seqPlan.Simulate(cfg, SimIters)
+				if err != nil {
+					return nil, err
+				}
+				plan, err := p.pg.Map(strat, tiles)
+				if err != nil {
+					return nil, err
+				}
+				res, err := plan.Simulate(cfg, SimIters)
+				if err != nil {
+					return nil, err
+				}
+				sp = append(sp, res.Speedup(seq))
+			}
+			switch strat {
+			case partition.StratTask:
+				row.Task = GeoMean(sp)
+			case partition.StratCoarseData:
+				row.TaskData = GeoMean(sp)
+			case partition.StratCombined:
+				row.Combined = GeoMean(sp)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintScaling renders the scaling ablation.
+func PrintScaling(w io.Writer) error {
+	rows, err := Scaling([]int{2, 4, 8, 16, 32})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: geometric-mean speedup vs tile count")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Tiles\ttask\ttask+data\ttask+data+swp")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.2fx\t%.2fx\t%.2fx\n", r.Tiles, r.Task, r.TaskData, r.Combined)
+	}
+	return tw.Flush()
+}
+
+// CommRow reports one machine-parameter variant.
+type CommRow struct {
+	Name     string
+	TaskData float64
+	Combined float64
+}
+
+// CommAblation varies synchronization and communication costs to show how
+// the combined technique's margin over plain data parallelism depends on
+// them (the paper's +45% is a synchronization-cost story).
+func CommAblation() ([]CommRow, error) {
+	ps, err := suite()
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		cfg  machine.Config
+	}{
+		{"baseline", machine.DefaultConfig()},
+		{"free barriers", func() machine.Config { c := machine.DefaultConfig(); c.BarrierCost = 0; return c }()},
+		{"expensive barriers (8x)", func() machine.Config { c := machine.DefaultConfig(); c.BarrierCost *= 8; return c }()},
+		{"slow DRAM (4x)", func() machine.Config { c := machine.DefaultConfig(); c.DRAMCost *= 4; return c }()},
+		{"2 DRAM ports", func() machine.Config { c := machine.DefaultConfig(); c.DRAMPorts = 2; return c }()},
+	}
+	var out []CommRow
+	for _, v := range variants {
+		row := CommRow{Name: v.name}
+		for _, strat := range []partition.Strategy{partition.StratCoarseData, partition.StratCombined} {
+			var sp []float64
+			for _, p := range ps {
+				seqPlan, err := p.pg.Map(partition.StratSequential, v.cfg.Tiles())
+				if err != nil {
+					return nil, err
+				}
+				seq, err := seqPlan.Simulate(v.cfg, SimIters)
+				if err != nil {
+					return nil, err
+				}
+				plan, err := p.pg.Map(strat, v.cfg.Tiles())
+				if err != nil {
+					return nil, err
+				}
+				res, err := plan.Simulate(v.cfg, SimIters)
+				if err != nil {
+					return nil, err
+				}
+				sp = append(sp, res.Speedup(seq))
+			}
+			if strat == partition.StratCoarseData {
+				row.TaskData = GeoMean(sp)
+			} else {
+				row.Combined = GeoMean(sp)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintCommAblation renders the communication-cost ablation.
+func PrintCommAblation(w io.Writer) error {
+	rows, err := CommAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: synchronization/communication cost sensitivity (geomeans, 16 tiles)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Machine variant\ttask+data\ttask+data+swp\tSWP margin")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2fx\t%.2fx\t%+.0f%%\n", r.Name, r.TaskData, r.Combined, (r.Combined/r.TaskData-1)*100)
+	}
+	return tw.Flush()
+}
+
+// BlockRow is one frequency-translation block-size point.
+type BlockRow struct {
+	Block   int
+	Speedup float64
+}
+
+// FreqBlockAblation measures the frequency-translation speedup of a
+// 512-tap FIR at several overlap-save block sizes, against the direct
+// (unrolled) implementation — the block-size trade-off behind the
+// optimizer's cost model.
+func FreqBlockAblation() ([]BlockRow, error) {
+	const taps = 512
+	weights := make([]float64, taps)
+	for i := range weights {
+		weights[i] = 1.0 / float64(i+1)
+	}
+	rep := linearRepFor(weights)
+	direct := linear.ToKernel("directFIR", rep)
+	directRate, err := kernelRate(direct)
+	if err != nil {
+		return nil, err
+	}
+	var out []BlockRow
+	for _, block := range []int{128, 256, 512, 1024} {
+		k, err := linear.FreqKernel(fmt.Sprintf("freq%d", block), weights, block)
+		if err != nil {
+			return nil, err
+		}
+		rate, err := kernelRate(k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BlockRow{Block: block, Speedup: rate / directRate})
+	}
+	return out, nil
+}
+
+func linearRepFor(weights []float64) *linear.Rep {
+	r := linear.NewRep(len(weights), 1, 1)
+	copy(r.A[0], weights)
+	return r
+}
+
+// kernelRate measures a standalone kernel's outputs per second.
+func kernelRate(k *wfunc.Kernel) (float64, error) {
+	input := make([]float64, 4096+k.Peek)
+	for i := range input {
+		input[i] = float64(i % 31)
+	}
+	start := time.Now()
+	outputs := 0
+	for time.Since(start) < MeasureDur {
+		out, err := wfunc.RunKernel(k, input)
+		if err != nil {
+			return 0, err
+		}
+		outputs += len(out)
+	}
+	return float64(outputs) / time.Since(start).Seconds(), nil
+}
+
+// PrintFreqBlocks renders the block-size ablation.
+func PrintFreqBlocks(w io.Writer) error {
+	rows, err := FreqBlockAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation: frequency translation of a 512-tap FIR vs block size")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Block\tspeedup over direct")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.2fx\n", r.Block, r.Speedup)
+	}
+	return tw.Flush()
+}

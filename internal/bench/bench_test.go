@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamit/internal/partition"
+)
+
+// TestBenchCharShape pins the qualitative properties of E1 that the
+// paper's narrative depends on.
+func TestBenchCharShape(t *testing.T) {
+	rows, err := BenchChar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("expected 12 benchmarks, got %d", len(rows))
+	}
+	byName := map[string]CharRow{}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].StatefulWorkPct < rows[i-1].StatefulWorkPct {
+			t.Errorf("rows not sorted by stateful work at %d", i)
+		}
+	}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Radar and Vocoder carry the most stateful work; MPEG2's is small but
+	// nonzero; everything else is stateless.
+	if byName["Radar"].StatefulWorkPct < 90 {
+		t.Errorf("Radar stateful work = %.1f%%, want >= 90%%", byName["Radar"].StatefulWorkPct)
+	}
+	if v := byName["Vocoder"].StatefulWorkPct; v < 20 || v > 90 {
+		t.Errorf("Vocoder stateful work = %.1f%%, want significant", v)
+	}
+	if v := byName["MPEG2Decoder"].StatefulWorkPct; v <= 0 || v > 5 {
+		t.Errorf("MPEG2Decoder stateful work = %.1f%%, want small but nonzero", v)
+	}
+	stateless := []string{"BitonicSort", "DCT", "DES", "FFT", "Serpent", "TDE"}
+	for _, n := range stateless {
+		if byName[n].StatefulWorkPct != 0 {
+			t.Errorf("%s should have no stateful work, got %.1f%%", n, byName[n].StatefulWorkPct)
+		}
+		if byName[n].Peeking != 0 {
+			t.Errorf("%s should have no peeking filters, got %d", n, byName[n].Peeking)
+		}
+	}
+	// Peeking suite members.
+	for _, n := range []string{"ChannelVocoder", "FilterBank", "FMRadio"} {
+		if byName[n].Peeking == 0 {
+			t.Errorf("%s should contain peeking filters", n)
+		}
+	}
+	// BitonicSort is the finest-grained benchmark: most filters, lowest
+	// computation-to-communication ratio among the DSP apps.
+	if byName["BitonicSort"].Filters < 80 {
+		t.Errorf("BitonicSort filters = %d, want fine granularity (>= 80)", byName["BitonicSort"].Filters)
+	}
+	// Serpent is the long pipeline.
+	if byName["Serpent"].LongestPath < 60 {
+		t.Errorf("Serpent longest path = %d, want a long pipeline", byName["Serpent"].LongestPath)
+	}
+}
+
+// TestMainComparisonShape pins E2's qualitative results: the task-parallel
+// baseline is weak (paper: 2.27x), coarse data parallelism is the big win
+// (paper: 9.9x), and adding software pipelining never loses and helps the
+// stateful applications most.
+func TestMainComparisonShape(t *testing.T) {
+	rows, means, err := Speedups(partition.StratTask, partition.StratCoarseData, partition.StratCombined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, data, comb := means[partition.StratTask], means[partition.StratCoarseData], means[partition.StratCombined]
+	if task < 1.5 || task > 3.5 {
+		t.Errorf("task geomean = %.2f, paper reports 2.27", task)
+	}
+	if data < 8 || data > 16.5 {
+		t.Errorf("task+data geomean = %.2f, paper reports 9.9", data)
+	}
+	if comb < data {
+		t.Errorf("combined (%.2f) should be at least data parallelism (%.2f)", comb, data)
+	}
+	byName := map[string]SpeedupRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Stateful applications: data parallelism is paralyzed (close to the
+	// task baseline) while the combination rescues them.
+	for _, n := range []string{"Vocoder", "Radar"} {
+		r := byName[n]
+		if r.Values[partition.StratCoarseData] > 1.6*r.Values[partition.StratTask] {
+			t.Errorf("%s: data parallelism (%.2f) should be paralyzed near task (%.2f)",
+				n, r.Values[partition.StratCoarseData], r.Values[partition.StratTask])
+		}
+		if r.Values[partition.StratCombined] < 1.15*r.Values[partition.StratCoarseData] {
+			t.Errorf("%s: combined (%.2f) should clearly beat data alone (%.2f)",
+				n, r.Values[partition.StratCombined], r.Values[partition.StratCoarseData])
+		}
+	}
+	// BitonicSort's task parallelism is too fine-grained to profit.
+	if v := byName["BitonicSort"].Values[partition.StratTask]; v > 1 {
+		t.Errorf("BitonicSort task speedup = %.2f, should be < 1 (too fine-grained)", v)
+	}
+}
+
+// TestSoftPipeShape pins E4: software pipelining exceeds task parallelism
+// substantially (paper: 7.7x vs 2.27x) but DCT and MPEG2 stay low because
+// their dominant stateless filter needs fission, not pipelining.
+func TestSoftPipeShape(t *testing.T) {
+	rows, means, err := Speedups(partition.StratTask, partition.StratSWP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swp := means[partition.StratSWP]
+	if swp < 5 || swp > 11 {
+		t.Errorf("task+swp geomean = %.2f, paper reports 7.7", swp)
+	}
+	if swp < 2*means[partition.StratTask] {
+		t.Errorf("swp (%.2f) should be well above task (%.2f)", swp, means[partition.StratTask])
+	}
+	for _, r := range rows {
+		if r.Name == "DCT" || r.Name == "MPEG2Decoder" {
+			if r.Values[partition.StratSWP] > 4 {
+				t.Errorf("%s swp speedup = %.2f: a dominant filter should cap software pipelining", r.Name, r.Values[partition.StratSWP])
+			}
+		}
+	}
+}
+
+// TestFineGrainedLosesToCoarse pins E3.
+func TestFineGrainedLosesToCoarse(t *testing.T) {
+	rows, means, err := Speedups(partition.StratFineData, partition.StratCoarseData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if means[partition.StratFineData] >= means[partition.StratCoarseData] {
+		t.Errorf("fine-grained (%.2f) should lose to coarse-grained (%.2f)",
+			means[partition.StratFineData], means[partition.StratCoarseData])
+	}
+	for _, r := range rows {
+		if r.Name == "BitonicSort" || r.Name == "FFT" {
+			if r.Values[partition.StratFineData] > 0.5*r.Values[partition.StratCoarseData] {
+				t.Errorf("%s: fine-grained (%.2f) should collapse against coarse (%.2f)",
+					r.Name, r.Values[partition.StratFineData], r.Values[partition.StratCoarseData])
+			}
+		}
+	}
+}
+
+// TestVsSpaceShape pins E6: the combined technique beats the prior work
+// overall; DCT and MPEG2 (dominant-filter apps) are where space
+// multiplexing collapses.
+func TestVsSpaceShape(t *testing.T) {
+	rows, mean, err := VsSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean < 1.1 {
+		t.Errorf("combined vs space geomean = %.2f, should be > 1.1", mean)
+	}
+	for _, r := range rows {
+		if r.Name == "DCT" || r.Name == "MPEG2Decoder" {
+			if r.Combined < 3 {
+				t.Errorf("%s: combined vs space = %.2f, expected a rout (space cannot fiss the dominant filter)", r.Name, r.Combined)
+			}
+		}
+		if r.Name == "Vocoder" {
+			if r.Combined < r.TaskData {
+				t.Errorf("Vocoder: SWP should close the gap on space (combined %.2f < task+data %.2f)", r.Combined, r.TaskData)
+			}
+		}
+	}
+}
+
+// TestThroughputBounds pins E5's sanity: utilization within [0, 1] and
+// MFLOPS below the 7200 peak, with most benchmarks above 50% utilization.
+func TestThroughputBounds(t *testing.T) {
+	rows, err := Throughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	above := 0
+	for _, r := range rows {
+		if r.Utilization < 0 || r.Utilization > 1 {
+			t.Errorf("%s utilization %.2f out of range", r.Name, r.Utilization)
+		}
+		if r.MFLOPS < 0 || r.MFLOPS > 7200 {
+			t.Errorf("%s MFLOPS %.0f out of range (peak 7200)", r.Name, r.MFLOPS)
+		}
+		if r.Utilization >= 0.5 {
+			above++
+		}
+	}
+	if above < 7 {
+		t.Errorf("only %d/12 benchmarks above 50%% utilization; paper reports 7+ above 60%%", above)
+	}
+}
+
+// TestGeoMean checks the helper.
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); g < 1.99 || g > 2.01 {
+		t.Errorf("GeoMean(1,4) = %v, want 2", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", g)
+	}
+}
+
+// TestTablesRender smoke-tests every printer (the simulation-backed ones;
+// the wall-clock benchmarks E7/E8 are exercised by the root benchmarks).
+func TestTablesRender(t *testing.T) {
+	var buf bytes.Buffer
+	printers := map[string]func(*bytes.Buffer) error{
+		"benchchar": func(b *bytes.Buffer) error { return PrintBenchChar(b) },
+		"main":      func(b *bytes.Buffer) error { return PrintMainComparison(b) },
+		"finegrain": func(b *bytes.Buffer) error { return PrintFineGrained(b) },
+		"softpipe":  func(b *bytes.Buffer) error { return PrintSoftPipe(b) },
+		"thruput":   func(b *bytes.Buffer) error { return PrintThroughput(b) },
+		"vsspace":   func(b *bytes.Buffer) error { return PrintVsSpace(b) },
+	}
+	for name, p := range printers {
+		buf.Reset()
+		if err := p(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "Radar") || len(out) < 200 {
+			t.Errorf("%s table looks incomplete:\n%s", name, out)
+		}
+	}
+}
+
+// TestScalingMonotone smoke-tests the scaling ablation at two machine
+// sizes: the combined technique must improve with more tiles.
+func TestScalingMonotone(t *testing.T) {
+	rows, err := Scaling([]int{4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1].Combined <= rows[0].Combined {
+		t.Errorf("combined speedup should grow with tiles: %v", rows)
+	}
+	if rows[0].Task <= 0 || rows[0].TaskData < rows[0].Task {
+		t.Errorf("unexpected ordering at 4 tiles: %+v", rows[0])
+	}
+}

@@ -1,0 +1,278 @@
+// Package core is the StreamIt compiler driver: it ties the front end,
+// analyses, optimizations, scheduler, and backends together behind one
+// entry point. This is the library's primary public surface — build or
+// parse a program, Compile it, then execute it sequentially or map it onto
+// the simulated multicore.
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"streamit/internal/exec"
+	"streamit/internal/ir"
+	"streamit/internal/lang"
+	"streamit/internal/linear"
+	"streamit/internal/machine"
+	"streamit/internal/partition"
+	"streamit/internal/sched"
+	"streamit/internal/sdep"
+)
+
+// Options configure compilation.
+type Options struct {
+	// Linear enables the linear-optimization pass with these settings.
+	Linear *linear.Options
+	// MaxLiveItems bounds total buffered items in the schedule (0 = off).
+	MaxLiveItems int
+	// CheckFeedback additionally verifies feedback loops against the
+	// closed-form maxloop criterion (the scheduler always detects deadlock
+	// and rate inconsistencies).
+	CheckFeedback bool
+}
+
+// Compiled is the result of compilation: the (possibly optimized) program,
+// its flat graph, and its schedule.
+type Compiled struct {
+	Program  *ir.Program
+	Graph    *ir.Graph
+	Schedule *sched.Schedule
+	Linear   *linear.Report
+	Stats    ir.Stats
+}
+
+// Compile verifies and schedules prog, applying the optional linear
+// optimization first. The input program is not modified.
+func Compile(prog *ir.Program, opts Options) (*Compiled, error) {
+	c := &Compiled{Program: prog}
+	if opts.Linear != nil {
+		rep := &linear.Report{}
+		top, err := linear.Optimize(prog.Top, *opts.Linear, rep)
+		if err != nil {
+			return nil, fmt.Errorf("linear optimization: %w", err)
+		}
+		c.Program = &ir.Program{
+			Name: prog.Name, Top: top,
+			Portals: prog.Portals, Constraints: prog.Constraints,
+		}
+		c.Linear = rep
+	}
+	g, err := ir.Flatten(c.Program)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.ComputeOpts(g, sched.Options{MaxLiveItems: opts.MaxLiveItems})
+	if err != nil {
+		return nil, err
+	}
+	if opts.CheckFeedback {
+		if err := sdep.CheckFeedback(g, s); err != nil {
+			return nil, err
+		}
+	}
+	st, err := g.ComputeStats()
+	if err != nil {
+		return nil, err
+	}
+	c.Graph, c.Schedule, c.Stats = g, s, st
+	return c, nil
+}
+
+// CompileSource parses, elaborates (from the stream named top, typically
+// "Main"), and compiles a textual StreamIt program.
+func CompileSource(src, top string, opts Options) (*Compiled, error) {
+	prog, err := lang.ParseAndElaborate(src, top)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog, opts)
+}
+
+// Engine builds a sequential execution engine for the compiled program.
+func (c *Compiled) Engine() (*exec.Engine, error) {
+	return exec.NewFromGraph(c.Graph, c.Schedule)
+}
+
+// ParallelEngine builds the goroutine-per-filter backend (no teleport
+// messaging or feedback loops; see exec.NewParallel).
+func (c *Compiled) ParallelEngine() (*exec.ParallelEngine, error) {
+	return exec.NewParallel(c.Graph, c.Schedule)
+}
+
+// CompileDynamic parses and flattens a program with dynamic-rate filters
+// (no static schedule exists) and returns the demand-driven engine.
+func CompileDynamic(prog *ir.Program) (*exec.DynamicEngine, error) {
+	g, err := ir.Flatten(prog)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewDynamic(g)
+}
+
+// CompileSourceDynamic is CompileDynamic over textual source.
+func CompileSourceDynamic(src, top string) (*exec.DynamicEngine, error) {
+	prog, err := lang.ParseAndElaborate(src, top)
+	if err != nil {
+		return nil, err
+	}
+	return CompileDynamic(prog)
+}
+
+// MapOnto partitions the program for the simulated multicore with the
+// given strategy and simulates iters steady-state iterations.
+func (c *Compiled) MapOnto(strat partition.Strategy, cfg machine.Config, iters int) (*machine.Result, error) {
+	pg, err := partition.Build(c.Graph, c.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := pg.Map(strat, cfg.Tiles())
+	if err != nil {
+		return nil, err
+	}
+	return plan.Simulate(cfg, iters)
+}
+
+// MapOntoTraced is MapOnto plus a Chrome trace JSON written to tracePath.
+func (c *Compiled) MapOntoTraced(strat partition.Strategy, cfg machine.Config, iters int, tracePath string) (*machine.Result, error) {
+	pg, err := partition.Build(c.Graph, c.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := pg.Map(strat, cfg.Tiles())
+	if err != nil {
+		return nil, err
+	}
+	res, events, err := machine.SimulateTrace(plan.Graph, plan.Mapping, cfg, iters)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Scale > 1 {
+		res.CyclesPerIter /= float64(plan.Scale)
+		res.ItersPerSec *= float64(plan.Scale)
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := machine.WriteChromeTrace(f, events); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Report renders a human-readable compilation report: structure, rates,
+// characteristics, and per-filter linear analysis.
+func (c *Compiled) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", c.Program.Name)
+	fmt.Fprintf(&b, "  filters: %d (peeking %d, stateful %d)\n",
+		c.Stats.Filters, c.Stats.Peeking, c.Stats.Stateful)
+	fmt.Fprintf(&b, "  source-to-sink paths: shortest %d, longest %d\n",
+		c.Stats.ShortestPath, c.Stats.LongestPath)
+	fmt.Fprintf(&b, "  steady state: %d firings\n", c.Schedule.TotalFirings())
+	fmt.Fprintf(&b, "  init schedule: %d firings\n", totalInit(c.Schedule))
+	if c.Linear != nil {
+		fmt.Fprintf(&b, "  linear optimization: %d/%d filters linear, %d combined away, %d matrix kernels, %d frequency kernels\n",
+			c.Linear.LinearFilters, c.Linear.TotalFilters,
+			c.Linear.Combined, c.Linear.MatrixReplaced, c.Linear.FreqTranslated)
+	}
+	b.WriteString("\nstructure:\n")
+	b.WriteString(ir.String(c.Program.Top))
+
+	// Per-node schedule summary.
+	b.WriteString("\nsteady-state repetitions:\n")
+	type row struct {
+		name string
+		reps int
+	}
+	var rows []row
+	for _, n := range c.Graph.Nodes {
+		rows = append(rows, row{n.Name, c.Schedule.Reps[n.ID]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-32s x%d\n", r.name, r.reps)
+	}
+
+	// Linear analysis of the (pre-optimization) program.
+	lin := linear.Analyze(c.Program.Top)
+	if len(lin) > 0 {
+		b.WriteString("\nlinear filters (out = A*peeks + b):\n")
+		var names []string
+		for name := range lin {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			r := lin[name]
+			fmt.Fprintf(&b, "  %-32s peek=%d pop=%d push=%d, %d nonzero coefficients\n",
+				name, r.Peek, r.Pop, r.Push, r.NonZeros())
+		}
+	}
+	return b.String()
+}
+
+func totalInit(s *sched.Schedule) int {
+	t := 0
+	for _, r := range s.InitReps {
+		t += r
+	}
+	return t
+}
+
+// SdepTable renders the information-wavefront transfer functions between
+// two named instances (declared with "as" in the source): for x = 1..n,
+// the columns are ma{a->b}(x) and mi{a->b}(x) over the instances' output
+// tapes. This is the paper's sdep made inspectable.
+func (c *Compiled) SdepTable(aName, bName string, n int) (string, error) {
+	a := c.Program.Named[aName]
+	b := c.Program.Named[bName]
+	if a == nil || b == nil {
+		return "", fmt.Errorf("sdep: both instances must be declared with \"as\" (have %v)", keysOf(c.Program.Named))
+	}
+	na, nb := c.Graph.FilterNode[a], c.Graph.FilterNode[b]
+	if na == nil || nb == nil {
+		return "", fmt.Errorf("sdep: instances not present in the flattened graph")
+	}
+	ea, eb := na.OutEdge(), nb.OutEdge()
+	if ea == nil {
+		ea = na.InEdge()
+	}
+	if eb == nil {
+		eb = nb.InEdge()
+	}
+	if ea == nil || eb == nil {
+		return "", fmt.Errorf("sdep: instances have no tapes")
+	}
+	calc := sdep.NewCalc(c.Graph, c.Schedule)
+	if !calc.Upstream(ea, eb) {
+		return "", fmt.Errorf("sdep: %s is not upstream of %s", aName, bName)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sdep between %s and %s (tapes %s -> %s)\n", aName, bName, ea, eb)
+	fmt.Fprintf(&sb, "%6s %12s %12s\n", "x", "ma(x)", "mi(x)")
+	for x := int64(1); x <= int64(n); x++ {
+		ma, err := calc.Ma(ea, eb, x)
+		if err != nil {
+			return "", err
+		}
+		mi, err := calc.Mi(ea, eb, x)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%6d %12d %12d\n", x, ma, mi)
+	}
+	return sb.String(), nil
+}
+
+func keysOf(m map[string]*ir.Filter) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"streamit/internal/apps"
+	"streamit/internal/linear"
+	"streamit/internal/machine"
+	"streamit/internal/partition"
+)
+
+const firSrc = `
+void->float filter Ramp() {
+    float n;
+    work push 1 { push(n); n = n + 1; }
+}
+float->float filter Smooth(int N) {
+    work peek N pop 1 push 1 {
+        float s = 0;
+        for (int i = 0; i < N; i++) s += peek(i);
+        pop();
+        push(s / N);
+    }
+}
+float->float filter Smooth2(int N) {
+    work peek N pop 1 push 1 {
+        float s = 0;
+        for (int i = 0; i < N; i++) s += peek(i);
+        pop();
+        push(s / N);
+    }
+}
+float->void filter Out() { work pop 1 { pop(); } }
+void->void pipeline Main() {
+    add Ramp();
+    add Smooth(8);
+    add Smooth2(4);
+    add Out();
+}
+`
+
+func TestCompileSourceAndRun(t *testing.T) {
+	c, err := CompileSource(firSrc, "Main", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(16); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Report()
+	for _, want := range []string{"filters: 4", "linear filters", "Smooth"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestCompileWithLinearOptimization(t *testing.T) {
+	opt := linear.Options{Combine: true, Force: true}
+	c, err := CompileSource(firSrc, "Main", Options{Linear: &opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Linear == nil || c.Linear.Combined < 1 {
+		t.Fatalf("expected the two Smooth filters to combine, report %+v", c.Linear)
+	}
+	e, err := c.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOnto(t *testing.T) {
+	prog := apps.FMRadio(4, 16)
+	c, err := Compile(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	seq, err := c.MapOnto(partition.StratSequential, cfg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := c.MapOnto(partition.StratCombined, cfg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Speedup(seq) < 2 {
+		t.Errorf("combined mapping speedup = %.2f, want >= 2", par.Speedup(seq))
+	}
+}
+
+func TestCompileChecksFeedback(t *testing.T) {
+	src := `
+void->float filter Src() { float n; work push 1 { push(n); n = n + 1; } }
+float->float filter Body() { work pop 2 push 1 { push(pop() + pop()); } }
+float->void filter Out() { work pop 1 { pop(); } }
+float->float feedbackloop Loop() {
+    join roundrobin(1, 1);
+    body Body();
+    split duplicate;
+    enqueue 1.0;
+}
+void->void pipeline Main() { add Src(); add Loop(); add Out(); }
+`
+	if _, err := CompileSource(src, "Main", Options{CheckFeedback: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxLiveItemsOption(t *testing.T) {
+	c, err := CompileSource(firSrc, "Main", Options{MaxLiveItems: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cap := range c.Schedule.BufCap {
+		if cap > 64 {
+			t.Errorf("buffer cap %d exceeds MaxLiveItems", cap)
+		}
+	}
+}
+
+func TestSdepTableTool(t *testing.T) {
+	src := `
+void->float filter Src() { float n; work push 1 { push(n); n = n + 1; } }
+float->float filter Mid() { work peek 3 pop 1 push 1 { push(peek(2)); pop(); } }
+float->void filter Out() { work pop 1 { pop(); } }
+void->void pipeline Main() { add Src() as src; add Mid() as mid; add Out() as out; }
+`
+	c, err := CompileSource(src, "Main", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := c.SdepTable("src", "mid", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl, "ma(x)") || !strings.Contains(tbl, "mi(x)") {
+		t.Errorf("table missing columns:\n%s", tbl)
+	}
+	// Reversed order errors.
+	if _, err := c.SdepTable("mid", "src", 4); err == nil {
+		t.Error("expected upstream-order error")
+	}
+	// Unknown names error and list the available ones.
+	if _, err := c.SdepTable("nope", "mid", 4); err == nil || !strings.Contains(err.Error(), "src") {
+		t.Errorf("expected helpful unknown-name error, got %v", err)
+	}
+}

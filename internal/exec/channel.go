@@ -1,0 +1,70 @@
+// Package exec is the sequential StreamIt runtime. It executes a flattened
+// stream graph: filters run their IL work functions (or native Go kernels)
+// against ring-buffer channels; splitters and joiners route values; teleport
+// messages are delivered at the tape positions dictated by the
+// information-wavefront semantics, and MAX_LATENCY directives constrain the
+// dynamic schedule.
+package exec
+
+import "fmt"
+
+// channel is a growable ring buffer of float64 items implementing the
+// wfunc.Tape contract for its consumer (Peek/Pop) and producer (Push).
+// It also tracks the tape counters of the paper's semantics: pushed is
+// n(t), popped is p(t).
+type channel struct {
+	buf    []float64
+	head   int
+	count  int
+	pushed int64
+	popped int64
+}
+
+func newChannel(capacity int) *channel {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &channel{buf: make([]float64, capacity)}
+}
+
+// Peek returns the item i positions from the read end.
+func (c *channel) Peek(i int) float64 {
+	if i < 0 || i >= c.count {
+		panic(fmt.Sprintf("peek(%d) with %d items buffered", i, c.count))
+	}
+	return c.buf[(c.head+i)%len(c.buf)]
+}
+
+// Pop consumes the next item.
+func (c *channel) Pop() float64 {
+	if c.count == 0 {
+		panic("pop on empty channel")
+	}
+	v := c.buf[c.head]
+	c.head = (c.head + 1) % len(c.buf)
+	c.count--
+	c.popped++
+	return v
+}
+
+// Push appends an item, growing the buffer when full.
+func (c *channel) Push(v float64) {
+	if c.count == len(c.buf) {
+		c.grow()
+	}
+	c.buf[(c.head+c.count)%len(c.buf)] = v
+	c.count++
+	c.pushed++
+}
+
+func (c *channel) grow() {
+	nb := make([]float64, 2*len(c.buf))
+	for i := 0; i < c.count; i++ {
+		nb[i] = c.buf[(c.head+i)%len(c.buf)]
+	}
+	c.buf = nb
+	c.head = 0
+}
+
+// Len returns the number of buffered items.
+func (c *channel) Len() int { return c.count }

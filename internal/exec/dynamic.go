@@ -1,0 +1,279 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"streamit/internal/ir"
+	"streamit/internal/wfunc"
+)
+
+// DynamicEngine executes stream graphs with data-dependent rates — the
+// paper's stated future work ("applications such as compression that have
+// dynamically varying flow rates"). No steady-state schedule exists for
+// such programs, so execution is fully demand/data-driven: every node runs
+// in its own goroutine, channels carry single items, Pop blocks until data
+// arrives, and Peek transparently reads ahead. Static-rate filters run
+// unchanged; filters built with KernelBuilder.Dynamic (or declared with
+// `pop *` / `push *` in the language) may pop and push freely.
+//
+// Execution stops once the graph's sinks have consumed the requested
+// number of items. Teleport messaging is not supported (its delivery
+// semantics assume static rates, as the paper notes).
+type DynamicEngine struct {
+	G *ir.Graph
+	// ChanCap is the per-edge buffering in items (default 4096). Dynamic
+	// graphs have no static buffer bound; a graph that needs more buffering
+	// than this to make progress will report deadlock via timeout-free
+	// blocking — raise ChanCap for bursty programs.
+	ChanCap int
+
+	nodes  []*dynNodeRT
+	popped int64
+}
+
+type dynNodeRT struct {
+	node  *ir.Node
+	state *wfunc.State
+}
+
+// stopSignal unwinds a node goroutine during shutdown.
+type stopSignal struct{}
+
+// NewDynamic prepares a dynamic engine for a flattened graph (no schedule
+// is needed or computed).
+func NewDynamic(g *ir.Graph) (*DynamicEngine, error) {
+	if len(g.Portals) > 0 || len(g.Constraints) > 0 {
+		return nil, fmt.Errorf("exec: dynamic-rate execution does not support teleport messaging")
+	}
+	if len(g.Sinks()) == 0 {
+		return nil, fmt.Errorf("exec: dynamic execution needs at least one sink to count output")
+	}
+	d := &DynamicEngine{G: g, ChanCap: 4096}
+	d.nodes = make([]*dynNodeRT, len(g.Nodes))
+	for _, n := range g.Nodes {
+		rt := &dynNodeRT{node: n}
+		if n.Kind == ir.NodeFilter {
+			k := n.Filter.Kernel
+			rt.state = k.NewState()
+			if k.Init != nil {
+				env := wfunc.NewEnv(k.Init)
+				env.State = rt.state
+				if err := wfunc.Exec(k.Init, env); err != nil {
+					return nil, fmt.Errorf("init of %s: %w", n.Name, err)
+				}
+			}
+		}
+		d.nodes[n.ID] = rt
+	}
+	return d, nil
+}
+
+// SinkItems returns the total items consumed by sinks in the last Run.
+func (d *DynamicEngine) SinkItems() int64 { return atomic.LoadInt64(&d.popped) }
+
+// Run executes until the sinks have consumed at least sinkItems items.
+func (d *DynamicEngine) Run(sinkItems int64) error {
+	done := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(done) }) }
+	atomic.StoreInt64(&d.popped, 0)
+
+	chans := make([]chan float64, len(d.G.Edges))
+	for _, e := range d.G.Edges {
+		capacity := d.ChanCap
+		if len(e.Initial) >= capacity {
+			capacity = len(e.Initial) + d.ChanCap
+		}
+		ch := make(chan float64, capacity)
+		for _, v := range e.Initial {
+			ch <- v
+		}
+		chans[e.ID] = ch
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(d.G.Nodes))
+	for _, rt := range d.nodes {
+		wg.Add(1)
+		go func(rt *dynNodeRT) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isStop := r.(stopSignal); !isStop {
+						errs <- fmt.Errorf("node %s: %v", rt.node.Name, r)
+						stop()
+					}
+				}
+			}()
+			d.runDynNode(rt, chans, done, sinkItems, stop)
+		}(rt)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if got := atomic.LoadInt64(&d.popped); got < sinkItems {
+		return fmt.Errorf("exec: dynamic run stopped after %d of %d sink items", got, sinkItems)
+	}
+	return nil
+}
+
+func (d *DynamicEngine) runDynNode(rt *dynNodeRT, chans []chan float64, done chan struct{}, target int64, stop func()) {
+	n := rt.node
+	// Build tapes.
+	ins := make([]*dynIn, len(n.In))
+	for p, e := range n.In {
+		if e == nil {
+			continue
+		}
+		ins[p] = &dynIn{ch: chans[e.ID], done: done}
+		if n.IsSink() {
+			ins[p].count = &d.popped
+			ins[p].target = target
+			ins[p].stop = stop
+		}
+	}
+	outs := make([]*dynOut, len(n.Out))
+	for p, e := range n.Out {
+		if e == nil {
+			continue
+		}
+		outs[p] = &dynOut{ch: chans[e.ID], done: done}
+	}
+
+	var env *wfunc.Env
+	if n.Kind == ir.NodeFilter && n.Filter.WorkFn == nil {
+		env = wfunc.NewEnv(n.Filter.Kernel.Work)
+		env.State = rt.state
+	}
+
+	for {
+		select {
+		case <-done:
+			panic(stopSignal{})
+		default:
+		}
+		switch n.Kind {
+		case ir.NodeFilter:
+			var tIn wfunc.Tape
+			var tOut wfunc.Tape
+			if len(ins) > 0 && ins[0] != nil {
+				tIn = ins[0]
+			}
+			if len(outs) > 0 && outs[0] != nil {
+				tOut = outs[0]
+			}
+			if n.Filter.WorkFn != nil {
+				n.Filter.WorkFn(tIn, tOut, rt.state)
+			} else {
+				env.Reset()
+				env.In, env.Out = tIn, tOut
+				if err := wfunc.Exec(n.Filter.Kernel.Work, env); err != nil {
+					panic(err)
+				}
+			}
+		case ir.NodeSplitter:
+			if n.SJ.Kind == ir.SJDuplicate {
+				v := ins[0].Pop()
+				for p := range outs {
+					if outs[p] != nil {
+						outs[p].Push(v)
+					}
+				}
+			} else {
+				for p := range outs {
+					for k := 0; k < n.SJ.Weights[p]; k++ {
+						v := ins[0].Pop()
+						if outs[p] != nil {
+							outs[p].Push(v)
+						}
+					}
+				}
+			}
+		case ir.NodeJoiner:
+			for p := range ins {
+				if ins[p] == nil {
+					continue
+				}
+				for k := 0; k < n.SJ.Weights[p]; k++ {
+					outs[0].Push(ins[p].Pop())
+				}
+			}
+		}
+	}
+}
+
+// dynIn is a blocking input tape: Pop and Peek receive from the channel on
+// demand, buffering look-ahead locally.
+type dynIn struct {
+	ch     chan float64
+	done   chan struct{}
+	buf    []float64
+	head   int
+	count  *int64 // when set (sinks), pops count toward the run target
+	target int64
+	stop   func()
+}
+
+func (t *dynIn) fill(n int) {
+	for len(t.buf)-t.head < n {
+		if t.head > 1024 && t.head >= len(t.buf)/2 {
+			t.buf = append([]float64(nil), t.buf[t.head:]...)
+			t.head = 0
+		}
+		select {
+		case v := <-t.ch:
+			t.buf = append(t.buf, v)
+		case <-t.done:
+			panic(stopSignal{})
+		}
+	}
+}
+
+// Peek implements wfunc.Tape with transparent read-ahead.
+func (t *dynIn) Peek(i int) float64 {
+	t.fill(i + 1)
+	return t.buf[t.head+i]
+}
+
+// Pop implements wfunc.Tape.
+func (t *dynIn) Pop() float64 {
+	t.fill(1)
+	v := t.buf[t.head]
+	t.head++
+	if t.count != nil {
+		if atomic.AddInt64(t.count, 1) >= t.target {
+			t.stop()
+		}
+	}
+	return v
+}
+
+// Push is invalid on an input tape.
+func (t *dynIn) Push(float64) { panic("push on input tape") }
+
+// dynOut is a blocking output tape.
+type dynOut struct {
+	ch   chan float64
+	done chan struct{}
+}
+
+// Peek is invalid on an output tape.
+func (t *dynOut) Peek(int) float64 { panic("peek on output tape") }
+
+// Pop is invalid on an output tape.
+func (t *dynOut) Pop() float64 { panic("pop on output tape") }
+
+// Push implements wfunc.Tape, blocking when the channel is full.
+func (t *dynOut) Push(v float64) {
+	select {
+	case t.ch <- v:
+	case <-t.done:
+		panic(stopSignal{})
+	}
+}

@@ -1,0 +1,582 @@
+package exec
+
+import (
+	"fmt"
+
+	"streamit/internal/ir"
+	"streamit/internal/sched"
+	"streamit/internal/sdep"
+	"streamit/internal/wfunc"
+)
+
+// Engine executes a flattened stream graph sequentially.
+type Engine struct {
+	G   *ir.Graph
+	Sch *sched.Schedule
+
+	calc  *sdep.Calc
+	chans []*channel
+	nodes []*nodeRT
+
+	// pending teleport messages, keyed by receiver node ID.
+	pending [][]*message
+	// static latency constraints derived from Send statements and
+	// MAX_LATENCY directives.
+	constraints []constraint
+
+	// Printer receives values from println statements; nil discards.
+	Printer func(node string, v float64)
+
+	// Firings counts total node firings (for throughput metrics).
+	Firings int64
+	// dynamic is set when messaging requires constraint-aware scheduling.
+	dynamic bool
+}
+
+// nodeRT is the per-node runtime state.
+type nodeRT struct {
+	node  *ir.Node
+	state *wfunc.State
+	env   *wfunc.Env
+	fired int64
+}
+
+// message is an in-flight teleport message.
+type message struct {
+	handler    string
+	args       []float64
+	target     int64 // delivery threshold on the receiver's output tape
+	upstream   bool  // receiver is upstream of sender
+	bestEffort bool
+}
+
+// constraint bounds how far a receiver may run ahead of a potential sender
+// (paper equations mc1/mc2).
+type constraint struct {
+	sender   *ir.Node
+	receiver *ir.Node
+	latency  int
+	upstream bool // receiver upstream of sender
+}
+
+// New flattens, verifies, and prepares prog for execution.
+func New(prog *ir.Program) (*Engine, error) {
+	g, err := ir.Flatten(prog)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.Compute(g)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromGraph(g, s)
+}
+
+// NewFromGraph prepares an engine for an already-flattened graph.
+func NewFromGraph(g *ir.Graph, s *sched.Schedule) (*Engine, error) {
+	e := &Engine{
+		G:       g,
+		Sch:     s,
+		calc:    sdep.NewCalc(g, s),
+		chans:   make([]*channel, len(g.Edges)),
+		nodes:   make([]*nodeRT, len(g.Nodes)),
+		pending: make([][]*message, len(g.Nodes)),
+	}
+	for _, edge := range g.Edges {
+		ch := newChannel(2 * s.BufCap[edge.ID])
+		for _, v := range edge.Initial {
+			ch.Push(v)
+		}
+		e.chans[edge.ID] = ch
+	}
+	for _, n := range g.Nodes {
+		rt := &nodeRT{node: n}
+		if n.Kind == ir.NodeFilter {
+			k := n.Filter.Kernel
+			rt.state = k.NewState()
+			rt.env = wfunc.NewEnv(k.Work)
+			rt.env.State = rt.state
+			if k.Init != nil {
+				initEnv := wfunc.NewEnv(k.Init)
+				initEnv.State = rt.state
+				if err := wfunc.Exec(k.Init, initEnv); err != nil {
+					return nil, fmt.Errorf("init of %s: %w", n.Name, err)
+				}
+			}
+		}
+		e.nodes[n.ID] = rt
+	}
+	if err := e.deriveConstraints(); err != nil {
+		return nil, err
+	}
+	e.dynamic = len(e.constraints) > 0
+	return e, nil
+}
+
+// deriveConstraints statically scans kernels for Send statements and
+// combines them with portal registrations and MAX_LATENCY directives to
+// produce the schedule constraints of the paper's operational semantics.
+func (e *Engine) deriveConstraints() error {
+	// Map portal ID -> receiver nodes.
+	recvs := map[int][]*ir.Node{}
+	for _, p := range e.G.Portals {
+		for _, f := range p.Receivers {
+			n := e.G.FilterNode[f]
+			if n == nil {
+				return fmt.Errorf("portal %s receiver %s not in graph", p.Name, f.Kernel.Name)
+			}
+			recvs[p.ID] = append(recvs[p.ID], n)
+		}
+	}
+	for _, n := range e.G.Nodes {
+		if n.Kind != ir.NodeFilter {
+			continue
+		}
+		sends := collectSends(n.Filter.Kernel.Work)
+		for _, s := range sends {
+			if s.BestEffort {
+				continue
+			}
+			for _, r := range recvs[s.Portal] {
+				if r == n {
+					return fmt.Errorf("filter %s sends messages to itself", n.Name)
+				}
+				up := e.G.Downstream(r, n)
+				down := e.G.Downstream(n, r)
+				if !up && !down {
+					return fmt.Errorf("message from %s to %s: receivers running in parallel with the sender are not supported", n.Name, r.Name)
+				}
+				e.constraints = append(e.constraints, constraint{
+					sender: n, receiver: r, latency: s.MinLatency, upstream: up,
+				})
+			}
+		}
+	}
+	for _, lc := range e.G.Constraints {
+		a := e.G.FilterNode[lc.Upstream]
+		b := e.G.FilterNode[lc.Downstream]
+		if a == nil || b == nil {
+			return fmt.Errorf("MAX_LATENCY references a filter outside the graph")
+		}
+		if !e.G.Downstream(a, b) {
+			return fmt.Errorf("MAX_LATENCY(%s, %s): first filter must be upstream of second", a.Name, b.Name)
+		}
+		// MAX_LATENCY(A,B,n) acts as a message from B to upstream A.
+		e.constraints = append(e.constraints, constraint{
+			sender: b, receiver: a, latency: lc.Latency, upstream: true,
+		})
+	}
+	return nil
+}
+
+func collectSends(f *wfunc.Func) []*wfunc.Send {
+	var out []*wfunc.Send
+	var walk func(body []wfunc.Stmt)
+	walk = func(body []wfunc.Stmt) {
+		for _, s := range body {
+			switch s := s.(type) {
+			case *wfunc.Send:
+				out = append(out, s)
+			case *wfunc.If:
+				walk(s.Then)
+				walk(s.Else)
+			case *wfunc.For:
+				walk(s.Body)
+			case *wfunc.While:
+				walk(s.Body)
+			}
+		}
+	}
+	if f != nil {
+		walk(f.Body)
+	}
+	return out
+}
+
+// progressTape returns the tape that measures a node's execution progress
+// for messaging purposes: its output tape, or — for sinks, which the paper's
+// MAX_LATENCY example uses as endpoints — its input tape.
+func (e *Engine) progressTape(n *ir.Node) (*ir.Edge, error) {
+	if edge := n.OutEdge(); edge != nil {
+		return edge, nil
+	}
+	if edge := n.InEdge(); edge != nil {
+		return edge, nil
+	}
+	return nil, fmt.Errorf("%s has no tapes; it cannot be a messaging endpoint", n.Name)
+}
+
+// progressRate is the per-firing advance of the node's progress tape.
+func (e *Engine) progressRate(n *ir.Node) int64 {
+	if n.OutEdge() != nil {
+		return int64(n.TotalPush())
+	}
+	return int64(n.TotalPop())
+}
+
+// progress returns the node's position on its progress tape: n(O) for
+// producers, items consumed for sinks.
+func (e *Engine) progress(n *ir.Node) int64 {
+	if edge := n.OutEdge(); edge != nil {
+		return e.chans[edge.ID].pushed
+	}
+	if edge := n.InEdge(); edge != nil {
+		return e.chans[edge.ID].popped
+	}
+	return 0
+}
+
+// sinkMargin is the peek-pop window margin of a sink node whose progress is
+// measured on its input tape.
+func sinkMargin(n *ir.Node) int64 {
+	if n.Kind == ir.NodeFilter {
+		k := n.Filter.Kernel
+		return int64(k.Peek - k.Pop)
+	}
+	return 0
+}
+
+// miTapes computes mi{a->progress of bNode}(x). When a and b are the same
+// edge, bNode is a sink consuming directly from a: x items of progress
+// require x plus its peek margin to appear on the tape.
+func (e *Engine) miTapes(a, b *ir.Edge, bNode *ir.Node, x int64) (int64, error) {
+	if a == b {
+		if x <= 0 {
+			return 0, nil
+		}
+		return x + sinkMargin(bNode), nil
+	}
+	return e.calc.Mi(a, b, x)
+}
+
+// maTapes computes ma{a->progress of bNode}(x). When a and b are the same
+// edge, bNode is a sink consuming directly from a: with x items on the tape
+// it can consume floor((x-margin)/pop)*pop items.
+func (e *Engine) maTapes(a, b *ir.Edge, bNode *ir.Node, x int64) (int64, error) {
+	if a == b {
+		pop := int64(bNode.TotalPop())
+		m := sinkMargin(bNode)
+		if x < m+pop || pop == 0 {
+			return 0, nil
+		}
+		return (x - m) / pop * pop, nil
+	}
+	return e.calc.Ma(a, b, x)
+}
+
+// RunInit executes the initialization schedule.
+func (e *Engine) RunInit() error {
+	if e.dynamic {
+		return e.runDynamic(e.Sch.InitReps, true)
+	}
+	return e.runEntries(e.Sch.Init)
+}
+
+// RunSteady executes the steady-state schedule iters times.
+func (e *Engine) RunSteady(iters int) error {
+	if e.dynamic {
+		target := make([]int, len(e.G.Nodes))
+		for i, r := range e.Sch.Reps {
+			target[i] = iters * r
+		}
+		return e.runDynamic(target, false)
+	}
+	for k := 0; k < iters; k++ {
+		if err := e.runEntries(e.Sch.Steady); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes init plus iters steady-state iterations.
+func (e *Engine) Run(iters int) error {
+	if err := e.RunInit(); err != nil {
+		return err
+	}
+	return e.RunSteady(iters)
+}
+
+func (e *Engine) runEntries(entries []sched.Entry) error {
+	for _, en := range entries {
+		for i := 0; i < en.Count; i++ {
+			if err := e.fire(en.Node); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runDynamic fires nodes data-driven, respecting messaging constraints,
+// until each node has fired extra[n] more times than at entry.
+func (e *Engine) runDynamic(extra []int, isInit bool) error {
+	order, err := e.G.TopoOrder()
+	if err != nil {
+		return err
+	}
+	target := make([]int64, len(e.G.Nodes))
+	remaining := int64(0)
+	for _, n := range e.G.Nodes {
+		target[n.ID] = e.nodes[n.ID].fired + int64(extra[n.ID])
+		remaining += int64(extra[n.ID])
+	}
+	for remaining > 0 {
+		progress := int64(0)
+		for _, n := range order {
+			rt := e.nodes[n.ID]
+			for rt.fired < target[n.ID] && e.canFire(n) {
+				ok, err := e.constraintsAllow(n)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				if err := e.fire(n); err != nil {
+					return err
+				}
+				progress++
+			}
+		}
+		if progress == 0 {
+			phase := "steady-state"
+			if isInit {
+				phase = "initialization"
+			}
+			return fmt.Errorf("messaging constraints are unsatisfiable: no progress possible during %s", phase)
+		}
+		remaining -= progress
+	}
+	return nil
+}
+
+// canFire checks input availability for one firing of n.
+func (e *Engine) canFire(n *ir.Node) bool {
+	for p, edge := range n.In {
+		if edge == nil {
+			continue
+		}
+		if e.chans[edge.ID].Len() < n.PeekPort(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// constraintsAllow checks equations mc1/mc2 for every constraint whose
+// receiver is n: firing n must not advance its output tape beyond the point
+// where a message from the (potential) sender could still be delivered.
+func (e *Engine) constraintsAllow(n *ir.Node) (bool, error) {
+	for _, c := range e.constraints {
+		if c.receiver != n {
+			continue
+		}
+		oB, err := e.progressTape(c.receiver)
+		if err != nil {
+			return false, err
+		}
+		oA, err := e.progressTape(c.sender)
+		if err != nil {
+			return false, err
+		}
+		pushA := e.progressRate(c.sender)
+		nOB := e.progress(c.receiver)
+		nOA := e.progress(c.sender)
+		pushB := e.progressRate(n)
+		if c.upstream {
+			bound, err := e.miTapes(oB, oA, c.sender, nOA+pushA*int64(c.latency))
+			if err != nil {
+				return false, err
+			}
+			if nOB+pushB > bound {
+				return false, nil
+			}
+		} else {
+			bound, err := e.maTapes(oA, oB, c.receiver, nOA+pushA*int64(c.latency-1))
+			if err != nil {
+				return false, err
+			}
+			if nOB+pushB > bound {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// fire executes one firing of n, delivering due messages per the paper's
+// timing rules: downstream receivers get messages immediately before the
+// firing that first sees the sender's effects; upstream receivers get them
+// immediately after the firing that last affects the sender's data.
+// Runtime panics (native-kernel bugs, buffer misuse) surface as errors
+// with the node's name attached.
+func (e *Engine) fire(n *ir.Node) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("node %s: %v", n.Name, r)
+		}
+	}()
+	return e.fireInner(n)
+}
+
+func (e *Engine) fireInner(n *ir.Node) error {
+	if err := e.deliverDue(n, true); err != nil {
+		return err
+	}
+	rt := e.nodes[n.ID]
+	switch n.Kind {
+	case ir.NodeFilter:
+		if err := e.fireFilter(rt); err != nil {
+			return err
+		}
+	case ir.NodeSplitter:
+		e.fireSplitter(n)
+	case ir.NodeJoiner:
+		e.fireJoiner(n)
+	}
+	rt.fired++
+	e.Firings++
+	return e.deliverDue(n, false)
+}
+
+func (e *Engine) fireFilter(rt *nodeRT) error {
+	n := rt.node
+	k := n.Filter.Kernel
+	var in, out wfunc.Tape
+	if edge := n.InEdge(); edge != nil {
+		in = e.chans[edge.ID]
+	}
+	if edge := n.OutEdge(); edge != nil {
+		out = e.chans[edge.ID]
+	}
+	if n.Filter.WorkFn != nil {
+		n.Filter.WorkFn(in, out, rt.state)
+		return nil
+	}
+	env := rt.env
+	env.Reset()
+	env.In, env.Out = in, out
+	env.Msg = &sender{e: e, node: n}
+	if e.Printer != nil {
+		env.Print = func(v float64) { e.Printer(n.Name, v) }
+	}
+	return wfunc.Exec(k.Work, env)
+}
+
+func (e *Engine) fireSplitter(n *ir.Node) {
+	in := e.chans[n.InEdge().ID]
+	if n.SJ.Kind == ir.SJDuplicate {
+		v := in.Pop()
+		for _, edge := range n.Out {
+			if edge != nil {
+				e.chans[edge.ID].Push(v)
+			}
+		}
+		return
+	}
+	for p, edge := range n.Out {
+		w := n.SJ.Weights[p]
+		for k := 0; k < w; k++ {
+			v := in.Pop()
+			if edge != nil {
+				e.chans[edge.ID].Push(v)
+			}
+		}
+	}
+}
+
+func (e *Engine) fireJoiner(n *ir.Node) {
+	out := e.chans[n.OutEdge().ID]
+	for p, edge := range n.In {
+		w := n.SJ.Weights[p]
+		for k := 0; k < w; k++ {
+			out.Push(e.chans[edge.ID].Pop())
+		}
+	}
+}
+
+// ChannelLen returns the buffered item count on an edge (for tests).
+func (e *Engine) ChannelLen(edge *ir.Edge) int { return e.chans[edge.ID].Len() }
+
+// FiredCount returns the number of firings of a node so far.
+func (e *Engine) FiredCount(n *ir.Node) int64 { return e.nodes[n.ID].fired }
+
+// State returns the mutable kernel state of a filter (for tests and
+// examples that inspect fields).
+func (e *Engine) State(f *ir.Filter) *wfunc.State {
+	n := e.G.FilterNode[f]
+	if n == nil {
+		return nil
+	}
+	return e.nodes[n.ID].state
+}
+
+// Snapshot captures the engine's complete execution state — channel
+// contents, filter fields, firing counters, and pending messages — so a
+// speculative execution can later be rolled back. This is the paper's
+// envisioned sdep application: a software speculation system rolls back
+// the appropriate actor executions after a failed prediction.
+type Snapshot struct {
+	chans   []*channel
+	states  []*wfunc.State
+	fired   []int64
+	firings int64
+	pending [][]*message
+}
+
+// Snapshot captures the current state.
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		chans:   make([]*channel, len(e.chans)),
+		states:  make([]*wfunc.State, len(e.nodes)),
+		fired:   make([]int64, len(e.nodes)),
+		firings: e.Firings,
+		pending: make([][]*message, len(e.pending)),
+	}
+	for i, ch := range e.chans {
+		cp := *ch
+		cp.buf = append([]float64(nil), ch.buf...)
+		s.chans[i] = &cp
+	}
+	for i, rt := range e.nodes {
+		if rt.state != nil {
+			s.states[i] = rt.state.Clone()
+		}
+		s.fired[i] = rt.fired
+	}
+	for i, msgs := range e.pending {
+		for _, m := range msgs {
+			cp := *m
+			s.pending[i] = append(s.pending[i], &cp)
+		}
+	}
+	return s
+}
+
+// Restore rolls the engine back to a snapshot taken earlier on the same
+// engine.
+func (e *Engine) Restore(s *Snapshot) {
+	for i, ch := range s.chans {
+		cp := *ch
+		cp.buf = append([]float64(nil), ch.buf...)
+		e.chans[i] = &cp
+	}
+	for i, rt := range e.nodes {
+		if s.states[i] != nil {
+			rt.state = s.states[i].Clone()
+			if rt.env != nil {
+				rt.env.State = rt.state
+			}
+		}
+		rt.fired = s.fired[i]
+	}
+	e.Firings = s.firings
+	for i := range e.pending {
+		e.pending[i] = nil
+		for _, m := range s.pending[i] {
+			cp := *m
+			e.pending[i] = append(e.pending[i], &cp)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package exec
+
+import (
+	"streamit/internal/ir"
+	"streamit/internal/wfunc"
+)
+
+// SliceSource returns a filter that emits the given data cyclically, one
+// item per firing. It is the standard test/example input driver (the
+// paper's ReadFromAtoD / file-input filter).
+func SliceSource(name string, data []float64) *ir.Filter {
+	b := wfunc.NewKernel(name, 0, 0, 1)
+	b.WorkBody(wfunc.Push1(wfunc.C(0))) // placeholder body; native fn used
+	k := b.Build()
+	pos := 0
+	return &ir.Filter{
+		Kernel: k,
+		In:     ir.TypeVoid,
+		Out:    ir.TypeFloat,
+		WorkFn: func(in, out wfunc.Tape, state *wfunc.State) {
+			out.Push(data[pos%len(data)])
+			pos++
+		},
+	}
+}
+
+// SliceSink returns a filter that appends every consumed item to a slice,
+// plus a pointer to that slice for inspection after execution (the paper's
+// AudioBackEnd / file-output filter).
+func SliceSink(name string) (*ir.Filter, *[]float64) {
+	b := wfunc.NewKernel(name, 1, 1, 0)
+	b.WorkBody(wfunc.Pop1())
+	k := b.Build()
+	collected := &[]float64{}
+	return &ir.Filter{
+		Kernel: k,
+		In:     ir.TypeFloat,
+		Out:    ir.TypeVoid,
+		WorkFn: func(in, out wfunc.Tape, state *wfunc.State) {
+			*collected = append(*collected, in.Pop())
+		},
+	}, collected
+}
+
+// RampSource returns an IL filter pushing 0, 1, 2, ... one per firing.
+func RampSource(name string) *ir.Filter {
+	b := wfunc.NewKernel(name, 0, 0, 1)
+	n := b.Field("n", 0)
+	b.WorkBody(
+		wfunc.Push1(n),
+		wfunc.SetF(n, wfunc.AddX(n, wfunc.C(1))),
+	)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeVoid, Out: ir.TypeFloat}
+}
+
+// NullSink returns an IL filter that discards pop items per firing.
+func NullSink(name string, pop int) *ir.Filter {
+	b := wfunc.NewKernel(name, pop, pop, 0)
+	var body []wfunc.Stmt
+	for i := 0; i < pop; i++ {
+		body = append(body, wfunc.Pop1())
+	}
+	b.WorkBody(body...)
+	return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeVoid}
+}
+
+// RunCollect is a convenience that builds an engine for prog, runs init
+// plus iters steady iterations, and returns the items collected by sink
+// (which must have been created with SliceSink and placed in prog).
+func RunCollect(prog *ir.Program, iters int, sink *[]float64) ([]float64, error) {
+	e, err := New(prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Run(iters); err != nil {
+		return nil, err
+	}
+	return *sink, nil
+}

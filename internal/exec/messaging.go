@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"fmt"
+
+	"streamit/internal/ir"
+	"streamit/internal/wfunc"
+)
+
+// sender adapts the engine to the wfunc.Messenger interface for one filter.
+type sender struct {
+	e    *Engine
+	node *ir.Node
+}
+
+// Send implements wfunc.Messenger. The message is scheduled for delivery to
+// every receiver registered with the portal:
+//
+//   - receiver upstream of the sender: delivered immediately after the
+//     receiver's work invocation that makes n(O_B) reach
+//     mi{O_B->O_A}(s + push_A*λ)   (paper equation 2);
+//
+//   - receiver downstream: delivered immediately before the invocation that
+//     would push n(O_B) past ma{O_A->O_B}(s + push_A*(λ-1))   (equation 3);
+//
+// where s is n(O_A) at send time and λ the message latency. Best-effort
+// messages are delivered before the receiver's next firing.
+func (s *sender) Send(portal int, handler string, args []float64, minLat, maxLat int, bestEffort bool) error {
+	e := s.e
+	if portal < 0 || portal >= len(e.G.Portals) {
+		return fmt.Errorf("filter %s sends to unknown portal %d", s.node.Name, portal)
+	}
+	p := e.G.Portals[portal]
+	for _, f := range p.Receivers {
+		r := e.G.FilterNode[f]
+		if r == nil {
+			return fmt.Errorf("portal %s receiver %s not in graph", p.Name, f.Kernel.Name)
+		}
+		if _, ok := f.Kernel.Handlers[handler]; !ok {
+			return fmt.Errorf("portal %s receiver %s has no handler %q", p.Name, f.Kernel.Name, handler)
+		}
+		m := &message{handler: handler, args: args, bestEffort: bestEffort}
+		if !bestEffort {
+			oA, err := e.progressTape(s.node)
+			if err != nil {
+				return err
+			}
+			oB, err := e.progressTape(r)
+			if err != nil {
+				return err
+			}
+			sCount := e.progress(s.node)
+			pushA := e.progressRate(s.node)
+			lam := int64(minLat)
+			switch {
+			case e.G.Downstream(r, s.node): // receiver upstream
+				m.upstream = true
+				target, err := e.miTapes(oB, oA, s.node, sCount+pushA*lam)
+				if err != nil {
+					return err
+				}
+				if e.progress(r) > target {
+					return fmt.Errorf("message from %s to upstream %s with latency %d is undeliverable: receiver already past the wavefront (add a MAX_LATENCY constraint)", s.node.Name, r.Name, lam)
+				}
+				m.target = target
+			case e.G.Downstream(s.node, r): // receiver downstream
+				target, err := e.maTapes(oA, oB, r, sCount+pushA*(lam-1))
+				if err != nil {
+					return err
+				}
+				if e.progress(r) > target {
+					return fmt.Errorf("message from %s to downstream %s with latency %d is undeliverable: receiver already past the wavefront", s.node.Name, r.Name, lam)
+				}
+				m.target = target
+			default:
+				return fmt.Errorf("message from %s to %s: parallel receivers are beyond this implementation (as in the paper)", s.node.Name, r.Name)
+			}
+		}
+		e.pending[r.ID] = append(e.pending[r.ID], m)
+	}
+	return nil
+}
+
+// deliverDue delivers pending messages for node n. before=true is invoked
+// immediately before a firing (downstream and best-effort deliveries);
+// before=false immediately after (upstream deliveries).
+func (e *Engine) deliverDue(n *ir.Node, before bool) error {
+	msgs := e.pending[n.ID]
+	if len(msgs) == 0 {
+		return nil
+	}
+	var keep []*message
+	nOB := e.progress(n)
+	pushB := e.progressRate(n)
+	for _, m := range msgs {
+		due := false
+		switch {
+		case m.bestEffort:
+			due = before
+		case m.upstream:
+			// Deliver after the firing that brings n(O_B) to the target.
+			due = !before && nOB >= m.target
+		default:
+			// Deliver before the firing that would push past the target.
+			due = before && nOB+pushB > m.target
+		}
+		if due {
+			if err := e.invokeHandler(n, m); err != nil {
+				return err
+			}
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	e.pending[n.ID] = keep
+	return nil
+}
+
+func (e *Engine) invokeHandler(n *ir.Node, m *message) error {
+	k := n.Filter.Kernel
+	h := k.Handlers[m.handler]
+	if h == nil {
+		return fmt.Errorf("%s: missing handler %q", n.Name, m.handler)
+	}
+	env := wfunc.NewEnv(h)
+	env.State = e.nodes[n.ID].state
+	env.SetArgs(m.args)
+	// Handlers may send further messages (paper appendix restriction 4
+	// permits this; they may not touch the tapes, which wfunc.Validate
+	// enforces statically).
+	env.Msg = &sender{e: e, node: n}
+	return wfunc.Exec(h, env)
+}

@@ -1,0 +1,313 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"streamit/internal/ir"
+	"streamit/internal/sched"
+	"streamit/internal/wfunc"
+)
+
+// ParallelEngine executes a flattened stream graph on real OS threads: one
+// goroutine per node, connected by Go channels carrying one steady-state
+// iteration's worth of items per batch. It is the natural Go backend for
+// StreamIt's execution model — every filter is an autonomous actor and the
+// steady-state rates make batch sizes static.
+//
+// Peeking filters keep their window margin locally between batches, and
+// feedback delays pre-populate the loop channel, so results are
+// bit-identical to the sequential Engine. Teleport messaging requires the
+// sequential engine's global wavefront ordering and is not supported here.
+type ParallelEngine struct {
+	G   *ir.Graph
+	Sch *sched.Schedule
+
+	nodes []*pnodeRT
+	chans []chan []float64
+
+	// Depth is the channel buffering in steady-state batches (default 2:
+	// double buffering).
+	Depth int
+}
+
+// pnodeRT is the per-goroutine runtime state of one node.
+type pnodeRT struct {
+	node  *ir.Node
+	state *wfunc.State
+	// carry holds unconsumed items per input port (the peek margin and any
+	// initialization residue).
+	carry [][]float64
+}
+
+// NewParallel prepares a parallel engine for a scheduled graph. Programs
+// with portals or latency constraints are rejected — teleport messaging
+// needs the sequential runtime.
+func NewParallel(g *ir.Graph, s *sched.Schedule) (*ParallelEngine, error) {
+	if len(g.Portals) > 0 || len(g.Constraints) > 0 {
+		return nil, fmt.Errorf("exec: the parallel backend does not support teleport messaging; use the sequential Engine")
+	}
+	for _, e := range g.Edges {
+		if e.Back {
+			return nil, fmt.Errorf("exec: feedback loops need finer-than-batch interleaving; use the sequential Engine")
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == ir.NodeFilter && wfunc.SendsMessages(n.Filter.Kernel.Work) {
+			return nil, fmt.Errorf("exec: filter %s sends messages; use the sequential Engine", n.Name)
+		}
+	}
+	pe := &ParallelEngine{G: g, Sch: s, Depth: 2}
+	pe.nodes = make([]*pnodeRT, len(g.Nodes))
+	for _, n := range g.Nodes {
+		rt := &pnodeRT{node: n, carry: make([][]float64, len(n.In))}
+		if n.Kind == ir.NodeFilter {
+			k := n.Filter.Kernel
+			rt.state = k.NewState()
+			if k.Init != nil {
+				env := wfunc.NewEnv(k.Init)
+				env.State = rt.state
+				if err := wfunc.Exec(k.Init, env); err != nil {
+					return nil, fmt.Errorf("init of %s: %w", n.Name, err)
+				}
+			}
+		}
+		pe.nodes[n.ID] = rt
+	}
+	return pe, nil
+}
+
+// Run executes the initialization phase sequentially (it is a transient)
+// and then iters steady-state iterations with every node running
+// concurrently. It returns only after all goroutines drain.
+func (pe *ParallelEngine) Run(iters int) error {
+	// Initialization runs on a scratch sequential engine sharing our node
+	// states, leaving each channel's residue in carry buffers.
+	seq, err := NewFromGraph(pe.G, pe.Sch)
+	if err != nil {
+		return err
+	}
+	// Adopt the sequential engine's freshly-initialized states so field
+	// tables computed by init functions are shared.
+	for _, n := range pe.G.Nodes {
+		pe.nodes[n.ID].state = seq.nodes[n.ID].state
+	}
+	if err := seq.RunInit(); err != nil {
+		return err
+	}
+	// Move channel residue (init leftovers, feedback delays, peek margins)
+	// into the consumers' carry buffers.
+	for _, e := range pe.G.Edges {
+		ch := seq.chans[e.ID]
+		buf := make([]float64, ch.Len())
+		for i := range buf {
+			buf[i] = ch.Pop()
+		}
+		pe.nodes[e.Dst.ID].carry[e.DstPort] = buf
+	}
+
+	// Steady state: one goroutine per node, batched channels per edge.
+	pe.chans = make([]chan []float64, len(pe.G.Edges))
+	for _, e := range pe.G.Edges {
+		pe.chans[e.ID] = make(chan []float64, pe.Depth)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(pe.G.Nodes))
+	for _, rt := range pe.nodes {
+		wg.Add(1)
+		go func(rt *pnodeRT) {
+			defer wg.Done()
+			err := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("node %s: %v", rt.node.Name, r)
+					}
+				}()
+				return pe.runNode(rt, iters)
+			}()
+			if err != nil {
+				errs <- err
+				// Unblock upstream producers so the whole network drains.
+				for _, e := range rt.node.In {
+					if e == nil {
+						continue
+					}
+					go func(ch chan []float64) {
+						for range ch {
+						}
+					}(pe.chans[e.ID])
+				}
+			}
+		}(rt)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runNode executes one node's share of iters steady iterations.
+func (pe *ParallelEngine) runNode(rt *pnodeRT, iters int) error {
+	n := rt.node
+	reps := pe.Sch.Reps[n.ID]
+
+	// Per-iteration production sizes (consumption is implied by batches).
+	produce := make([]int, len(n.Out))
+	for p := range n.Out {
+		if n.Out[p] != nil {
+			produce[p] = reps * n.PushPort(p)
+		}
+	}
+
+	var env *wfunc.Env
+	if n.Kind == ir.NodeFilter && n.Filter.WorkFn == nil {
+		env = wfunc.NewEnv(n.Filter.Kernel.Work)
+		env.State = rt.state
+	}
+	// Always close outputs so consumers never block on a dead producer.
+	defer func() {
+		for _, e := range n.Out {
+			if e != nil {
+				close(pe.chans[e.ID])
+			}
+		}
+	}()
+
+	in := make([]*SliceQueue, len(n.In))
+	for p := range n.In {
+		in[p] = &SliceQueue{buf: rt.carry[p]}
+	}
+	out := make([]*SliceQueue, len(n.Out))
+	for p := range n.Out {
+		out[p] = &SliceQueue{}
+	}
+
+	for it := 0; it < iters; it++ {
+		// Receive one batch per input port.
+		for p, e := range n.In {
+			if e == nil {
+				continue
+			}
+			batch, ok := <-pe.chans[e.ID]
+			if !ok {
+				return fmt.Errorf("exec: channel into %s closed early", n.Name)
+			}
+			in[p].Append(batch)
+		}
+		// Fire reps times.
+		for r := 0; r < reps; r++ {
+			if err := pe.fireOnce(rt, env, in, out); err != nil {
+				return err
+			}
+		}
+		// Ship one batch per output port.
+		for p, e := range n.Out {
+			if e == nil {
+				continue
+			}
+			batch := out[p].Take(produce[p])
+			pe.chans[e.ID] <- batch
+		}
+	}
+	return nil
+}
+
+func (pe *ParallelEngine) fireOnce(rt *pnodeRT, env *wfunc.Env, in, out []*SliceQueue) error {
+	n := rt.node
+	switch n.Kind {
+	case ir.NodeFilter:
+		var tIn, tOut wfunc.Tape
+		if len(in) > 0 && n.In[0] != nil {
+			tIn = in[0]
+		}
+		if len(out) > 0 && n.Out[0] != nil {
+			tOut = out[0]
+		}
+		if n.Filter.WorkFn != nil {
+			n.Filter.WorkFn(tIn, tOut, rt.state)
+			return nil
+		}
+		env.Reset()
+		env.In, env.Out = tIn, tOut
+		return wfunc.Exec(n.Filter.Kernel.Work, env)
+	case ir.NodeSplitter:
+		if n.SJ.Kind == ir.SJDuplicate {
+			v := in[0].Pop()
+			for p, e := range n.Out {
+				if e != nil {
+					out[p].Push(v)
+				}
+			}
+			return nil
+		}
+		for p, e := range n.Out {
+			for k := 0; k < n.SJ.Weights[p]; k++ {
+				v := in[0].Pop()
+				if e != nil {
+					out[p].Push(v)
+				}
+			}
+		}
+		return nil
+	case ir.NodeJoiner:
+		for p, e := range n.In {
+			if e == nil {
+				continue
+			}
+			for k := 0; k < n.SJ.Weights[p]; k++ {
+				out[0].Push(in[p].Pop())
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("exec: unknown node kind")
+}
+
+// SliceQueue is a simple FIFO over a slice implementing wfunc.Tape; the
+// parallel backend uses one per port with batch append/take.
+type SliceQueue struct {
+	buf  []float64
+	head int
+}
+
+// Append adds a batch at the write end.
+func (q *SliceQueue) Append(batch []float64) {
+	// Compact occasionally so the backing array doesn't grow unboundedly.
+	if q.head > 4096 && q.head >= len(q.buf)/2 {
+		q.buf = append([]float64(nil), q.buf[q.head:]...)
+		q.head = 0
+	}
+	q.buf = append(q.buf, batch...)
+}
+
+// Take removes exactly n items from the read end.
+func (q *SliceQueue) Take(n int) []float64 {
+	out := make([]float64, n)
+	copy(out, q.buf[q.head:q.head+n])
+	q.head += n
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return out
+}
+
+// Peek implements wfunc.Tape.
+func (q *SliceQueue) Peek(i int) float64 { return q.buf[q.head+i] }
+
+// Pop implements wfunc.Tape.
+func (q *SliceQueue) Pop() float64 {
+	v := q.buf[q.head]
+	q.head++
+	return v
+}
+
+// Push implements wfunc.Tape.
+func (q *SliceQueue) Push(v float64) { q.buf = append(q.buf, v) }
+
+// Len returns buffered items.
+func (q *SliceQueue) Len() int { return len(q.buf) - q.head }

@@ -1,0 +1,46 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkForward1024 measures the FFT substrate.
+func BenchmarkForward1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	buf := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		if err := Forward(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvolver64x256 measures overlap-save filtering per block.
+func BenchmarkConvolver64x256(b *testing.B) {
+	h := make([]float64, 64)
+	for i := range h {
+		h[i] = float64(i % 5)
+	}
+	cv, err := NewConvolver(h, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make([]float64, cv.Window())
+	out := make([]float64, cv.Block())
+	for i := range in {
+		in[i] = float64(i % 17)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cv.Process(in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestForwardKnownValues(t *testing.T) {
+	// FFT of [1,0,0,0] is [1,1,1,1]; of [1,1,1,1] is [4,0,0,0].
+	x := []complex128{1, 0, 0, 0}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if !almostEq(real(v), 1) || !almostEq(imag(v), 0) {
+			t.Errorf("impulse FFT[%d] = %v, want 1", i, v)
+		}
+	}
+	y := []complex128{1, 1, 1, 1}
+	if err := Forward(y); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(real(y[0]), 4) {
+		t.Errorf("DC FFT[0] = %v, want 4", y[0])
+	}
+	for i := 1; i < 4; i++ {
+		if !almostEq(real(y[i]), 0) || !almostEq(imag(y[i]), 0) {
+			t.Errorf("DC FFT[%d] = %v, want 0", i, y[i])
+		}
+	}
+}
+
+func TestNonPow2Rejected(t *testing.T) {
+	if err := Forward(make([]complex128, 3)); err == nil {
+		t.Fatal("expected error for non-power-of-two length")
+	}
+}
+
+func TestQuickInverseRoundTrip(t *testing.T) {
+	f := func(seed int64, sizeSel uint8) bool {
+		n := 1 << (2 + sizeSel%7) // 4..256
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if Forward(x) != nil || Inverse(x) != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(real(x[i])-real(orig[i])) > 1e-9 ||
+				math.Abs(imag(x[i])-imag(orig[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 64
+	x := make([]complex128, n)
+	var timeEnergy float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		timeEnergy += real(x[i]) * real(x[i])
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqEnergy float64
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-7 {
+		t.Errorf("Parseval violated: time %v, freq %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestConvolverMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, taps := range []int{1, 3, 8, 17} {
+		for _, block := range []int{1, 4, 64} {
+			h := make([]float64, taps)
+			for i := range h {
+				h[i] = rng.NormFloat64()
+			}
+			cv, err := NewConvolver(h, block)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make([]float64, cv.Window())
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			out := make([]float64, block)
+			if err := cv.Process(x, out); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < block; i++ {
+				var want float64
+				for k := 0; k < taps; k++ {
+					want += h[k] * x[i+k]
+				}
+				if math.Abs(out[i]-want) > 1e-8 {
+					t.Errorf("taps=%d block=%d out[%d] = %v, want %v", taps, block, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestConvolverStreaming(t *testing.T) {
+	// Sliding the window by block and re-presenting the overlap produces a
+	// contiguous correct output stream.
+	h := []float64{0.5, -0.25, 0.125}
+	block := 8
+	cv, err := NewConvolver(h, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	signal := make([]float64, 64)
+	for i := range signal {
+		signal[i] = rng.NormFloat64()
+	}
+	var stream []float64
+	for start := 0; start+cv.Window() <= len(signal); start += block {
+		out := make([]float64, block)
+		if err := cv.Process(signal[start:start+cv.Window()], out); err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, out...)
+	}
+	for i := range stream {
+		var want float64
+		for k := range h {
+			want += h[k] * signal[i+k]
+		}
+		if math.Abs(stream[i]-want) > 1e-8 {
+			t.Errorf("stream[%d] = %v, want %v", i, stream[i], want)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 64: 64, 65: 128}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

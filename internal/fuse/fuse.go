@@ -1,0 +1,236 @@
+// Package fuse implements executable filter fusion: collapsing two
+// pipelined filters into one, the granularity-coarsening transformation
+// the paper's compiler applies before partitioning. (The partitioner
+// models fusion abstractly for mapping; this package produces an actual
+// runnable fused filter, used by tests and available to programs.)
+//
+// The fused filter re-derives the consumer's peek history from a wider
+// input window instead of carrying it as state, exactly like the linear
+// combiner: the producer must therefore be stateless (the paper's rule
+// that fusing across a peeking boundary introduces state appears here as
+// the recompute trade-off). The consumer may be stateful and peeking.
+package fuse
+
+import (
+	"fmt"
+
+	"streamit/internal/ir"
+	"streamit/internal/wfunc"
+)
+
+// Pipeline fuses filter a followed by filter b into a single filter with
+// static rates:
+//
+//	pop  = mA * a.Pop            (mA = lcm(a.Push, b.Pop)/a.Push)
+//	push = mB * b.Push           (mB = lcm(a.Push, b.Pop)/b.Pop)
+//	peek = (mF-1)*a.Pop + a.Peek (mF covers b's peek margin re-derivation)
+//
+// a must be stateless (no field writes, no handlers) and both must have
+// static rates and IL bodies.
+func Pipeline(name string, a, b *ir.Filter) (*ir.Filter, error) {
+	ka, kb := a.Kernel, b.Kernel
+	if b.WorkFn != nil && !pure[b] {
+		return nil, fmt.Errorf("fuse: native consumers cannot be fused")
+	}
+	if ka.Dynamic || kb.Dynamic {
+		return nil, fmt.Errorf("fuse: dynamic-rate filters cannot be fused")
+	}
+	if !pureProducer(a) {
+		return nil, fmt.Errorf("fuse: producer %s is stateful; its history cannot be re-derived", ka.Name)
+	}
+	if len(ka.Handlers) > 0 || len(kb.Handlers) > 0 {
+		return nil, fmt.Errorf("fuse: message handlers cannot be fused")
+	}
+	if b.WorkFn == nil && wfunc.SendsMessages(kb.Work) {
+		return nil, fmt.Errorf("fuse: message senders cannot be fused")
+	}
+	if ka.Push == 0 || kb.Pop == 0 {
+		return nil, fmt.Errorf("fuse: %s -> %s is not a data-carrying boundary", ka.Name, kb.Name)
+	}
+
+	u := lcm(ka.Push, kb.Pop)
+	mA := u / ka.Push
+	mB := u / kb.Pop
+	e2 := kb.Peek - kb.Pop
+	nInter := u + e2
+	mF := (nInter + ka.Push - 1) / ka.Push
+	peek := (mF-1)*ka.Pop + ka.Peek
+	pop := mA * ka.Pop
+	push := mB * kb.Push
+	if peek < pop {
+		peek = pop
+	}
+
+	// Build the fused kernel shell: rates only; behaviour is the native
+	// closure below driving the original IL bodies through adapter tapes.
+	shell := wfunc.NewKernel(name, peek, pop, push)
+	shell.Dynamic() // skip the static pop/push body check (body is a stub)
+	shell.WorkBody()
+	kern := shell.Build()
+	kern.Dynamic = false
+	kern.Peek, kern.Pop, kern.Push = peek, pop, push
+
+	// Persistent consumer state and reusable frames.
+	stateA := ka.NewState()
+	if ka.Init != nil {
+		env := wfunc.NewEnv(ka.Init)
+		env.State = stateA
+		if err := wfunc.Exec(ka.Init, env); err != nil {
+			return nil, fmt.Errorf("fuse: init of %s: %w", ka.Name, err)
+		}
+	}
+	stateB := kb.NewState()
+	if kb.Init != nil {
+		env := wfunc.NewEnv(kb.Init)
+		env.State = stateB
+		if err := wfunc.Exec(kb.Init, env); err != nil {
+			return nil, fmt.Errorf("fuse: init of %s: %w", kb.Name, err)
+		}
+	}
+	envA := wfunc.NewEnv(ka.Work)
+	envA.State = stateA
+	envB := wfunc.NewEnv(kb.Work)
+	envB.State = stateB
+
+	inter := &interTape{}
+	reader := &windowTape{}
+
+	// fireA executes one producer firing against the window; the producer
+	// may itself be a fused (pure) native filter.
+	fireA := func(in wfunc.Tape) {
+		if a.WorkFn != nil {
+			a.WorkFn(in, inter, nil)
+			return
+		}
+		envA.Reset()
+		envA.In, envA.Out = in, inter
+		if err := wfunc.Exec(ka.Work, envA); err != nil {
+			panic(fmt.Sprintf("fused %s: %v", ka.Name, err))
+		}
+	}
+	fireB := func(out wfunc.Tape) {
+		if b.WorkFn != nil {
+			b.WorkFn(inter, out, nil)
+			return
+		}
+		envB.Reset()
+		envB.In, envB.Out = inter, out
+		if err := wfunc.Exec(kb.Work, envB); err != nil {
+			panic(fmt.Sprintf("fused %s: %v", kb.Name, err))
+		}
+	}
+
+	workFn := func(in, out wfunc.Tape, state *wfunc.State) {
+		// Phase 1: virtually fire the producer mF times over the peek
+		// window (no real pops), collecting intermediates.
+		inter.reset()
+		reader.under = in
+		for k := 0; k < mF; k++ {
+			reader.base = k * ka.Pop
+			reader.cursor = 0
+			fireA(reader)
+		}
+		// Phase 2: fire the consumer mB times against the intermediates.
+		for j := 0; j < mB; j++ {
+			fireB(out)
+		}
+		// Phase 3: consume the fused filter's real input.
+		for i := 0; i < pop; i++ {
+			in.Pop()
+		}
+	}
+
+	fused := &ir.Filter{Kernel: kern, In: a.In, Out: b.Out, WorkFn: workFn}
+	if b.WorkFn != nil && pure[b] || b.WorkFn == nil && !wfunc.WritesFields(kb.Work) {
+		pure[fused] = true
+	}
+	return fused, nil
+}
+
+// pure records fused filters whose behaviour is a pure function of their
+// peek window (every constituent stateless), making them legal producers
+// for further fusion.
+var pure = map[*ir.Filter]bool{}
+
+func pureProducer(f *ir.Filter) bool {
+	if f.WorkFn != nil {
+		return pure[f]
+	}
+	return !wfunc.WritesFields(f.Kernel.Work) && !wfunc.SendsMessages(f.Kernel.Work)
+}
+
+// FusePipelineStream fuses every adjacent fusable filter pair in a
+// pipeline, left to right, returning a new pipeline (other children are
+// kept as-is). It is a convenience for coarsening whole pipelines.
+func FusePipelineStream(p *ir.Pipeline) *ir.Pipeline {
+	out := &ir.Pipeline{Name: p.Name + "_fused"}
+	for _, c := range p.Children {
+		f, ok := c.(*ir.Filter)
+		if !ok {
+			out.Add(c)
+			continue
+		}
+		if n := len(out.Children); n > 0 {
+			if prev, ok := out.Children[n-1].(*ir.Filter); ok {
+				if fused, err := Pipeline(prev.Kernel.Name+"+"+f.Kernel.Name, prev, f); err == nil {
+					out.Children[n-1] = fused
+					continue
+				}
+			}
+		}
+		out.Add(f)
+	}
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+// windowTape presents a sliding sub-window of an underlying tape: peeks
+// are offset by base+cursor and pops only advance the cursor, never
+// consuming from the underlying tape.
+type windowTape struct {
+	under  wfunc.Tape
+	base   int
+	cursor int
+}
+
+// Peek implements wfunc.Tape.
+func (t *windowTape) Peek(i int) float64 { return t.under.Peek(t.base + t.cursor + i) }
+
+// Pop implements wfunc.Tape.
+func (t *windowTape) Pop() float64 {
+	v := t.under.Peek(t.base + t.cursor)
+	t.cursor++
+	return v
+}
+
+// Push is invalid on the window tape.
+func (t *windowTape) Push(float64) { panic("fuse: producer input tape is read-only") }
+
+// interTape buffers the intermediates between the fused halves.
+type interTape struct {
+	buf  []float64
+	head int
+}
+
+func (t *interTape) reset() { t.buf = t.buf[:0]; t.head = 0 }
+
+// Peek implements wfunc.Tape.
+func (t *interTape) Peek(i int) float64 { return t.buf[t.head+i] }
+
+// Pop implements wfunc.Tape.
+func (t *interTape) Pop() float64 {
+	v := t.buf[t.head]
+	t.head++
+	return v
+}
+
+// Push implements wfunc.Tape.
+func (t *interTape) Push(v float64) { t.buf = append(t.buf, v) }

@@ -1,0 +1,50 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the flat graph in Graphviz DOT format: filters as boxes
+// (peeking filters annotated, stateful filters shaded), splitters and
+// joiners as small shapes, feedback back-edges dashed with their delay.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph stream {\n")
+	b.WriteString("  rankdir=TB;\n  node [fontname=\"Helvetica\", fontsize=10];\n")
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case NodeFilter:
+			k := n.Filter.Kernel
+			label := fmt.Sprintf("%s\\npeek %d pop %d push %d", k.Name, k.Peek, k.Pop, k.Push)
+			attrs := "shape=box"
+			if n.IsStateful() {
+				attrs += ", style=filled, fillcolor=lightgrey"
+			}
+			if n.IsPeeking() {
+				attrs += ", peripheries=2"
+			}
+			fmt.Fprintf(&b, "  n%d [label=\"%s\", %s];\n", n.ID, label, attrs)
+		case NodeSplitter:
+			fmt.Fprintf(&b, "  n%d [label=\"%s%v\", shape=triangle];\n", n.ID, n.SJ.Kind, weightsOf(n))
+		case NodeJoiner:
+			fmt.Fprintf(&b, "  n%d [label=\"%s%v\", shape=invtriangle];\n", n.ID, n.SJ.Kind, weightsOf(n))
+		}
+	}
+	for _, e := range g.Edges {
+		attrs := ""
+		if e.Back {
+			attrs = fmt.Sprintf(" [style=dashed, label=\"delay %d\"]", len(e.Initial))
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d%s;\n", e.Src.ID, e.Dst.ID, attrs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func weightsOf(n *Node) []int {
+	if n.SJ.Kind == SJRoundRobin {
+		return n.SJ.Weights
+	}
+	return nil
+}

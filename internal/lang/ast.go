@@ -1,0 +1,219 @@
+package lang
+
+// File is a parsed source file: portal declarations plus stream
+// declarations.
+type File struct {
+	Portals []string
+	Streams []*StreamDecl
+}
+
+// Param is a parameter of a stream or handler declaration.
+type Param struct {
+	Type string
+	Name string
+}
+
+// StreamDecl declares a parameterized stream: a filter or a composite
+// (pipeline, splitjoin, feedbackloop).
+type StreamDecl struct {
+	Kind    string // "filter", "pipeline", "splitjoin", "feedbackloop"
+	InType  string
+	OutType string
+	Name    string
+	Params  []Param
+	Line    int
+
+	// Filter members.
+	Fields   []*FieldDecl
+	Init     []Stmt
+	Work     *WorkDecl
+	Handlers []*HandlerDecl
+
+	// Composite body (elaborated at compile time).
+	Body []Stmt
+}
+
+// FieldDecl declares filter state: a scalar or array field.
+type FieldDecl struct {
+	Type string
+	Name string
+	Size Expr // nil for scalar
+	Init Expr // nil for zero
+}
+
+// WorkDecl is a filter's work function with declared rates. Dynamic is set
+// when any rate is declared as * (data-dependent).
+type WorkDecl struct {
+	Peek, Pop, Push Expr // nil when unspecified
+	Dynamic         bool
+	Body            []Stmt
+}
+
+// HandlerDecl is a teleport message handler.
+type HandlerDecl struct {
+	Name   string
+	Params []Param
+	Body   []Stmt
+}
+
+// Stmt is a statement node. Work-function statements compile to wfunc IL;
+// composite-body statements are interpreted during elaboration.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares a local variable (or compile-time variable in a
+// composite body).
+type DeclStmt struct {
+	Type string
+	Name string
+	Size Expr // array when non-nil
+	Init Expr
+}
+
+// AssignStmt assigns to a scalar or array element with = or an op-assign.
+type AssignStmt struct {
+	Name  string
+	Index Expr   // nil for scalar
+	Op    string // "=", "+=", "-=", "*=", "/=", "%="
+	Value Expr
+}
+
+// IfStmt is a conditional.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// ForStmt is a C-style loop.
+type ForStmt struct {
+	Init Stmt // DeclStmt or AssignStmt, may be nil
+	Cond Expr
+	Post Stmt // AssignStmt, may be nil
+	Body []Stmt
+}
+
+// WhileStmt loops while the condition holds.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{}
+
+// ContinueStmt advances the innermost loop.
+type ContinueStmt struct{}
+
+// ExprStmt evaluates an expression for effect (push(x); pop();).
+type ExprStmt struct{ X Expr }
+
+// AddStmt adds a child stream in a composite body, optionally naming the
+// instance (for MAX_LATENCY references) and registering it with a portal.
+type AddStmt struct {
+	Call     *CallExpr
+	As       string
+	Register string
+}
+
+// SplitStmt / JoinStmt configure a splitjoin or feedbackloop.
+type SplitStmt struct {
+	Kind    string // "duplicate" or "roundrobin"
+	Weights []Expr
+}
+
+// JoinStmt configures the joiner.
+type JoinStmt struct {
+	Kind    string
+	Weights []Expr
+}
+
+// BodyStmt sets a feedbackloop's body stream.
+type BodyStmt struct{ Call *CallExpr }
+
+// LoopStmt sets a feedbackloop's loop stream.
+type LoopStmt struct{ Call *CallExpr }
+
+// EnqueueStmt appends one initial item on a feedbackloop's loop channel.
+type EnqueueStmt struct{ X Expr }
+
+// MaxLatencyStmt is the paper's MAX_LATENCY(A, B, n) directive over named
+// instances: A may run at most n of B's work executions ahead.
+type MaxLatencyStmt struct {
+	A, B string
+	N    Expr
+}
+
+// SendStmt sends a teleport message: send portal.handler(args) latency n;
+type SendStmt struct {
+	Portal     string
+	Handler    string
+	Args       []Expr
+	Latency    Expr // nil with BestEffort
+	BestEffort bool
+}
+
+func (*DeclStmt) stmtNode()       {}
+func (*AssignStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()         {}
+func (*ForStmt) stmtNode()        {}
+func (*WhileStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()      {}
+func (*ContinueStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()       {}
+func (*AddStmt) stmtNode()        {}
+func (*SplitStmt) stmtNode()      {}
+func (*JoinStmt) stmtNode()       {}
+func (*BodyStmt) stmtNode()       {}
+func (*LoopStmt) stmtNode()       {}
+func (*EnqueueStmt) stmtNode()    {}
+func (*MaxLatencyStmt) stmtNode() {}
+func (*SendStmt) stmtNode()       {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// NumLit is a numeric literal.
+type NumLit struct {
+	Val   float64
+	IsInt bool
+}
+
+// Ident references a variable, parameter, or field.
+type Ident struct{ Name string }
+
+// IndexExpr references an array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+}
+
+// CallExpr invokes a builtin (sin, peek, ...) or names a stream with
+// arguments (in add statements).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// UnaryExpr applies -, !, or ~.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// CondExpr is the ternary operator.
+type CondExpr struct{ C, A, B Expr }
+
+func (*NumLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}

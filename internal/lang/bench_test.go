@@ -1,0 +1,21 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkParseAndElaborate measures the front end end to end.
+func BenchmarkParseAndElaborate(b *testing.B) {
+	src, err := os.ReadFile(filepath.Join("testdata", "fir.str"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAndElaborate(string(src), "Main"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package lang
+
+import (
+	"math"
+	"testing"
+
+	"streamit/internal/exec"
+	"streamit/internal/ir"
+	"streamit/internal/wfunc"
+)
+
+// TestStrMatchesBuilderOutputs compiles the same program twice — once from
+// .str source, once through the Go builder API — and compares the exact
+// output streams. This pins the front end's semantics against the
+// builder's.
+func TestStrMatchesBuilderOutputs(t *testing.T) {
+	src := `
+void->float filter Ramp() {
+    float n;
+    work push 1 { push(n); n = n + 1; }
+}
+float->float filter Fir() {
+    float[5] w;
+    init { for (int i = 0; i < 5; i++) w[i] = sin(i + 1.0); }
+    work peek 5 pop 1 push 1 {
+        float s = 0;
+        for (int i = 0; i < 5; i++) s += peek(i) * w[i];
+        pop();
+        push(s);
+    }
+}
+float->float splitjoin Two() {
+    split duplicate;
+    add Scale(2.0);
+    add Scale(-1.0);
+    join roundrobin;
+}
+float->float filter Scale(float g) {
+    work pop 1 push 1 { push(pop() * g); }
+}
+float->void filter Out() { work pop 2 { pop(); pop(); } }
+void->void pipeline Main() {
+    add Ramp();
+    add Fir();
+    add Two();
+    add Out();
+}
+`
+	prog, err := ParseAndElaborate(src, "Main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	strOut := captureOutputs(t, prog, 32)
+
+	// The same program via the builder API.
+	ramp := func() *ir.Filter {
+		b := wfunc.NewKernel("Ramp", 0, 0, 1)
+		n := b.Field("n", 0)
+		b.WorkBody(wfunc.Push1(n), wfunc.SetF(n, wfunc.AddX(n, wfunc.C(1))))
+		return &ir.Filter{Kernel: b.Build(), In: ir.TypeVoid, Out: ir.TypeFloat}
+	}()
+	fir := func() *ir.Filter {
+		b := wfunc.NewKernel("Fir", 5, 1, 1)
+		w := b.FieldArray("w", 5)
+		i := b.Local("i")
+		s := b.Local("s")
+		b.InitBody(wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(5),
+			wfunc.SetFIdx(w, i, wfunc.Un(wfunc.Sin, wfunc.AddX(i, wfunc.C(1))))))
+		b.WorkBody(
+			wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(5),
+				wfunc.Set(s, wfunc.AddX(s, wfunc.MulX(wfunc.PeekX(i), wfunc.FIdx(w, i))))),
+			wfunc.Pop1(),
+			wfunc.Push1(s),
+		)
+		return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+	}()
+	scale := func(name string, g float64) *ir.Filter {
+		b := wfunc.NewKernel(name, 1, 1, 1)
+		b.WorkBody(wfunc.Push1(wfunc.MulX(wfunc.PopE(), wfunc.C(g))))
+		return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+	}
+	snk, got := exec.SliceSink("out")
+	builderProg := &ir.Program{Name: "builder", Top: ir.Pipe("Main",
+		ramp, fir,
+		ir.SJ("Two", ir.Duplicate(), ir.RoundRobin(), scale("s2", 2), scale("sm1", -1)),
+		snk,
+	)}
+	builderOut, err := exec.RunCollect(builderProg, 64, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := len(strOut)
+	if len(builderOut) < n {
+		n = len(builderOut)
+	}
+	if n < 32 {
+		t.Fatalf("too few outputs to compare: %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(strOut[i]-builderOut[i]) > 1e-9 {
+			t.Fatalf("output %d differs: .str %v vs builder %v", i, strOut[i], builderOut[i])
+		}
+	}
+}
+
+// captureOutputs replaces the final sink of an elaborated pipeline with a
+// collecting sink and runs the program.
+func captureOutputs(t *testing.T, prog *ir.Program, iters int) []float64 {
+	t.Helper()
+	pipe, ok := prog.Top.(*ir.Pipeline)
+	if !ok || len(pipe.Children) == 0 {
+		t.Fatal("top-level stream is not a pipeline")
+	}
+	last, ok := pipe.Children[len(pipe.Children)-1].(*ir.Filter)
+	if !ok || last.Kernel.Push != 0 {
+		t.Fatal("last child is not a sink filter")
+	}
+	snk, got := exec.SliceSink("capture")
+	pipe.Children[len(pipe.Children)-1] = snk
+	out, err := exec.RunCollect(prog, iters*last.Kernel.Pop, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestStrTypeMismatchRejected: connecting a bit producer to a float
+// consumer is a compile error, as in the appendix's restrictions.
+func TestStrTypeMismatchRejected(t *testing.T) {
+	src := `
+void->bit filter Bits() { work push 1 { push(1); } }
+float->void filter Out() { work pop 1 { pop(); } }
+void->void pipeline Main() { add Bits(); add Out(); }
+`
+	prog, err := ParseAndElaborate(src, "Main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connection typing is checked at flatten time.
+	if _, err := ir.Flatten(prog); err == nil {
+		t.Fatal("expected type mismatch error")
+	}
+}
+
+// TestStrDeadlockDetected: a zero-delay feedback loop is a compile error.
+func TestStrDeadlockDetected(t *testing.T) {
+	src := `
+void->float filter Src() { float n; work push 1 { push(n); n = n + 1; } }
+float->float filter Body() { work pop 2 push 1 { push(pop() + pop()); } }
+float->void filter Out() { work pop 1 { pop(); } }
+float->float feedbackloop Loop() {
+    join roundrobin(1, 1);
+    body Body();
+    split duplicate;
+}
+void->void pipeline Main() { add Src(); add Loop(); add Out(); }
+`
+	prog, err := ParseAndElaborate(src, "Main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.New(prog); err == nil {
+		t.Fatal("expected deadlock error for zero-delay loop")
+	}
+}

@@ -1,0 +1,181 @@
+// Package lang implements the textual StreamIt front end: a lexer, a
+// recursive-descent parser, and an elaborator that instantiates the
+// hierarchical stream graph (ir.Program) from parameterized stream
+// declarations. The syntax follows the StreamIt 2.x style:
+//
+//	float->float filter Gain(float g) {
+//	    work pop 1 push 1 { push(pop() * g); }
+//	}
+//
+//	void->void pipeline Main() {
+//	    add Source();
+//	    add Gain(2.0);
+//	    add Sink();
+//	}
+//
+// Composite bodies (pipeline/splitjoin/feedbackloop) execute at compile
+// time, so loops and conditionals can build parameterized graphs; filter
+// work/init/handler bodies compile to the wfunc IL.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokPunct // operators and punctuation
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Keywords of the language. Identifiers matching these parse as keywords
+// contextually; the parser checks Text directly.
+var keywords = map[string]bool{
+	"filter": true, "pipeline": true, "splitjoin": true, "feedbackloop": true,
+	"portal": true, "work": true, "init": true, "handler": true,
+	"peek": true, "pop": true, "push": true,
+	"split": true, "join": true, "body": true, "loop": true, "delay": true,
+	"enqueue": true, "duplicate": true, "roundrobin": true,
+	"add": true, "register": true, "send": true, "latency": true,
+	"as": true, "maxlatency": true,
+	"besteffort": true, "if": true, "else": true, "for": true, "while": true,
+	"break": true, "continue": true,
+	"int": true, "float": true, "bit": true, "void": true, "boolean": true,
+	"true": true, "false": true, "pi": true,
+}
+
+// multi-character operators, longest first.
+var operators = []string{
+	"->", "<=", ">=", "==", "!=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "++", "--",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+	"(", ")", "{", "}", "[", "]", ",", ";", ".", "?", ":",
+}
+
+// Lex tokenizes src, reporting the first lexical error with its position.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if i+k < len(src) && src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			start := Token{Line: line, Col: col}
+			advance(2)
+			for {
+				if i+1 >= len(src) {
+					return nil, fmt.Errorf("%d:%d: unterminated block comment", start.Line, start.Col)
+				}
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					break
+				}
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			tok := Token{Kind: TokIdent, Line: line, Col: col}
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			tok.Text = src[start:i]
+			toks = append(toks, tok)
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			start := i
+			tok := Token{Kind: TokInt, Line: line, Col: col}
+			seenDot, seenExp := false, false
+			for i < len(src) {
+				d := src[i]
+				if unicode.IsDigit(rune(d)) {
+					advance(1)
+				} else if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					tok.Kind = TokFloat
+					advance(1)
+				} else if (d == 'e' || d == 'E') && !seenExp && i+1 < len(src) &&
+					(unicode.IsDigit(rune(src[i+1])) || src[i+1] == '-' || src[i+1] == '+') {
+					seenExp = true
+					tok.Kind = TokFloat
+					advance(1)
+					if src[i] == '-' || src[i] == '+' {
+						advance(1)
+					}
+				} else {
+					break
+				}
+			}
+			tok.Text = src[start:i]
+			toks = append(toks, tok)
+		case c == '"':
+			tok := Token{Kind: TokString, Line: line, Col: col}
+			advance(1)
+			start := i
+			for i < len(src) && src[i] != '"' {
+				advance(1)
+			}
+			if i >= len(src) {
+				return nil, fmt.Errorf("%d:%d: unterminated string", tok.Line, tok.Col)
+			}
+			tok.Text = src[start:i]
+			advance(1)
+			toks = append(toks, tok)
+		default:
+			matched := false
+			for _, op := range operators {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, Token{Kind: TokPunct, Text: op, Line: line, Col: col})
+					advance(len(op))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("%d:%d: unexpected character %q", line, col, c)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}

@@ -1,0 +1,821 @@
+package lang
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Parse lexes and parses a source file.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.file()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) is(text string) bool { return p.cur().Text == text && p.cur().Kind != TokString }
+
+func (p *parser) accept(text string) bool {
+	if p.is(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		t := p.cur()
+		return fmt.Errorf("%d:%d: expected %q, found %s", t.Line, t.Col, text, t)
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("%d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return "", p.errf("expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+func isType(s string) bool {
+	return s == "int" || s == "float" || s == "bit" || s == "void" || s == "boolean"
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		switch {
+		case p.is("portal"):
+			p.next()
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			f.Portals = append(f.Portals, name)
+		default:
+			d, err := p.streamDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Streams = append(f.Streams, d)
+		}
+	}
+	return f, nil
+}
+
+// streamDecl := type "->" type kind IDENT "(" params ")" "{" ... "}"
+func (p *parser) streamDecl() (*StreamDecl, error) {
+	d := &StreamDecl{Line: p.cur().Line}
+	t := p.cur()
+	if !isType(t.Text) {
+		return nil, p.errf("expected stream declaration (e.g. \"float->float filter Name\"), found %s", t)
+	}
+	d.InType = p.next().Text
+	if err := p.expect("->"); err != nil {
+		return nil, err
+	}
+	if !isType(p.cur().Text) {
+		return nil, p.errf("expected output type, found %s", p.cur())
+	}
+	d.OutType = p.next().Text
+	switch {
+	case p.is("filter"), p.is("pipeline"), p.is("splitjoin"), p.is("feedbackloop"):
+		d.Kind = p.next().Text
+	default:
+		return nil, p.errf("expected filter, pipeline, splitjoin, or feedbackloop, found %s", p.cur())
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name
+	if p.is("(") {
+		params, err := p.params()
+		if err != nil {
+			return nil, err
+		}
+		d.Params = params
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	if d.Kind == "filter" {
+		if err := p.filterBody(d); err != nil {
+			return nil, err
+		}
+	} else {
+		body, err := p.stmtList("}")
+		if err != nil {
+			return nil, err
+		}
+		d.Body = body
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) params() ([]Param, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var out []Param
+	for !p.is(")") {
+		if len(out) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		if !isType(p.cur().Text) {
+			return nil, p.errf("expected parameter type, found %s", p.cur())
+		}
+		typ := p.next().Text
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Param{Type: typ, Name: name})
+	}
+	p.next() // ")"
+	return out, nil
+}
+
+// filterBody := (fieldDecl | initFn | workFn | handler)*
+func (p *parser) filterBody(d *StreamDecl) error {
+	for !p.is("}") && p.cur().Kind != TokEOF {
+		switch {
+		case p.is("init"):
+			p.next()
+			if err := p.expect("{"); err != nil {
+				return err
+			}
+			body, err := p.stmtList("}")
+			if err != nil {
+				return err
+			}
+			if err := p.expect("}"); err != nil {
+				return err
+			}
+			d.Init = body
+		case p.is("work"):
+			p.next()
+			w := &WorkDecl{}
+			for {
+				switch {
+				case p.is("peek"):
+					p.next()
+					if p.accept("*") {
+						w.Dynamic = true
+						break
+					}
+					e, err := p.expr()
+					if err != nil {
+						return err
+					}
+					w.Peek = e
+				case p.is("pop"):
+					p.next()
+					if p.accept("*") {
+						w.Dynamic = true
+						break
+					}
+					e, err := p.expr()
+					if err != nil {
+						return err
+					}
+					w.Pop = e
+				case p.is("push"):
+					p.next()
+					if p.accept("*") {
+						w.Dynamic = true
+						break
+					}
+					e, err := p.expr()
+					if err != nil {
+						return err
+					}
+					w.Push = e
+				default:
+					goto rates
+				}
+			}
+		rates:
+			if err := p.expect("{"); err != nil {
+				return err
+			}
+			body, err := p.stmtList("}")
+			if err != nil {
+				return err
+			}
+			if err := p.expect("}"); err != nil {
+				return err
+			}
+			w.Body = body
+			d.Work = w
+		case p.is("handler"):
+			p.next()
+			name, err := p.ident()
+			if err != nil {
+				return err
+			}
+			params, err := p.params()
+			if err != nil {
+				return err
+			}
+			if err := p.expect("{"); err != nil {
+				return err
+			}
+			body, err := p.stmtList("}")
+			if err != nil {
+				return err
+			}
+			if err := p.expect("}"); err != nil {
+				return err
+			}
+			d.Handlers = append(d.Handlers, &HandlerDecl{Name: name, Params: params, Body: body})
+		case isType(p.cur().Text):
+			fd, err := p.fieldDecl()
+			if err != nil {
+				return err
+			}
+			d.Fields = append(d.Fields, fd)
+		default:
+			return p.errf("expected field, init, work, or handler in filter body, found %s", p.cur())
+		}
+	}
+	if d.Work == nil {
+		return fmt.Errorf("filter %s (line %d) has no work function", d.Name, d.Line)
+	}
+	return nil
+}
+
+// fieldDecl := type [ "[" expr "]" ] IDENT [ "=" expr ] ";"
+func (p *parser) fieldDecl() (*FieldDecl, error) {
+	fd := &FieldDecl{Type: p.next().Text}
+	if p.accept("[") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		fd.Size = e
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	fd.Name = name
+	if p.accept("=") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		fd.Init = e
+	}
+	return fd, p.expect(";")
+}
+
+// stmtList parses statements until the given closer (not consumed).
+func (p *parser) stmtList(closer string) ([]Stmt, error) {
+	var out []Stmt
+	for !p.is(closer) && p.cur().Kind != TokEOF {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if p.accept("{") {
+		body, err := p.stmtList("}")
+		if err != nil {
+			return nil, err
+		}
+		return body, p.expect("}")
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.is("if"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept("else") {
+			if els, err = p.block(); err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+
+	case p.is("for"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var init Stmt
+		if !p.is(";") {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			init = s
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		var cond Expr
+		if !p.is(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			cond = e
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		var post Stmt
+		if !p.is(")") {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			post = s
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: init, Cond: cond, Post: post, Body: body}, nil
+
+	case p.is("while"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+
+	case p.is("break"):
+		p.next()
+		return &BreakStmt{}, p.expect(";")
+	case p.is("continue"):
+		p.next()
+		return &ContinueStmt{}, p.expect(";")
+
+	case p.is("add"):
+		p.next()
+		call, err := p.streamCall()
+		if err != nil {
+			return nil, err
+		}
+		s := &AddStmt{Call: call}
+		if p.accept("as") {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.As = name
+		}
+		if p.accept("register") {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.Register = name
+		}
+		return s, p.expect(";")
+
+	case p.is("split"), p.is("join"):
+		isSplit := p.next().Text == "split"
+		kind := ""
+		var weights []Expr
+		switch {
+		case p.accept("duplicate"):
+			kind = "duplicate"
+		case p.accept("roundrobin"):
+			kind = "roundrobin"
+			if p.accept("(") {
+				for !p.is(")") {
+					if len(weights) > 0 {
+						if err := p.expect(","); err != nil {
+							return nil, err
+						}
+					}
+					e, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					weights = append(weights, e)
+				}
+				p.next()
+			}
+		default:
+			return nil, p.errf("expected duplicate or roundrobin, found %s", p.cur())
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if isSplit {
+			return &SplitStmt{Kind: kind, Weights: weights}, nil
+		}
+		return &JoinStmt{Kind: kind, Weights: weights}, nil
+
+	case p.is("maxlatency"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		bb, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		n, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &MaxLatencyStmt{A: a, B: bb, N: n}, p.expect(";")
+
+	case p.is("body"):
+		p.next()
+		call, err := p.streamCall()
+		if err != nil {
+			return nil, err
+		}
+		return &BodyStmt{Call: call}, p.expect(";")
+	case p.is("loop"):
+		p.next()
+		call, err := p.streamCall()
+		if err != nil {
+			return nil, err
+		}
+		return &LoopStmt{Call: call}, p.expect(";")
+	case p.is("enqueue"):
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &EnqueueStmt{X: e}, p.expect(";")
+
+	case p.is("send"):
+		p.next()
+		portal, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		handler, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		for !p.is(")") {
+			if len(args) > 0 {
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+		}
+		p.next()
+		s := &SendStmt{Portal: portal, Handler: handler, Args: args}
+		switch {
+		case p.accept("latency"):
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Latency = e
+		case p.accept("besteffort"):
+			s.BestEffort = true
+		default:
+			s.BestEffort = true
+		}
+		return s, p.expect(";")
+
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(";")
+	}
+}
+
+// simpleStmt := decl | assignment | expr (no trailing semicolon)
+func (p *parser) simpleStmt() (Stmt, error) {
+	if isType(p.cur().Text) && p.cur().Text != "void" {
+		d := &DeclStmt{Type: p.next().Text}
+		if p.accept("[") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Size = e
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d.Name = name
+		if p.accept("=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		return d, nil
+	}
+	// assignment or expression statement: parse an expression first.
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "+=", "-=", "*=", "/=", "%="} {
+		if p.is(op) {
+			p.next()
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			switch lhs := e.(type) {
+			case *Ident:
+				return &AssignStmt{Name: lhs.Name, Op: op, Value: v}, nil
+			case *IndexExpr:
+				return &AssignStmt{Name: lhs.Name, Index: lhs.Index, Op: op, Value: v}, nil
+			default:
+				return nil, p.errf("invalid assignment target")
+			}
+		}
+	}
+	if p.is("++") || p.is("--") {
+		op := "+="
+		if p.next().Text == "--" {
+			op = "-="
+		}
+		one := &NumLit{Val: 1, IsInt: true}
+		switch lhs := e.(type) {
+		case *Ident:
+			return &AssignStmt{Name: lhs.Name, Op: op, Value: one}, nil
+		case *IndexExpr:
+			return &AssignStmt{Name: lhs.Name, Index: lhs.Index, Op: op, Value: one}, nil
+		default:
+			return nil, p.errf("invalid increment target")
+		}
+	}
+	return &ExprStmt{X: e}, nil
+}
+
+// streamCall := IDENT [ "(" args ")" ]
+func (p *parser) streamCall() (*CallExpr, error) {
+	line := p.cur().Line
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	call := &CallExpr{Name: name, Line: line}
+	if p.accept("(") {
+		for !p.is(")") {
+			if len(call.Args) > 0 {
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, e)
+		}
+		p.next()
+	}
+	return call, nil
+}
+
+// Expression parsing with precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) {
+	e, err := p.binary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("?") {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		b, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{C: e, A: a, B: b}, nil
+	}
+	return e, nil
+}
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().Text
+		prec, ok := binPrec[op]
+		if p.cur().Kind != TokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch {
+	case p.is("-"), p.is("!"), p.is("~"):
+		op := p.next().Text
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", t.Text)
+		}
+		return &NumLit{Val: float64(v), IsInt: true}, nil
+	case t.Kind == TokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad float literal %q", t.Text)
+		}
+		return &NumLit{Val: v}, nil
+	case p.is("true"):
+		p.next()
+		return &NumLit{Val: 1, IsInt: true}, nil
+	case p.is("false"):
+		p.next()
+		return &NumLit{Val: 0, IsInt: true}, nil
+	case p.is("pi"):
+		p.next()
+		return &NumLit{Val: math.Pi}, nil
+	case p.is("("):
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case t.Kind == TokIdent:
+		p.next()
+		name := t.Text
+		if p.is("(") {
+			p.next()
+			call := &CallExpr{Name: name, Line: t.Line}
+			for !p.is(")") {
+				if len(call.Args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, e)
+			}
+			p.next()
+			return call, nil
+		}
+		if p.is("[") {
+			p.next()
+			ix, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: name, Index: ix}, nil
+		}
+		return &Ident{Name: name}, nil
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}

@@ -1,0 +1,36 @@
+package linear
+
+import "testing"
+
+// BenchmarkExtract measures linear extraction on a 64-tap FIR.
+func BenchmarkExtract(b *testing.B) {
+	w := make([]float64, 64)
+	for i := range w {
+		w[i] = float64(i)
+	}
+	k := firKernel("FIR", w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCombinePipeline measures matrix combination of two FIRs.
+func BenchmarkCombinePipeline(b *testing.B) {
+	mk := func(n int) *Rep {
+		r := NewRep(n, 1, 1)
+		for i := range r.A[0] {
+			r.A[0][i] = float64(i + 1)
+		}
+		return r
+	}
+	f, g := mk(64), mk(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CombinePipeline(f, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package linear
+
+import (
+	"fmt"
+
+	"streamit/internal/ir"
+)
+
+// CombineSplitJoin collapses a split-join whose children are all linear
+// into a single linear representation. Supported splitters: duplicate and
+// weighted round-robin; the joiner must be a weighted round-robin.
+//
+// The combined filter executes L joiner cycles per firing, where L is
+// chosen so every child's firing count is integral, and interleaves the
+// children's outputs per the joiner weights. Children's input coefficient
+// columns are mapped through the splitter's routing.
+func CombineSplitJoin(split ir.SJSpec, children []*Rep, join ir.SJSpec) (*Rep, error) {
+	n := len(children)
+	if n == 0 {
+		return nil, fmt.Errorf("linear: empty splitjoin")
+	}
+	if join.Kind != ir.SJRoundRobin || len(join.Weights) != n {
+		return nil, fmt.Errorf("linear: splitjoin combination requires a round-robin joiner")
+	}
+	if split.Kind == ir.SJNull {
+		return nil, fmt.Errorf("linear: null splitters are not combinable")
+	}
+	if split.Kind == ir.SJRoundRobin && len(split.Weights) != n {
+		return nil, fmt.Errorf("linear: splitter weights/children mismatch")
+	}
+
+	// Choose L joiner cycles so child i fires n_i = L*w_i/push_i integrally.
+	L := 1
+	for i, c := range children {
+		w := join.Weights[i]
+		if w == 0 || c.Push == 0 {
+			return nil, fmt.Errorf("linear: zero-rate branch %d not combinable", i)
+		}
+		// L*w must be divisible by push.
+		need := c.Push / gcd(c.Push, w)
+		L = lcm(L, need)
+	}
+	fires := make([]int, n)
+	for i, c := range children {
+		fires[i] = L * join.Weights[i] / c.Push
+	}
+
+	// Input consumption: child i consumes fires[i]*pop_i items of its own
+	// input stream. Map child-stream indices to combined-input indices.
+	var popComb int
+	childIndex := func(child, m int) int { return m } // duplicate: identity
+	switch split.Kind {
+	case ir.SJDuplicate:
+		popComb = fires[0] * children[0].Pop
+		for i, c := range children {
+			if fires[i]*c.Pop != popComb {
+				return nil, fmt.Errorf("linear: duplicate splitjoin branches consume at different rates (%d vs %d)", fires[i]*c.Pop, popComb)
+			}
+		}
+	case ir.SJRoundRobin:
+		tot := 0
+		for _, w := range split.Weights {
+			tot += w
+		}
+		// Child i's m-th input item is at global position
+		// (m/v_i)*tot + start_i + (m%v_i).
+		starts := make([]int, n)
+		acc := 0
+		for i, w := range split.Weights {
+			starts[i] = acc
+			acc += w
+		}
+		popComb = 0
+		for i, c := range children {
+			consumed := fires[i] * c.Pop
+			v := split.Weights[i]
+			if v == 0 {
+				if consumed != 0 {
+					return nil, fmt.Errorf("linear: branch %d consumes with zero splitter weight", i)
+				}
+				continue
+			}
+			if consumed%v != 0 {
+				return nil, fmt.Errorf("linear: branch %d consumption %d not a multiple of splitter weight %d", i, consumed, v)
+			}
+			blocks := consumed / v
+			if blocks*tot > popComb {
+				popComb = blocks * tot
+			}
+		}
+		// All branches must consume the same number of splitter cycles for
+		// the combined filter to be rate-consistent.
+		for i, c := range children {
+			v := split.Weights[i]
+			if v == 0 {
+				continue
+			}
+			if (fires[i]*c.Pop/v)*tot != popComb {
+				return nil, fmt.Errorf("linear: splitjoin branch rates are inconsistent")
+			}
+		}
+		splitWeights := append([]int(nil), split.Weights...)
+		childIndex = func(child, m int) int {
+			v := splitWeights[child]
+			return (m/v)*tot + starts[child] + (m % v)
+		}
+	default:
+		return nil, fmt.Errorf("linear: unsupported splitter kind %v", split.Kind)
+	}
+
+	// Peek: max over children of the combined-input index of their last
+	// peeked item, plus one.
+	peekComb := popComb
+	for i, c := range children {
+		last := (fires[i]-1)*c.Pop + c.Peek - 1
+		if c.Peek == 0 || fires[i] == 0 {
+			continue
+		}
+		gi := childIndex(i, last) + 1
+		if gi > peekComb {
+			peekComb = gi
+		}
+	}
+
+	wTot := 0
+	for _, w := range join.Weights {
+		wTot += w
+	}
+	pushComb := L * wTot
+	out := NewRep(peekComb, popComb, pushComb)
+
+	// Interleave child outputs: joiner cycle c takes w_i items from child i
+	// in order.
+	for cyc := 0; cyc < L; cyc++ {
+		off := cyc * wTot
+		for i, c := range children {
+			w := join.Weights[i]
+			for k := 0; k < w; k++ {
+				childOut := cyc*w + k
+				fire := childOut / c.Push
+				row := childOut % c.Push
+				dstRow := off + startOffset(join.Weights, i) + k
+				dst := out.A[dstRow]
+				for col, coeff := range c.A[row] {
+					if coeff == 0 {
+						continue
+					}
+					gi := childIndex(i, fire*c.Pop+col)
+					if gi >= peekComb {
+						return nil, fmt.Errorf("linear: internal error: child %d peek maps past combined window", i)
+					}
+					dst[gi] += coeff
+				}
+				out.B[dstRow] = c.B[row]
+			}
+		}
+	}
+	return out, nil
+}
+
+func startOffset(weights []int, i int) int {
+	s := 0
+	for k := 0; k < i; k++ {
+		s += weights[k]
+	}
+	return s
+}

@@ -1,0 +1,31 @@
+package machine
+
+import "testing"
+
+// BenchmarkSimulatePipelined measures the discrete-event simulator on a
+// 64-node graph for 24 iterations.
+func BenchmarkSimulatePipelined(b *testing.B) {
+	g := &WGraph{}
+	var prev *WNode
+	for i := 0; i < 64; i++ {
+		n := g.AddNode("n", int64(500+i*7), 100, false)
+		if prev != nil {
+			g.AddEdge(prev, n, 32)
+		}
+		prev = n
+	}
+	st, err := Stages(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := &Mapping{Tile: make([]int, len(g.Nodes)), Stage: st, Mode: ModePipelined, Comm: CommDRAM}
+	for i := range m.Tile {
+		m.Tile[i] = i % 16
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(g, m, DefaultConfig(), 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

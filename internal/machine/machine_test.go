@@ -1,0 +1,255 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+)
+
+// chainGraph builds a linear chain of n nodes with equal work and unit
+// traffic.
+func chainGraph(n int, work int64, items int64) *WGraph {
+	g := &WGraph{}
+	var prev *WNode
+	for i := 0; i < n; i++ {
+		node := g.AddNode("n", work, work/2, false)
+		if prev != nil {
+			g.AddEdge(prev, node, items)
+		}
+		prev = node
+	}
+	return g
+}
+
+func seqMapping(g *WGraph) *Mapping {
+	m := &Mapping{Tile: make([]int, len(g.Nodes)), Mode: ModePipelined, Comm: CommNoC}
+	st, _ := Stages(g)
+	m.Stage = st
+	return m
+}
+
+func TestSequentialBaseline(t *testing.T) {
+	g := chainGraph(4, 1000, 10)
+	m := seqMapping(g) // all on tile 0
+	res, err := Simulate(g, m, DefaultConfig(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All work serializes on one tile: >= 4000 cycles/iter.
+	if res.CyclesPerIter < 4000 {
+		t.Errorf("single-tile chain = %.0f cycles/iter, want >= 4000", res.CyclesPerIter)
+	}
+	if res.Utilization > 1.0001 || res.Utilization < 0 {
+		t.Errorf("utilization %v out of range", res.Utilization)
+	}
+}
+
+func TestPipelinedSpeedup(t *testing.T) {
+	g := chainGraph(4, 1000, 10)
+	seq := seqMapping(g)
+	seqRes, err := Simulate(g, seq, DefaultConfig(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := seqMapping(g)
+	for i := range par.Tile {
+		par.Tile[i] = i // one node per tile
+	}
+	parRes, err := Simulate(g, par, DefaultConfig(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := parRes.Speedup(seqRes)
+	if sp < 3.0 || sp > 4.2 {
+		t.Errorf("pipelined chain speedup = %.2f, want ~4 (3.0..4.2)", sp)
+	}
+}
+
+func TestBarrieredChainGetsNoSpeedup(t *testing.T) {
+	// A chain has no task parallelism: barriered execution on 4 tiles is no
+	// faster than one tile (and pays barriers).
+	g := chainGraph(4, 1000, 10)
+	seq := seqMapping(g)
+	seqRes, _ := Simulate(g, seq, DefaultConfig(), 20)
+	bar := seqMapping(g)
+	bar.Mode = ModeBarriered
+	for i := range bar.Tile {
+		bar.Tile[i] = i
+	}
+	barRes, err := Simulate(g, bar, DefaultConfig(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if barRes.Speedup(seqRes) > 1.05 {
+		t.Errorf("barriered chain speedup = %.2f, want <= ~1", barRes.Speedup(seqRes))
+	}
+}
+
+func TestBarrieredForkJoinSpeedup(t *testing.T) {
+	// Wide fork/join: source -> 8 parallel workers -> sink. Task
+	// parallelism helps here even with barriers.
+	g := &WGraph{}
+	src := g.AddNode("src", 10, 0, false)
+	snk := g.AddNode("snk", 10, 0, false)
+	for i := 0; i < 8; i++ {
+		w := g.AddNode("w", 8000, 4000, false)
+		g.AddEdge(src, w, 4)
+		g.AddEdge(w, snk, 4)
+	}
+	st, _ := Stages(g)
+	seq := &Mapping{Tile: make([]int, len(g.Nodes)), Stage: st, Mode: ModeBarriered, Comm: CommNoC}
+	seqRes, _ := Simulate(g, seq, DefaultConfig(), 20)
+	par := &Mapping{Tile: make([]int, len(g.Nodes)), Stage: st, Mode: ModeBarriered, Comm: CommNoC}
+	for i, n := range g.Nodes {
+		if n.Name == "w" {
+			par.Tile[i] = (i) % 16
+		}
+	}
+	parRes, err := Simulate(g, par, DefaultConfig(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := parRes.Speedup(seqRes)
+	if sp < 5.0 {
+		t.Errorf("fork/join speedup = %.2f, want >= 5", sp)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	// Two producer->consumer pairs forced across the same mesh column: with
+	// huge traffic, contention must reduce throughput versus disjoint
+	// routes.
+	mk := func(shareRoute bool) float64 {
+		g := &WGraph{}
+		p1 := g.AddNode("p1", 100, 0, false)
+		c1 := g.AddNode("c1", 100, 0, false)
+		p2 := g.AddNode("p2", 100, 0, false)
+		c2 := g.AddNode("c2", 100, 0, false)
+		g.AddEdge(p1, c1, 4000)
+		g.AddEdge(p2, c2, 4000)
+		st, _ := Stages(g)
+		m := &Mapping{Stage: st, Mode: ModePipelined, Comm: CommNoC}
+		if shareRoute {
+			// Both streams traverse the top row eastward: p1 at (0,0),
+			// c1 at (3,0); p2 at (1,0)... route (0,0)->(3,0) and
+			// (0,0)->(2,0) share links.
+			m.Tile = []int{0, 3, 0, 2}
+		} else {
+			// Disjoint rows.
+			m.Tile = []int{0, 3, 12, 15}
+		}
+		res, err := Simulate(g, m, DefaultConfig(), 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CyclesPerIter
+	}
+	shared := mk(true)
+	disjoint := mk(false)
+	if shared <= disjoint*1.2 {
+		t.Errorf("shared-route cycles %.0f should exceed disjoint %.0f by >20%%", shared, disjoint)
+	}
+}
+
+func TestDRAMCommCostsMoreThanNoC(t *testing.T) {
+	g := chainGraph(3, 100, 2000)
+	noc := seqMapping(g)
+	noc.Tile = []int{0, 1, 2}
+	nocRes, _ := Simulate(g, noc, DefaultConfig(), 20)
+	dram := seqMapping(g)
+	dram.Tile = []int{0, 1, 2}
+	dram.Comm = CommDRAM
+	dramRes, err := Simulate(g, dram, DefaultConfig(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dramRes.CyclesPerIter <= nocRes.CyclesPerIter {
+		t.Errorf("DRAM comm (%.0f) should cost more than NoC (%.0f) for heavy traffic",
+			dramRes.CyclesPerIter, nocRes.CyclesPerIter)
+	}
+}
+
+func TestStagesAreTopoLevels(t *testing.T) {
+	g := &WGraph{}
+	a := g.AddNode("a", 1, 0, false)
+	b := g.AddNode("b", 1, 0, false)
+	c := g.AddNode("c", 1, 0, false)
+	d := g.AddNode("d", 1, 0, false)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(a, c, 1)
+	g.AddEdge(b, d, 1)
+	g.AddEdge(c, d, 1)
+	st, err := Stages(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1, 2}
+	for i := range want {
+		if st[i] != want[i] {
+			t.Errorf("stage[%d] = %d, want %d", i, st[i], want[i])
+		}
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	g := &WGraph{}
+	a := g.AddNode("a", 1, 0, false)
+	b := g.AddNode("b", 1, 0, false)
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, a, 1)
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestMFLOPSAccounting(t *testing.T) {
+	g := chainGraph(2, 450, 5) // 450 flops... work=450 cycles, flops=225/node
+	m := seqMapping(g)
+	res, err := Simulate(g, m, DefaultConfig(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flops/iter = 450; cycles/iter >= 900 => MFLOPS <= 0.5*450MHz = 225.
+	if res.MFLOPS <= 0 || res.MFLOPS > DefaultConfig().PeakMFLOPS() {
+		t.Errorf("MFLOPS = %v out of range (peak %v)", res.MFLOPS, DefaultConfig().PeakMFLOPS())
+	}
+}
+
+func TestInvalidMappingRejected(t *testing.T) {
+	g := chainGraph(2, 1, 1)
+	m := seqMapping(g)
+	m.Tile[0] = 99
+	if _, err := Simulate(g, m, DefaultConfig(), 8); err == nil {
+		t.Fatal("expected invalid-tile error")
+	}
+}
+
+func TestSimulateTrace(t *testing.T) {
+	g := chainGraph(3, 500, 8)
+	m := seqMapping(g)
+	m.Tile = []int{0, 1, 2}
+	res, events, err := SimulateTrace(g, m, DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CyclesPerIter <= 0 {
+		t.Fatal("bad result")
+	}
+	if len(events) != 8*3 {
+		t.Fatalf("got %d events, want 24", len(events))
+	}
+	for _, ev := range events {
+		if ev.End <= ev.Start {
+			t.Errorf("event %+v has non-positive duration", ev)
+		}
+		if ev.Tile < 0 || ev.Tile > 2 {
+			t.Errorf("event on unexpected tile: %+v", ev)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 100 {
+		t.Error("trace JSON looks empty")
+	}
+}

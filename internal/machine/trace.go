@@ -1,0 +1,62 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent records one node execution interval during simulation, in
+// simulated cycles.
+type TraceEvent struct {
+	Node  string
+	Tile  int
+	Iter  int
+	Start int64
+	End   int64
+}
+
+// SimulateTrace runs Simulate while recording per-node execution intervals
+// (compute time only; transfers appear as gaps). The event list is ordered
+// by issue time per tile.
+func SimulateTrace(g *WGraph, m *Mapping, cfg Config, iters int) (*Result, []TraceEvent, error) {
+	events := make([]TraceEvent, 0, iters*len(g.Nodes))
+	res, err := simulateHooked(g, m, cfg, iters, func(ev TraceEvent) {
+		events = append(events, ev)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, events, nil
+}
+
+// WriteChromeTrace renders events in the Chrome tracing JSON array format
+// (load in chrome://tracing or Perfetto): one row per tile, one slice per
+// node execution.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	type chromeEvent struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+	}
+	out := make([]chromeEvent, 0, len(events))
+	for _, ev := range events {
+		out = append(out, chromeEvent{
+			Name: fmt.Sprintf("%s (iter %d)", ev.Node, ev.Iter),
+			Cat:  "compute",
+			Ph:   "X",
+			// One simulated cycle = one microsecond of trace time keeps
+			// viewers happy.
+			Ts:  float64(ev.Start),
+			Dur: float64(ev.End - ev.Start),
+			Pid: 0,
+			Tid: ev.Tile,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,37 @@
+package sched
+
+import (
+	"testing"
+
+	"streamit/internal/apps"
+	"streamit/internal/ir"
+)
+
+// BenchmarkComputeSchedule measures full schedule construction (balance
+// equations, init fixpoint, ordering, buffer bounds) on a real benchmark.
+func BenchmarkComputeSchedule(b *testing.B) {
+	g, err := ir.Flatten(apps.FMRadio(10, 64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyReps measures just the balance-equation solver.
+func BenchmarkSteadyReps(b *testing.B) {
+	g, err := ir.Flatten(apps.DES(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SteadyReps(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

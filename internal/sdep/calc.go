@@ -1,0 +1,388 @@
+package sdep
+
+import (
+	"fmt"
+
+	"streamit/internal/ir"
+	"streamit/internal/sched"
+)
+
+// Calc computes simulation-based min/max transfer functions between tapes
+// (edges) of a flat graph. Results are tabulated over the initialization
+// transient plus several steady-state periods and extended periodically:
+// mi(x + k*S_b) = mi(x) + k*S_a, where S_t is the items pushed onto tape t
+// per steady-state iteration.
+//
+// The simulation models the paper's tape semantics exactly for splitters
+// and joiners: they route items one at a time around their weight cycle
+// (so e.g. a round-robin splitter's first output tape receives ceil(x/2) of
+// x input items). Filters fire atomically, so transfer functions are
+// quantized to filter granularity: Mi returns the count that physically
+// appears on tape a (a multiple of its producer's push granule), which for
+// message timing is exactly the realizable delivery point. At
+// granule-aligned arguments the results coincide with the closed forms.
+type Calc struct {
+	g   *ir.Graph
+	sch *sched.Schedule
+
+	mi map[[2]int]*table
+	ma map[[2]int]*table
+}
+
+// table holds sampled values of a transfer function for x = 1..len(vals),
+// plus the periodic extension parameters.
+type table struct {
+	vals    []int64
+	periodX int64 // period in the argument (items on the query tape)
+	periodY int64 // growth per period in the result
+}
+
+func (t *table) at(x int64) int64 {
+	if x <= 0 {
+		return 0
+	}
+	var shift int64
+	if x > int64(len(t.vals)) {
+		over := x - int64(len(t.vals))
+		k := (over + t.periodX - 1) / t.periodX
+		x -= k * t.periodX
+		shift = k * t.periodY
+	}
+	return t.vals[x-1] + shift
+}
+
+// tabPeriods is the number of steady-state periods tabulated beyond the
+// initialization transient.
+const tabPeriods = 3
+
+// NewCalc prepares a calculator for g using its schedule (for period
+// information).
+func NewCalc(g *ir.Graph, sch *sched.Schedule) *Calc {
+	return &Calc{g: g, sch: sch, mi: map[[2]int]*table{}, ma: map[[2]int]*table{}}
+}
+
+// Mi returns mi{a->b}(x): the minimum number of items that must appear on
+// tape a for x items to appear on tape b. a must be upstream of b.
+func (c *Calc) Mi(a, b *ir.Edge, x int64) (int64, error) {
+	t, err := c.miTable(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return t.at(x), nil
+}
+
+// Ma returns ma{a->b}(x): the maximum number of items that can appear on
+// tape b given x items on tape a. a must be upstream of b.
+func (c *Calc) Ma(a, b *ir.Edge, x int64) (int64, error) {
+	t, err := c.maTable(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return t.at(x), nil
+}
+
+func (c *Calc) steadyItems(e *ir.Edge) int64 {
+	return int64(c.sch.ItemsPerSteady(e))
+}
+
+func (c *Calc) initItems(e *ir.Edge) int64 {
+	return int64(len(e.Initial) + c.sch.InitReps[e.Src.ID]*e.Src.PushPort(e.SrcPort))
+}
+
+// microSim simulates the graph at tape-item granularity: filters fire
+// atomically; splitters and joiners move one item per micro-step, cycling
+// through their weight sequence.
+type microSim struct {
+	g      *ir.Graph
+	items  []int // per edge: buffered items
+	pushed []int64
+	steps  []int // per node: micro-firings (for budgets)
+	pos    []int // per SJ node: index into the weight cycle
+	cyc    [][]int
+}
+
+func newMicroSim(g *ir.Graph) *microSim {
+	s := &microSim{
+		g:      g,
+		items:  make([]int, len(g.Edges)),
+		pushed: make([]int64, len(g.Edges)),
+		steps:  make([]int, len(g.Nodes)),
+		pos:    make([]int, len(g.Nodes)),
+		cyc:    make([][]int, len(g.Nodes)),
+	}
+	for _, e := range g.Edges {
+		s.items[e.ID] = len(e.Initial)
+		s.pushed[e.ID] = int64(len(e.Initial))
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == ir.NodeFilter || n.SJ.Kind != ir.SJRoundRobin {
+			continue
+		}
+		// Expand the weight cycle into a per-item port sequence.
+		var seq []int
+		var ports int
+		if n.Kind == ir.NodeSplitter {
+			ports = len(n.Out)
+		} else {
+			ports = len(n.In)
+		}
+		for p := 0; p < ports; p++ {
+			for k := 0; k < n.SJ.Weights[p]; k++ {
+				seq = append(seq, p)
+			}
+		}
+		s.cyc[n.ID] = seq
+	}
+	return s
+}
+
+// canStep reports whether node n can take one micro-step.
+func (s *microSim) canStep(n *ir.Node) bool {
+	switch n.Kind {
+	case ir.NodeFilter:
+		e := n.InEdge()
+		if e == nil {
+			return true
+		}
+		return s.items[e.ID] >= n.Filter.Kernel.Peek
+	case ir.NodeSplitter:
+		e := n.InEdge()
+		return e != nil && s.items[e.ID] >= 1
+	case ir.NodeJoiner:
+		p := s.currentPort(n)
+		e := n.In[p]
+		return e != nil && s.items[e.ID] >= 1
+	}
+	return false
+}
+
+func (s *microSim) currentPort(n *ir.Node) int {
+	if n.SJ.Kind == ir.SJRoundRobin {
+		return s.cyc[n.ID][s.pos[n.ID]]
+	}
+	return 0
+}
+
+func (s *microSim) advance(n *ir.Node) {
+	if n.SJ.Kind == ir.SJRoundRobin {
+		s.pos[n.ID] = (s.pos[n.ID] + 1) % len(s.cyc[n.ID])
+	}
+}
+
+// step executes one micro-firing of n. Caller must check canStep.
+func (s *microSim) step(n *ir.Node) {
+	s.steps[n.ID]++
+	switch n.Kind {
+	case ir.NodeFilter:
+		if e := n.InEdge(); e != nil {
+			s.items[e.ID] -= n.Filter.Kernel.Pop
+		}
+		if e := n.OutEdge(); e != nil {
+			s.items[e.ID] += n.Filter.Kernel.Push
+			s.pushed[e.ID] += int64(n.Filter.Kernel.Push)
+		}
+	case ir.NodeSplitter:
+		in := n.InEdge()
+		s.items[in.ID]--
+		if n.SJ.Kind == ir.SJDuplicate {
+			for _, e := range n.Out {
+				if e != nil {
+					s.items[e.ID]++
+					s.pushed[e.ID]++
+				}
+			}
+			return
+		}
+		p := s.currentPort(n)
+		if e := n.Out[p]; e != nil {
+			s.items[e.ID]++
+			s.pushed[e.ID]++
+		}
+		s.advance(n)
+	case ir.NodeJoiner:
+		p := s.currentPort(n)
+		s.items[n.In[p].ID]--
+		if e := n.OutEdge(); e != nil {
+			s.items[e.ID]++
+			s.pushed[e.ID]++
+		}
+		s.advance(n)
+	}
+}
+
+// deficientInput returns the upstream node blocking n, or nil.
+func (s *microSim) deficientInput(n *ir.Node) *ir.Node {
+	switch n.Kind {
+	case ir.NodeFilter, ir.NodeSplitter:
+		e := n.InEdge()
+		if e != nil && s.items[e.ID] < n.PeekPort(0) {
+			return e.Src
+		}
+	case ir.NodeJoiner:
+		p := s.currentPort(n)
+		if e := n.In[p]; e != nil && s.items[e.ID] < 1 {
+			return e.Src
+		}
+	}
+	return nil
+}
+
+// fireBound limits simulation work; exceeding it indicates divergence.
+func (c *Calc) fireBound() int {
+	total := 0
+	for i, r := range c.sch.Reps {
+		scale := 1
+		n := c.g.Nodes[i]
+		if n.Kind != ir.NodeFilter {
+			scale = n.TotalPop() + n.TotalPush() + 1
+		}
+		total += (r + c.sch.InitReps[i]) * scale
+	}
+	return (tabPeriods + 4) * (total + 64)
+}
+
+// miTable builds mi{a->b} by pull simulation: items on b are demanded one
+// at a time; every upstream micro-firing happens only when needed, so the
+// recorded count on a is minimal.
+func (c *Calc) miTable(a, b *ir.Edge) (*table, error) {
+	key := [2]int{a.ID, b.ID}
+	if t, ok := c.mi[key]; ok {
+		return t, nil
+	}
+	if !c.upstream(a, b) {
+		return nil, fmt.Errorf("sdep: tape %s is not upstream of %s", a, b)
+	}
+	xMax := c.initItems(b) + tabPeriods*c.steadyItems(b)
+	sim := newMicroSim(c.g)
+	bound := c.fireBound()
+	fired := 0
+
+	vals := make([]int64, 0, xMax)
+	for x := int64(1); x <= xMax; x++ {
+		for sim.pushed[b.ID] < x {
+			if err := pullFire(sim, b.Src, &fired, bound); err != nil {
+				return nil, err
+			}
+		}
+		vals = append(vals, sim.pushed[a.ID])
+	}
+	t := &table{vals: vals, periodX: c.steadyItems(b), periodY: c.steadyItems(a)}
+	c.mi[key] = t
+	return t, nil
+}
+
+// pullFire micro-fires target once, lazily firing upstream producers.
+func pullFire(sim *microSim, target *ir.Node, fired *int, bound int) error {
+	stack := []*ir.Node{target}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		if sim.canStep(n) {
+			sim.step(n)
+			*fired++
+			if *fired > bound {
+				return fmt.Errorf("sdep: pull simulation diverged (deadlocked graph?)")
+			}
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		up := sim.deficientInput(n)
+		if up == nil {
+			return fmt.Errorf("sdep: node %s cannot fire and has no deficient input", n.Name)
+		}
+		stack = append(stack, up)
+		if len(stack) > 8*len(sim.g.Nodes)+32 {
+			return fmt.Errorf("sdep: demand cycle detected at %s (feedback loop lacks delay)", n.Name)
+		}
+	}
+	return nil
+}
+
+// maTable builds ma{a->b} by capped eager simulation: with at most x items
+// permitted on tape a, everything fires as much as possible; the resulting
+// count on b is maximal. Per-node budgets bound the work; they are generous
+// enough that b's growth is limited only by the cap on a within the
+// tabulated horizon.
+func (c *Calc) maTable(a, b *ir.Edge) (*table, error) {
+	key := [2]int{a.ID, b.ID}
+	if t, ok := c.ma[key]; ok {
+		return t, nil
+	}
+	if !c.upstream(a, b) {
+		return nil, fmt.Errorf("sdep: tape %s is not upstream of %s", a, b)
+	}
+	xMax := c.initItems(a) + tabPeriods*c.steadyItems(a)
+	order, err := c.g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	budget := make([]int, len(c.g.Nodes))
+	for _, n := range c.g.Nodes {
+		scale := 1
+		if n.Kind != ir.NodeFilter {
+			scale = n.TotalPop() + n.TotalPush() + 1
+		}
+		budget[n.ID] = (c.sch.InitReps[n.ID] + (tabPeriods+3)*c.sch.Reps[n.ID] + 4) * scale
+	}
+
+	sim := newMicroSim(c.g)
+	vals := make([]int64, 0, xMax)
+	for x := int64(1); x <= xMax; x++ {
+		for {
+			progress := false
+			for _, n := range order {
+				for sim.steps[n.ID] < budget[n.ID] && sim.canStep(n) {
+					if capped(n, a, sim, x) {
+						break
+					}
+					sim.step(n)
+					progress = true
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+		vals = append(vals, sim.pushed[b.ID])
+	}
+	t := &table{vals: vals, periodX: c.steadyItems(a), periodY: c.steadyItems(b)}
+	c.ma[key] = t
+	return t, nil
+}
+
+// capped reports whether micro-firing n would push tape a beyond x items.
+func capped(n *ir.Node, a *ir.Edge, sim *microSim, x int64) bool {
+	if n != a.Src {
+		return false
+	}
+	var delta int64
+	switch n.Kind {
+	case ir.NodeFilter:
+		delta = int64(n.Filter.Kernel.Push)
+	case ir.NodeSplitter:
+		if n.SJ.Kind == ir.SJDuplicate {
+			delta = 1
+		} else if sim.currentPort(n) == a.SrcPort {
+			delta = 1
+		} else {
+			return false
+		}
+	case ir.NodeJoiner:
+		delta = 1
+	}
+	return sim.pushed[a.ID]+delta > x
+}
+
+// upstream reports whether tape a is upstream of tape b: there is a
+// directed path from a's consumer to b's producer, or they share that node.
+func (c *Calc) upstream(a, b *ir.Edge) bool {
+	if a == b {
+		return false
+	}
+	if a.Dst == b.Src {
+		return true
+	}
+	return c.g.Downstream(a.Dst, b.Src)
+}
+
+// Upstream is the exported form of the tape ordering test.
+func (c *Calc) Upstream(a, b *ir.Edge) bool { return c.upstream(a, b) }

@@ -1,0 +1,130 @@
+// Package sdep implements the paper's information-wavefront analysis: the
+// max/min transfer functions between tapes of a stream graph.
+//
+// Two implementations are provided and cross-checked:
+//
+//   - Closed forms for the primitive constructs (filters, round-robin and
+//     duplicate splitters/joiners, feedback joiners) and their composition
+//     over pipelines, exactly as derived in the paper.
+//
+//   - A simulation-based computation over the flat graph (a pull schedule
+//     for min, a capped eager schedule for max) that handles the cases the
+//     paper leaves open: weighted round robins and arbitrary topologies.
+//
+// The runtime uses these functions to time teleport message delivery and to
+// enforce MAX_LATENCY constraints; the compiler uses them for deadlock and
+// overflow detection.
+package sdep
+
+// FilterMax computes ma{I_A->O_A}(x) for a filter with the given rates: the
+// maximum number of items that can appear on the output tape given x items
+// on the input tape.
+//
+//	ma(x) = push * floor((x - (peek-pop)) / pop)   for x >= peek-pop
+//	ma(x) = 0                                      otherwise
+func FilterMax(peek, pop, push int, x int64) int64 {
+	e := int64(peek - pop)
+	if x < e || pop == 0 {
+		if x >= e && pop == 0 {
+			// A source-like filter is unconstrained by its input; the
+			// transfer function is undefined. Treat as unbounded.
+			return int64(1) << 62
+		}
+		return 0
+	}
+	return int64(push) * ((x - e) / int64(pop))
+}
+
+// FilterMin computes mi{I_A->O_A}(x): the minimum number of items that must
+// appear on the input tape for x items to appear on the output tape.
+//
+//	mi(x) = ceil(x / push) * pop + (peek - pop)
+func FilterMin(peek, pop, push int, x int64) int64 {
+	if x <= 0 {
+		return 0
+	}
+	if push == 0 {
+		return int64(1) << 62
+	}
+	firings := (x + int64(push) - 1) / int64(push)
+	return firings*int64(pop) + int64(peek-pop)
+}
+
+// Fn is a transfer function on item counts.
+type Fn func(x int64) int64
+
+// ComposeMax composes max transfer functions along a pipeline: with a
+// upstream of y upstream of z, ma{x->z} = ma{y->z} ∘ ma{x->y}.
+func ComposeMax(inner, outer Fn) Fn {
+	return func(x int64) int64 { return outer(inner(x)) }
+}
+
+// ComposeMin composes min transfer functions along a pipeline:
+// mi{x->z} = mi{x->y} ∘ mi{y->z}.
+func ComposeMin(inner, outer Fn) Fn {
+	return func(x int64) int64 { return inner(outer(x)) }
+}
+
+// Round-robin splitter transfer functions (2-way, unit weights), paper §
+// "SplitJoins". The first item goes to output tape 1.
+
+// RRSplitMax1 is ma{I_S->O1_S}(x) = ceil(x/2).
+func RRSplitMax1(x int64) int64 { return (x + 1) / 2 }
+
+// RRSplitMax2 is ma{I_S->O2_S}(x) = floor(x/2).
+func RRSplitMax2(x int64) int64 { return x / 2 }
+
+// RRSplitMin is mi{I_S->(O1_S,O2_S)}(x1,x2) = MIN(2*x1-1, 2*x2).
+func RRSplitMin(x1, x2 int64) int64 {
+	a, b := 2*x1-1, 2*x2
+	if x1 == 0 {
+		a = 0
+	}
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RRJoinMin1 is mi{I1_J->O_J}(x) = ceil(x/2).
+func RRJoinMin1(x int64) int64 { return (x + 1) / 2 }
+
+// RRJoinMin2 is mi{I2_J->O_J}(x) = floor(x/2).
+func RRJoinMin2(x int64) int64 { return x / 2 }
+
+// RRJoinMax is ma{(I1_J,I2_J)->O_J}(x1,x2) = MIN(2*x1-1, 2*x2)... the
+// joiner can emit items alternately starting from input 1, so with x1
+// items on input 1 and x2 on input 2 it emits at most min(2*x1-1+1, 2*x2+1)
+// considering the final partial pair; the paper states MIN(2*x1-1, 2*x2).
+func RRJoinMax(x1, x2 int64) int64 {
+	return RRSplitMin(x1, x2)
+}
+
+// DupSplitMax is ma{I_S->Oi_S}(x) = x for a duplicate splitter.
+func DupSplitMax(x int64) int64 { return x }
+
+// DupSplitMin is mi{I_S->(O1_S,O2_S)}(x1,x2) = MIN(x1,x2).
+func DupSplitMin(x1, x2 int64) int64 {
+	if x1 < x2 {
+		return x1
+	}
+	return x2
+}
+
+// FeedbackJoinMin2 shifts the loop-input min function by the n initial
+// delay items: mi{I2_FJ->O_FJ}(x) = mi{I2_J->O_J}(x) - n.
+func FeedbackJoinMin2(base Fn, n int64) Fn {
+	return func(x int64) int64 {
+		v := base(x) - n
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+}
+
+// FeedbackJoinMax shifts the loop-input max function by the n initial delay
+// items: ma{(I1,I2)->O}(x1, x2) = ma_J(x1, x2+n).
+func FeedbackJoinMax(base func(x1, x2 int64) int64, n int64) func(x1, x2 int64) int64 {
+	return func(x1, x2 int64) int64 { return base(x1, x2+n) }
+}

@@ -1,0 +1,269 @@
+package wfunc
+
+import "fmt"
+
+// KernelBuilder constructs Kernels with named fields and locals. It is the
+// programmatic front end used by the builder API and by the language
+// elaborator; names are resolved to slot indices at build time.
+type KernelBuilder struct {
+	k         *Kernel
+	fieldIdx  map[string]int // scalar field name -> index
+	fieldArr  map[string]int // array field name -> index
+	localIdx  map[string]int // scalar local name -> index
+	localArr  map[string]int
+	arrSizes  []int
+	numLocals int
+	err       error
+}
+
+// NewKernel starts building a kernel with the given name and rates.
+func NewKernel(name string, peek, pop, push int) *KernelBuilder {
+	if peek < pop {
+		peek = pop
+	}
+	return &KernelBuilder{
+		k: &Kernel{
+			Name: name, Peek: peek, Pop: pop, Push: push,
+			Handlers: map[string]*Func{},
+		},
+		fieldIdx: map[string]int{},
+		fieldArr: map[string]int{},
+		localIdx: map[string]int{},
+		localArr: map[string]int{},
+	}
+}
+
+func (b *KernelBuilder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("kernel %s: %s", b.k.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Field declares a scalar field with an initial value and returns a
+// reference expression for it.
+func (b *KernelBuilder) Field(name string, init float64) *FieldRef {
+	if _, dup := b.fieldIdx[name]; dup {
+		b.fail("duplicate field %q", name)
+	}
+	idx := 0
+	for _, f := range b.k.Fields {
+		if f.Size == 0 {
+			idx++
+		}
+	}
+	b.fieldIdx[name] = idx
+	b.k.Fields = append(b.k.Fields, FieldSpec{Name: name, Init: init})
+	return &FieldRef{Idx: idx}
+}
+
+// FieldArray declares an array field of the given size, optionally with
+// initial values, and returns its array slot index.
+func (b *KernelBuilder) FieldArray(name string, size int, init ...float64) int {
+	if _, dup := b.fieldArr[name]; dup {
+		b.fail("duplicate array field %q", name)
+	}
+	if size <= 0 {
+		b.fail("array field %q has non-positive size %d", name, size)
+	}
+	if len(init) > size {
+		b.fail("array field %q: %d initial values for size %d", name, len(init), size)
+	}
+	idx := 0
+	for _, f := range b.k.Fields {
+		if f.Size > 0 {
+			idx++
+		}
+	}
+	b.fieldArr[name] = idx
+	b.k.Fields = append(b.k.Fields, FieldSpec{Name: name, Size: size, InitA: init})
+	return idx
+}
+
+// Local declares (or returns) a scalar local variable shared by all of the
+// kernel's functions.
+func (b *KernelBuilder) Local(name string) *LocalRef {
+	if idx, ok := b.localIdx[name]; ok {
+		return &LocalRef{Idx: idx}
+	}
+	idx := b.numLocals
+	b.numLocals++
+	b.localIdx[name] = idx
+	return &LocalRef{Idx: idx}
+}
+
+// LocalArray declares a local array of the given size and returns its slot.
+func (b *KernelBuilder) LocalArray(name string, size int) int {
+	if idx, ok := b.localArr[name]; ok {
+		return idx
+	}
+	if size <= 0 {
+		b.fail("local array %q has non-positive size %d", name, size)
+	}
+	idx := len(b.arrSizes)
+	b.arrSizes = append(b.arrSizes, size)
+	b.localArr[name] = idx
+	return idx
+}
+
+func (b *KernelBuilder) newFunc(name string, body []Stmt, numParams int) *Func {
+	return &Func{
+		Name:       name,
+		Body:       body,
+		NumLocals:  b.numLocals,
+		ArraySizes: append([]int(nil), b.arrSizes...),
+		NumParams:  numParams,
+	}
+}
+
+// Dynamic marks the kernel as having data-dependent rates; the declared
+// rates become minimum hints and the static pop/push count check is
+// skipped.
+func (b *KernelBuilder) Dynamic() *KernelBuilder {
+	b.k.Dynamic = true
+	return b
+}
+
+// InitBody sets the kernel's init function body. Declare all locals before
+// calling Build; frames are sized at build time.
+func (b *KernelBuilder) InitBody(body ...Stmt) *KernelBuilder {
+	b.k.Init = &Func{Name: b.k.Name + ".init", Body: body}
+	return b
+}
+
+// WorkBody sets the kernel's work function body.
+func (b *KernelBuilder) WorkBody(body ...Stmt) *KernelBuilder {
+	b.k.Work = &Func{Name: b.k.Name + ".work", Body: body}
+	return b
+}
+
+// Handler registers a teleport message handler. The handler's first
+// numParams scalar locals receive the message arguments. Parameter locals
+// must be declared with Local before the handler body references them.
+func (b *KernelBuilder) Handler(name string, numParams int, body ...Stmt) *KernelBuilder {
+	if _, dup := b.k.Handlers[name]; dup {
+		b.fail("duplicate handler %q", name)
+	}
+	b.k.Handlers[name] = &Func{Name: b.k.Name + "." + name, Body: body, NumParams: numParams}
+	return b
+}
+
+// Build finalizes the kernel, sizing every function's frame and validating
+// the IL. It panics on construction errors: kernels are built from program
+// text or Go code, so errors are programming bugs, not runtime conditions.
+func (b *KernelBuilder) Build() *Kernel {
+	if b.err != nil {
+		panic(b.err)
+	}
+	if b.k.Work == nil {
+		panic(fmt.Errorf("kernel %s: missing work function", b.k.Name))
+	}
+	size := func(f *Func) {
+		if f == nil {
+			return
+		}
+		f.NumLocals = b.numLocals
+		f.ArraySizes = append([]int(nil), b.arrSizes...)
+	}
+	size(b.k.Init)
+	size(b.k.Work)
+	for _, h := range b.k.Handlers {
+		size(h)
+	}
+	if err := Validate(b.k); err != nil {
+		panic(err)
+	}
+	return b.k
+}
+
+// Expression constructors. These keep application code terse; they are pure
+// functions building AST nodes.
+
+// C is a constant literal.
+func C(v float64) *Const { return &Const{V: v} }
+
+// Ci is an integer constant literal.
+func Ci(v int) *Const { return &Const{V: float64(v)} }
+
+// PeekE peeks at a constant offset.
+func PeekE(i int) *Peek { return &Peek{Index: Ci(i)} }
+
+// PeekX peeks at a computed offset.
+func PeekX(ix Expr) *Peek { return &Peek{Index: ix} }
+
+// PopE consumes one input item as an expression.
+func PopE() *PopExpr { return &PopExpr{} }
+
+// Un applies a unary operator.
+func Un(op UnOp, x Expr) *Unary { return &Unary{Op: op, X: x} }
+
+// Bin applies a binary operator.
+func Bin(op BinOp, a, b Expr) *Binary { return &Binary{Op: op, A: a, B: b} }
+
+// AddX returns a+b (+c...).
+func AddX(a, b Expr, rest ...Expr) Expr {
+	e := Expr(&Binary{Op: Add, A: a, B: b})
+	for _, r := range rest {
+		e = &Binary{Op: Add, A: e, B: r}
+	}
+	return e
+}
+
+// SubX returns a-b.
+func SubX(a, b Expr) Expr { return &Binary{Op: Sub, A: a, B: b} }
+
+// MulX returns a*b (*c...).
+func MulX(a, b Expr, rest ...Expr) Expr {
+	e := Expr(&Binary{Op: Mul, A: a, B: b})
+	for _, r := range rest {
+		e = &Binary{Op: Mul, A: e, B: r}
+	}
+	return e
+}
+
+// DivX returns a/b.
+func DivX(a, b Expr) Expr { return &Binary{Op: Div, A: a, B: b} }
+
+// LIdx reads local array arr at index ix.
+func LIdx(arr int, ix Expr) *LocalIndex { return &LocalIndex{Arr: arr, Index: ix} }
+
+// FIdx reads field array arr at index ix.
+func FIdx(arr int, ix Expr) *FieldIndex { return &FieldIndex{Arr: arr, Index: ix} }
+
+// Statement constructors.
+
+// Set assigns to a scalar local.
+func Set(l *LocalRef, x Expr) *Assign {
+	return &Assign{LHS: LValue{Kind: LVLocal, Idx: l.Idx}, X: x}
+}
+
+// SetF assigns to a scalar field.
+func SetF(f *FieldRef, x Expr) *Assign {
+	return &Assign{LHS: LValue{Kind: LVField, Idx: f.Idx}, X: x}
+}
+
+// SetLIdx assigns to an element of a local array.
+func SetLIdx(arr int, ix, x Expr) *Assign {
+	return &Assign{LHS: LValue{Kind: LVLocalArr, Idx: arr, Index: ix}, X: x}
+}
+
+// SetFIdx assigns to an element of a field array.
+func SetFIdx(arr int, ix, x Expr) *Assign {
+	return &Assign{LHS: LValue{Kind: LVFieldArr, Idx: arr, Index: ix}, X: x}
+}
+
+// Push1 pushes x.
+func Push1(x Expr) *PushStmt { return &PushStmt{X: x} }
+
+// Pop1 pops and discards one item.
+func Pop1() *PopStmt { return &PopStmt{} }
+
+// IfS builds an if statement with no else branch.
+func IfS(c Expr, then ...Stmt) *If { return &If{C: c, Then: then} }
+
+// IfElse builds an if/else statement.
+func IfElse(c Expr, then, els []Stmt) *If { return &If{C: c, Then: then, Else: els} }
+
+// ForUp builds a counted loop over [from, to) with step 1 using local v.
+func ForUp(v *LocalRef, from, to Expr, body ...Stmt) *For {
+	return &For{Var: v.Idx, From: from, To: to, Body: body}
+}

@@ -1,0 +1,107 @@
+package wfunc
+
+import "testing"
+
+func TestEstimateBranchTakesMax(t *testing.T) {
+	cheap := []Stmt{Set(&LocalRef{Idx: 0}, C(1))}
+	costly := []Stmt{
+		Set(&LocalRef{Idx: 0}, Un(Sin, C(1))),
+		Set(&LocalRef{Idx: 0}, Un(Cos, C(1))),
+	}
+	a := estimateStmt(IfElse(C(1), cheap, costly))
+	b := estimateStmt(IfElse(C(1), costly, cheap))
+	if a.Cycles != b.Cycles {
+		t.Errorf("branch estimate should take the max arm: %d vs %d", a.Cycles, b.Cycles)
+	}
+	if a.Cycles < costMath {
+		t.Errorf("estimate %d should include the expensive arm", a.Cycles)
+	}
+}
+
+func TestEstimateWhileUsesDefaultTrip(t *testing.T) {
+	body := []Stmt{Set(&LocalRef{Idx: 0}, AddX(&LocalRef{Idx: 0}, C(1)))}
+	w := estimateStmt(&While{C: C(1), Body: body})
+	single := estimateBlock(body)
+	if w.Cycles < single.Cycles*DefaultTrip {
+		t.Errorf("while estimate %d should assume %d iterations (%d each)",
+			w.Cycles, DefaultTrip, single.Cycles)
+	}
+}
+
+func TestEstimateNonConstLoopUsesDefault(t *testing.T) {
+	// Loop bound from a local: trip unknown.
+	f := &For{Var: 0, From: C(0), To: &LocalRef{Idx: 1},
+		Body: []Stmt{Set(&LocalRef{Idx: 0}, C(1))}}
+	c := estimateStmt(f)
+	if c.Cycles < DefaultTrip {
+		t.Errorf("non-constant loop estimate too small: %d", c.Cycles)
+	}
+}
+
+func TestEstimateCondAndSend(t *testing.T) {
+	cond := estimateExpr(&Cond{C: C(1), A: Un(Sin, C(1)), B: C(0)})
+	if cond.Cycles < costMath {
+		t.Errorf("cond estimate should include the expensive arm: %d", cond.Cycles)
+	}
+	send := estimateStmt(&Send{Portal: 0, Handler: "h", Args: []Expr{AddX(C(1), C(2))}})
+	if send.Cycles < costSend {
+		t.Errorf("send estimate too small: %d", send.Cycles)
+	}
+}
+
+func TestEstimateFlopsCounting(t *testing.T) {
+	// 3 multiplies + 1 add = 4 flops.
+	e := AddX(MulX(C(1), C(2)), MulX(C(3), MulX(C(4), C(5))))
+	c := estimateExpr(e)
+	if c.Flops != 4 {
+		t.Errorf("flops = %d, want 4", c.Flops)
+	}
+}
+
+func TestSendsMessagesDetection(t *testing.T) {
+	f := &Func{Body: []Stmt{
+		IfS(C(1), &For{Var: 0, From: C(0), To: C(2), Body: []Stmt{
+			&Send{Portal: 0, Handler: "h"},
+		}}),
+	}, NumLocals: 1}
+	if !SendsMessages(f) {
+		t.Error("nested send not detected")
+	}
+	if SendsMessages(nil) {
+		t.Error("nil func should not send")
+	}
+}
+
+func TestValidateHandlerParamBounds(t *testing.T) {
+	k := &Kernel{
+		Name: "k", Peek: 1, Pop: 1, Push: 1,
+		Work:     &Func{Name: "w", Body: []Stmt{Push1(PopE())}},
+		Handlers: map[string]*Func{"h": {Name: "h", NumParams: 3, NumLocals: 1}},
+	}
+	if err := Validate(k); err == nil {
+		t.Error("expected handler param/local mismatch error")
+	}
+}
+
+func TestValidateNegativeRates(t *testing.T) {
+	k := &Kernel{Name: "k", Peek: 0, Pop: -1, Push: 0,
+		Work: &Func{Name: "w"}}
+	if err := Validate(k); err == nil {
+		t.Error("expected negative-rate error")
+	}
+}
+
+func TestConstTripEdgeCases(t *testing.T) {
+	if trip, ok := ConstTrip(&For{From: C(5), To: C(5)}); !ok || trip != 0 {
+		t.Errorf("empty range trip = %d,%v", trip, ok)
+	}
+	if trip, ok := ConstTrip(&For{From: C(0), To: C(10), Step: C(3)}); !ok || trip != 4 {
+		t.Errorf("step-3 trip = %d,%v, want 4", trip, ok)
+	}
+	if _, ok := ConstTrip(&For{From: C(0), To: C(10), Step: C(-1)}); ok {
+		t.Error("negative step should be unknown")
+	}
+	if _, ok := ConstTrip(&For{From: C(0), To: &LocalRef{Idx: 0}}); ok {
+		t.Error("variable bound should be unknown")
+	}
+}

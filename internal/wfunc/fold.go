@@ -1,0 +1,210 @@
+package wfunc
+
+// FoldKernel applies constant folding and algebraic simplification to all
+// of a kernel's functions, in place. The front end bakes stream parameters
+// in as constants, so filter bodies are full of foldable subexpressions
+// (e.g. weights[i * 2 + 0], gains of 1, branches on compile-time flags).
+// Folding preserves semantics except that x*0 folds to 0 even when x could
+// be Inf or NaN — the usual DSP-compiler liberty.
+func FoldKernel(k *Kernel) {
+	foldFunc(k.Init)
+	foldFunc(k.Work)
+	for _, h := range k.Handlers {
+		foldFunc(h)
+	}
+}
+
+func foldFunc(f *Func) {
+	if f == nil {
+		return
+	}
+	f.Body = foldBlock(f.Body)
+}
+
+func foldBlock(body []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range body {
+		out = append(out, foldStmt(s)...)
+	}
+	return out
+}
+
+// foldStmt returns the simplified statement(s); a statement may disappear
+// (dead branch) or be replaced by its simplified body.
+func foldStmt(s Stmt) []Stmt {
+	switch s := s.(type) {
+	case *Assign:
+		s.X = FoldExpr(s.X)
+		if s.LHS.Index != nil {
+			s.LHS.Index = FoldExpr(s.LHS.Index)
+		}
+		return []Stmt{s}
+	case *PushStmt:
+		s.X = FoldExpr(s.X)
+		return []Stmt{s}
+	case *If:
+		s.C = FoldExpr(s.C)
+		s.Then = foldBlock(s.Then)
+		s.Else = foldBlock(s.Else)
+		if c, ok := s.C.(*Const); ok && !hasIO(s.C) {
+			if c.V != 0 {
+				return s.Then
+			}
+			return s.Else
+		}
+		if len(s.Then) == 0 && len(s.Else) == 0 && !hasIO(s.C) {
+			return nil
+		}
+		return []Stmt{s}
+	case *For:
+		s.From = FoldExpr(s.From)
+		s.To = FoldExpr(s.To)
+		if s.Step != nil {
+			s.Step = FoldExpr(s.Step)
+		}
+		s.Body = foldBlock(s.Body)
+		if trip, ok := ConstTrip(s); ok && trip == 0 {
+			return nil
+		}
+		return []Stmt{s}
+	case *While:
+		s.C = FoldExpr(s.C)
+		s.Body = foldBlock(s.Body)
+		if c, ok := s.C.(*Const); ok && c.V == 0 {
+			return nil
+		}
+		return []Stmt{s}
+	case *Print:
+		s.X = FoldExpr(s.X)
+		return []Stmt{s}
+	case *Send:
+		for i, a := range s.Args {
+			s.Args[i] = FoldExpr(a)
+		}
+		return []Stmt{s}
+	default:
+		return []Stmt{s}
+	}
+}
+
+// hasIO reports whether evaluating e touches the tapes (such expressions
+// cannot be discarded even when their value is unused).
+func hasIO(e Expr) bool {
+	switch e := e.(type) {
+	case *Peek:
+		return true
+	case *PopExpr:
+		return true
+	case *Unary:
+		return hasIO(e.X)
+	case *Binary:
+		return hasIO(e.A) || hasIO(e.B)
+	case *Cond:
+		return hasIO(e.C) || hasIO(e.A) || hasIO(e.B)
+	case *LocalIndex:
+		return hasIO(e.Index)
+	case *FieldIndex:
+		return hasIO(e.Index)
+	default:
+		return false
+	}
+}
+
+// FoldExpr simplifies an expression tree bottom-up.
+func FoldExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *Unary:
+		e.X = FoldExpr(e.X)
+		if c, ok := e.X.(*Const); ok {
+			return &Const{V: evalUnary(e.Op, c.V)}
+		}
+		// --x == x
+		if e.Op == Neg {
+			if inner, ok := e.X.(*Unary); ok && inner.Op == Neg {
+				return inner.X
+			}
+		}
+		return e
+	case *Binary:
+		e.A = FoldExpr(e.A)
+		e.B = FoldExpr(e.B)
+		ca, aConst := e.A.(*Const)
+		cb, bConst := e.B.(*Const)
+		// Never fold across short-circuit when the discarded side does IO.
+		if aConst && bConst {
+			return &Const{V: evalBinary(e.Op, ca.V, cb.V)}
+		}
+		switch e.Op {
+		case Add:
+			if aConst && ca.V == 0 {
+				return e.B
+			}
+			if bConst && cb.V == 0 {
+				return e.A
+			}
+		case Sub:
+			if bConst && cb.V == 0 {
+				return e.A
+			}
+		case Mul:
+			if aConst {
+				if ca.V == 1 {
+					return e.B
+				}
+				if ca.V == 0 && !hasIO(e.B) {
+					return &Const{V: 0}
+				}
+			}
+			if bConst {
+				if cb.V == 1 {
+					return e.A
+				}
+				if cb.V == 0 && !hasIO(e.A) {
+					return &Const{V: 0}
+				}
+			}
+		case Div:
+			if bConst && cb.V == 1 {
+				return e.A
+			}
+		case And:
+			if aConst && ca.V == 0 {
+				return &Const{V: 0}
+			}
+			if aConst && ca.V != 0 && !hasIO(e.B) {
+				// boolean value of B
+				return FoldExpr(&Binary{Op: Ne, A: e.B, B: &Const{V: 0}})
+			}
+		case Or:
+			if aConst && ca.V != 0 {
+				return &Const{V: 1}
+			}
+			if aConst && ca.V == 0 && !hasIO(e.B) {
+				return FoldExpr(&Binary{Op: Ne, A: e.B, B: &Const{V: 0}})
+			}
+		}
+		return e
+	case *Cond:
+		e.C = FoldExpr(e.C)
+		e.A = FoldExpr(e.A)
+		e.B = FoldExpr(e.B)
+		if c, ok := e.C.(*Const); ok {
+			if c.V != 0 {
+				return e.A
+			}
+			return e.B
+		}
+		return e
+	case *Peek:
+		e.Index = FoldExpr(e.Index)
+		return e
+	case *LocalIndex:
+		e.Index = FoldExpr(e.Index)
+		return e
+	case *FieldIndex:
+		e.Index = FoldExpr(e.Index)
+		return e
+	default:
+		return e
+	}
+}

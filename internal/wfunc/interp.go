@@ -1,0 +1,424 @@
+package wfunc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tape is the runtime view of a filter's input and output channels. The
+// interpreter reads via Peek/Pop and writes via Push; implementations are
+// provided by the execution engine.
+type Tape interface {
+	// Peek returns the item i slots from the read end without consuming
+	// (Peek(0) is what Pop would return next).
+	Peek(i int) float64
+	// Pop consumes and returns the next item.
+	Pop() float64
+	// Push appends an item at the write end.
+	Push(v float64)
+}
+
+// Messenger delivers teleport messages sent from a work function. The
+// runtime implements it; a nil messenger makes Send statements errors.
+type Messenger interface {
+	// Send dispatches args to handler on all receivers of portal, with
+	// information-wavefront latency in [minLat, maxLat] work executions of
+	// the sender, or best-effort timing when bestEffort is set.
+	Send(portal int, handler string, args []float64, minLat, maxLat int, bestEffort bool) error
+}
+
+// Env is the evaluation environment for one function invocation. Frames may
+// be reused across invocations via Reset to avoid per-firing allocation.
+type Env struct {
+	In    Tape // nil for init and handlers
+	Out   Tape // nil for init and handlers
+	State *State
+	Msg   Messenger
+	// Print receives println values; nil discards them.
+	Print func(float64)
+
+	locals []float64
+	arrays [][]float64
+}
+
+// NewEnv allocates a frame sized for f.
+func NewEnv(f *Func) *Env {
+	e := &Env{locals: make([]float64, f.NumLocals)}
+	e.arrays = make([][]float64, len(f.ArraySizes))
+	for i, n := range f.ArraySizes {
+		e.arrays[i] = make([]float64, n)
+	}
+	return e
+}
+
+// Reset zeroes the frame for reuse; required between invocations because
+// IL semantics give locals a zero initial value.
+func (e *Env) Reset() {
+	for i := range e.locals {
+		e.locals[i] = 0
+	}
+	for _, a := range e.arrays {
+		for i := range a {
+			a[i] = 0
+		}
+	}
+}
+
+// SetArgs fills the leading parameter locals (for message handlers).
+func (e *Env) SetArgs(args []float64) {
+	copy(e.locals, args)
+}
+
+type ctl int
+
+const (
+	ctlNone ctl = iota
+	ctlBreak
+	ctlContinue
+)
+
+// Exec runs f's body in env. Errors indicate IL bugs (out-of-range array
+// access, missing messenger) or arithmetic problems surfaced by the program.
+func Exec(f *Func, env *Env) error {
+	c, err := execBlock(f.Body, env)
+	if err != nil {
+		return fmt.Errorf("%s: %w", f.Name, err)
+	}
+	if c != ctlNone {
+		return fmt.Errorf("%s: break/continue outside loop", f.Name)
+	}
+	return nil
+}
+
+func execBlock(body []Stmt, env *Env) (ctl, error) {
+	for _, s := range body {
+		c, err := execStmt(s, env)
+		if err != nil || c != ctlNone {
+			return c, err
+		}
+	}
+	return ctlNone, nil
+}
+
+func execStmt(s Stmt, env *Env) (ctl, error) {
+	switch s := s.(type) {
+	case *Assign:
+		v, err := eval(s.X, env)
+		if err != nil {
+			return ctlNone, err
+		}
+		return ctlNone, store(&s.LHS, v, env)
+	case *PushStmt:
+		v, err := eval(s.X, env)
+		if err != nil {
+			return ctlNone, err
+		}
+		if env.Out == nil {
+			return ctlNone, fmt.Errorf("push outside work function")
+		}
+		env.Out.Push(v)
+		return ctlNone, nil
+	case *PopStmt:
+		if env.In == nil {
+			return ctlNone, fmt.Errorf("pop outside work function")
+		}
+		env.In.Pop()
+		return ctlNone, nil
+	case *If:
+		c, err := eval(s.C, env)
+		if err != nil {
+			return ctlNone, err
+		}
+		if c != 0 {
+			return execBlock(s.Then, env)
+		}
+		return execBlock(s.Else, env)
+	case *For:
+		from, err := eval(s.From, env)
+		if err != nil {
+			return ctlNone, err
+		}
+		env.locals[s.Var] = from
+		for {
+			to, err := eval(s.To, env)
+			if err != nil {
+				return ctlNone, err
+			}
+			if !(env.locals[s.Var] < to) {
+				return ctlNone, nil
+			}
+			c, err := execBlock(s.Body, env)
+			if err != nil {
+				return ctlNone, err
+			}
+			if c == ctlBreak {
+				return ctlNone, nil
+			}
+			step := 1.0
+			if s.Step != nil {
+				if step, err = eval(s.Step, env); err != nil {
+					return ctlNone, err
+				}
+			}
+			env.locals[s.Var] += step
+		}
+	case *While:
+		for {
+			c, err := eval(s.C, env)
+			if err != nil {
+				return ctlNone, err
+			}
+			if c == 0 {
+				return ctlNone, nil
+			}
+			cc, err := execBlock(s.Body, env)
+			if err != nil {
+				return ctlNone, err
+			}
+			if cc == ctlBreak {
+				return ctlNone, nil
+			}
+		}
+	case *Break:
+		return ctlBreak, nil
+	case *Continue:
+		return ctlContinue, nil
+	case *Print:
+		v, err := eval(s.X, env)
+		if err != nil {
+			return ctlNone, err
+		}
+		if env.Print != nil {
+			env.Print(v)
+		}
+		return ctlNone, nil
+	case *Send:
+		if env.Msg == nil {
+			return ctlNone, fmt.Errorf("message send with no messenger attached")
+		}
+		args := make([]float64, len(s.Args))
+		for i, a := range s.Args {
+			v, err := eval(a, env)
+			if err != nil {
+				return ctlNone, err
+			}
+			args[i] = v
+		}
+		return ctlNone, env.Msg.Send(s.Portal, s.Handler, args, s.MinLatency, s.MaxLatency, s.BestEffort)
+	default:
+		return ctlNone, fmt.Errorf("unknown statement %T", s)
+	}
+}
+
+func store(lv *LValue, v float64, env *Env) error {
+	switch lv.Kind {
+	case LVLocal:
+		env.locals[lv.Idx] = v
+	case LVField:
+		env.State.Scalars[lv.Idx] = v
+	case LVLocalArr:
+		ix, err := evalIndex(lv.Index, env, len(env.arrays[lv.Idx]))
+		if err != nil {
+			return err
+		}
+		env.arrays[lv.Idx][ix] = v
+	case LVFieldArr:
+		ix, err := evalIndex(lv.Index, env, len(env.State.Arrays[lv.Idx]))
+		if err != nil {
+			return err
+		}
+		env.State.Arrays[lv.Idx][ix] = v
+	}
+	return nil
+}
+
+func evalIndex(e Expr, env *Env, n int) (int, error) {
+	v, err := eval(e, env)
+	if err != nil {
+		return 0, err
+	}
+	ix := int(v)
+	if ix < 0 || ix >= n {
+		return 0, fmt.Errorf("array index %d out of range [0,%d)", ix, n)
+	}
+	return ix, nil
+}
+
+func eval(e Expr, env *Env) (float64, error) {
+	switch e := e.(type) {
+	case *Const:
+		return e.V, nil
+	case *LocalRef:
+		return env.locals[e.Idx], nil
+	case *FieldRef:
+		return env.State.Scalars[e.Idx], nil
+	case *LocalIndex:
+		ix, err := evalIndex(e.Index, env, len(env.arrays[e.Arr]))
+		if err != nil {
+			return 0, err
+		}
+		return env.arrays[e.Arr][ix], nil
+	case *FieldIndex:
+		ix, err := evalIndex(e.Index, env, len(env.State.Arrays[e.Arr]))
+		if err != nil {
+			return 0, err
+		}
+		return env.State.Arrays[e.Arr][ix], nil
+	case *Peek:
+		v, err := eval(e.Index, env)
+		if err != nil {
+			return 0, err
+		}
+		if env.In == nil {
+			return 0, fmt.Errorf("peek outside work function")
+		}
+		return env.In.Peek(int(v)), nil
+	case *PopExpr:
+		if env.In == nil {
+			return 0, fmt.Errorf("pop outside work function")
+		}
+		return env.In.Pop(), nil
+	case *Unary:
+		x, err := eval(e.X, env)
+		if err != nil {
+			return 0, err
+		}
+		return evalUnary(e.Op, x), nil
+	case *Binary:
+		a, err := eval(e.A, env)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit logical operators.
+		switch e.Op {
+		case And:
+			if a == 0 {
+				return 0, nil
+			}
+		case Or:
+			if a != 0 {
+				return 1, nil
+			}
+		}
+		b, err := eval(e.B, env)
+		if err != nil {
+			return 0, err
+		}
+		return evalBinary(e.Op, a, b), nil
+	case *Cond:
+		c, err := eval(e.C, env)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return eval(e.A, env)
+		}
+		return eval(e.B, env)
+	default:
+		return 0, fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+func evalUnary(op UnOp, x float64) float64 {
+	switch op {
+	case Neg:
+		return -x
+	case Not:
+		if x == 0 {
+			return 1
+		}
+		return 0
+	case BitNot:
+		return float64(^int64(x))
+	case Trunc:
+		return math.Trunc(x)
+	case Abs:
+		return math.Abs(x)
+	case Sin:
+		return math.Sin(x)
+	case Cos:
+		return math.Cos(x)
+	case Tan:
+		return math.Tan(x)
+	case Asin:
+		return math.Asin(x)
+	case Acos:
+		return math.Acos(x)
+	case Atan:
+		return math.Atan(x)
+	case Exp:
+		return math.Exp(x)
+	case Log:
+		return math.Log(x)
+	case Sqrt:
+		return math.Sqrt(x)
+	case Floor:
+		return math.Floor(x)
+	case Ceil:
+		return math.Ceil(x)
+	case Round:
+		return math.Round(x)
+	}
+	return math.NaN()
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func evalBinary(op BinOp, a, b float64) float64 {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Div:
+		return a / b
+	case Mod:
+		bi := int64(b)
+		if bi == 0 {
+			return math.NaN()
+		}
+		return float64(int64(a) % bi)
+	case Pow:
+		return math.Pow(a, b)
+	case Atan2:
+		return math.Atan2(a, b)
+	case Min:
+		return math.Min(a, b)
+	case Max:
+		return math.Max(a, b)
+	case And:
+		return boolVal(a != 0 && b != 0)
+	case Or:
+		return boolVal(a != 0 || b != 0)
+	case BitAnd:
+		return float64(int64(a) & int64(b))
+	case BitOr:
+		return float64(int64(a) | int64(b))
+	case BitXor:
+		return float64(int64(a) ^ int64(b))
+	case Shl:
+		return float64(int64(a) << (uint64(b) & 63))
+	case Shr:
+		return float64(int64(a) >> (uint64(b) & 63))
+	case Eq:
+		return boolVal(a == b)
+	case Ne:
+		return boolVal(a != b)
+	case Lt:
+		return boolVal(a < b)
+	case Le:
+		return boolVal(a <= b)
+	case Gt:
+		return boolVal(a > b)
+	case Ge:
+		return boolVal(a >= b)
+	}
+	return math.NaN()
+}

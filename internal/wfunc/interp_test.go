@@ -1,0 +1,361 @@
+package wfunc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// firKernel builds an N-tap FIR with the given weights, mirroring the
+// paper's FIR example: peek N, pop 1, push 1.
+func firKernel(t *testing.T, weights []float64) *Kernel {
+	t.Helper()
+	n := len(weights)
+	b := NewKernel("FIR", n, 1, 1)
+	w := b.FieldArray("w", n, weights...)
+	i := b.Local("i")
+	sum := b.Local("sum")
+	b.WorkBody(
+		Set(sum, C(0)),
+		ForUp(i, Ci(0), Ci(n),
+			Set(sum, AddX(sum, MulX(PeekX(i), FIdx(w, i)))),
+		),
+		Pop1(),
+		Push1(sum),
+	)
+	return b.Build()
+}
+
+func TestFIRKernel(t *testing.T) {
+	k := firKernel(t, []float64{1, 2, 3})
+	out, err := RunKernel(k, []float64{1, 0, 0, 0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1*1 + 0*2 + 0*3, 0 + 0 + 0, 0 + 0 + 5*3}
+	if len(out) != len(want) {
+		t.Fatalf("got %d outputs, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestInitFunctionComputesWeights(t *testing.T) {
+	// RFtoIF-style kernel: init fills a weight table with sine values.
+	n := 4
+	b := NewKernel("RFtoIF", 1, 1, 1)
+	w := b.FieldArray("w", n)
+	count := b.Field("count", 0)
+	i := b.Local("i")
+	b.InitBody(
+		ForUp(i, Ci(0), Ci(n),
+			SetFIdx(w, i, Un(Sin, MulX(i, C(math.Pi/float64(n))))),
+		),
+	)
+	b.WorkBody(
+		Push1(MulX(PopE(), FIdx(w, count))),
+		SetF(count, Bin(Mod, AddX(count, C(1)), Ci(n))),
+	)
+	k := b.Build()
+	out, err := RunKernel(k, []float64{1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		want := math.Sin(float64(i%n) * math.Pi / float64(n))
+		if math.Abs(out[i]-want) > 1e-12 {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want)
+		}
+	}
+}
+
+func TestStatePersistsAcrossFirings(t *testing.T) {
+	// Accumulator: out[n] = sum of first n+1 inputs.
+	b := NewKernel("Acc", 1, 1, 1)
+	acc := b.Field("acc", 0)
+	b.WorkBody(
+		SetF(acc, AddX(acc, PopE())),
+		Push1(acc),
+	)
+	k := b.Build()
+	out, err := RunKernel(k, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 6, 10}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	// abs-difference filter with branch: push |a-b|.
+	b := NewKernel("AbsDiff", 2, 2, 1)
+	a := b.Local("a")
+	c := b.Local("c")
+	b.WorkBody(
+		Set(a, PopE()),
+		Set(c, PopE()),
+		IfElse(Bin(Gt, a, c),
+			[]Stmt{Push1(SubX(a, c))},
+			[]Stmt{Push1(SubX(c, a))},
+		),
+	)
+	k := b.Build()
+	out, err := RunKernel(k, []float64{5, 3, 2, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 || out[1] != 7 {
+		t.Errorf("got %v, want [2 7]", out)
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	// Compute number of halvings to reach <= 1 (integer log2) via while.
+	b := NewKernel("Log2", 1, 1, 1)
+	x := b.Local("x")
+	n := b.Local("n")
+	b.WorkBody(
+		Set(x, PopE()),
+		&While{C: C(1), Body: []Stmt{
+			IfS(Bin(Le, x, C(1)), &Break{}),
+			Set(x, DivX(x, C(2))),
+			Set(n, AddX(n, C(1))),
+		}},
+		Push1(n),
+	)
+	k := b.Build()
+	out, err := RunKernel(k, []float64{8, 1, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 0, 5}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestIntegerOps(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		a, b float64
+		want float64
+	}{
+		{Mod, 7, 3, 1},
+		{Mod, -7, 3, -1},
+		{BitAnd, 12, 10, 8},
+		{BitOr, 12, 10, 14},
+		{BitXor, 12, 10, 6},
+		{Shl, 3, 2, 12},
+		{Shr, 12, 2, 3},
+		{Min, 3, -1, -1},
+		{Max, 3, -1, 3},
+		{Atan2, 1, 1, math.Pi / 4},
+	}
+	for _, c := range cases {
+		got := evalBinary(c.op, c.a, c.b)
+		if got != c.want {
+			t.Errorf("%v(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+	if evalUnary(BitNot, 0) != -1 {
+		t.Errorf("bitnot 0 = %v, want -1", evalUnary(BitNot, 0))
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// (x != 0) && (1/x > 0) must not divide when x == 0. Division by zero
+	// yields +Inf (not a crash) but the comparison result would differ.
+	b := NewKernel("SC", 1, 1, 1)
+	x := b.Local("x")
+	b.WorkBody(
+		Set(x, PopE()),
+		Push1(Bin(And, Bin(Ne, x, C(0)), Bin(Gt, DivX(C(1), x), C(0)))),
+	)
+	k := b.Build()
+	out, err := RunKernel(k, []float64{0, 2, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestHandlerSetsField(t *testing.T) {
+	b := NewKernel("Gain", 1, 1, 1)
+	g := b.Field("gain", 1)
+	v := b.Local("newGain")
+	b.WorkBody(Push1(MulX(PopE(), g)))
+	b.Handler("setGain", 1, SetF(g, v))
+	k := b.Build()
+
+	st := k.NewState()
+	h := k.Handlers["setGain"]
+	env := NewEnv(h)
+	env.State = st
+	env.SetArgs([]float64{2.5})
+	if err := Exec(h, env); err != nil {
+		t.Fatal(err)
+	}
+	if st.Scalars[0] != 2.5 {
+		t.Fatalf("gain = %v, want 2.5", st.Scalars[0])
+	}
+}
+
+func TestValidateRejectsBadRates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for push-count mismatch")
+		}
+	}()
+	b := NewKernel("Bad", 1, 1, 2) // declares push 2 but pushes 1
+	b.WorkBody(Push1(PopE()))
+	b.Build()
+}
+
+func TestValidateRejectsPeekBeyondWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-window peek")
+		}
+	}()
+	b := NewKernel("BadPeek", 2, 1, 1)
+	b.WorkBody(Push1(PeekE(5)), Pop1())
+	b.Build()
+}
+
+func TestCountIOBranches(t *testing.T) {
+	// Balanced branches are statically known.
+	c := CountIO([]Stmt{
+		IfElse(C(1), []Stmt{Push1(PopE())}, []Stmt{Push1(PopE())}),
+	})
+	if !c.Known || c.Pops != 1 || c.Pushes != 1 {
+		t.Errorf("balanced if: got %+v", c)
+	}
+	// Unbalanced branches are unknown.
+	c = CountIO([]Stmt{
+		IfElse(C(1), []Stmt{Push1(C(0))}, []Stmt{Push1(C(0)), Push1(C(0))}),
+	})
+	if c.Known {
+		t.Errorf("unbalanced if should be unknown, got %+v", c)
+	}
+}
+
+func TestEstimateLoopScaling(t *testing.T) {
+	small := firKernel(t, make([]float64, 4))
+	big := firKernel(t, make([]float64, 64))
+	cs, cb := EstimateKernel(small), EstimateKernel(big)
+	if cb.Cycles <= cs.Cycles*8 {
+		t.Errorf("64-tap FIR (%d cyc) should cost >8x a 4-tap FIR (%d cyc)", cb.Cycles, cs.Cycles)
+	}
+	if cb.Flops < 128 {
+		t.Errorf("64-tap FIR flops = %d, want >= 128", cb.Flops)
+	}
+}
+
+func TestWritesFieldsDetection(t *testing.T) {
+	k := firKernel(t, []float64{1, 2})
+	if WritesFields(k.Work) {
+		t.Error("FIR work should not write fields")
+	}
+	b := NewKernel("Counter", 0, 0, 1)
+	cnt := b.Field("cnt", 0)
+	b.WorkBody(SetF(cnt, AddX(cnt, C(1))), Push1(cnt))
+	k2 := b.Build()
+	if !WritesFields(k2.Work) {
+		t.Error("Counter work should write fields")
+	}
+}
+
+// Property: the interpreter's FIR matches a direct Go convolution for
+// arbitrary weights and inputs.
+func TestQuickFIRMatchesConvolution(t *testing.T) {
+	f := func(wRaw []int8, inRaw []int8) bool {
+		if len(wRaw) == 0 || len(wRaw) > 8 {
+			return true
+		}
+		weights := make([]float64, len(wRaw))
+		for i, v := range wRaw {
+			weights[i] = float64(v)
+		}
+		input := make([]float64, len(inRaw))
+		for i, v := range inRaw {
+			input[i] = float64(v)
+		}
+		k := firKernel(t, weights)
+		out, err := RunKernel(k, input)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		n := len(weights)
+		wantLen := len(input) - n + 1
+		if wantLen < 0 {
+			wantLen = 0
+		}
+		if len(out) != wantLen {
+			return false
+		}
+		for i := 0; i < wantLen; i++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				sum += input[i+j] * weights[j]
+			}
+			if out[i] != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: state cloning is deep — mutating a clone never affects the
+// original.
+func TestQuickStateCloneIsDeep(t *testing.T) {
+	f := func(scalars []float64, arr []float64) bool {
+		if len(arr) == 0 {
+			arr = []float64{1}
+		}
+		s := &State{Scalars: append([]float64(nil), scalars...), Arrays: [][]float64{append([]float64(nil), arr...)}}
+		c := s.Clone()
+		for i := range c.Scalars {
+			c.Scalars[i] += 1
+		}
+		c.Arrays[0][0] += 1
+		for i := range s.Scalars {
+			if s.Scalars[i] != scalars[i] {
+				return false
+			}
+		}
+		return s.Arrays[0][0] == arr[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvResetZeroesFrame(t *testing.T) {
+	f := &Func{Name: "f", NumLocals: 2, ArraySizes: []int{3}}
+	env := NewEnv(f)
+	env.locals[1] = 7
+	env.arrays[0][2] = 9
+	env.Reset()
+	if env.locals[1] != 0 || env.arrays[0][2] != 0 {
+		t.Error("Reset did not zero the frame")
+	}
+}

@@ -1,0 +1,87 @@
+package streamit
+
+import (
+	"streamit/internal/core"
+	"streamit/internal/exec"
+	"streamit/internal/fuse"
+	"streamit/internal/ir"
+	"streamit/internal/linear"
+	"streamit/internal/machine"
+	"streamit/internal/partition"
+)
+
+// The facade re-exports the library's main types and entry points under a
+// single name, so in-module users (cmd/, examples/, tests) can write
+// streamit.Compile(...) without importing each subsystem.
+
+// Core graph types.
+type (
+	// Program bundles a top-level stream with messaging declarations.
+	Program = ir.Program
+	// Stream is any hierarchical stream node.
+	Stream = ir.Stream
+	// Filter is the basic computation unit.
+	Filter = ir.Filter
+	// Pipeline composes children in sequence.
+	Pipeline = ir.Pipeline
+	// SplitJoin runs children in parallel.
+	SplitJoin = ir.SplitJoin
+	// FeedbackLoop creates a cycle with delay.
+	FeedbackLoop = ir.FeedbackLoop
+	// Portal is a teleport-messaging broadcast target.
+	Portal = ir.Portal
+
+	// Options configure compilation.
+	Options = core.Options
+	// Compiled is a verified, scheduled program.
+	Compiled = core.Compiled
+	// Engine executes a compiled program sequentially.
+	Engine = exec.Engine
+	// LinearOptions configure the linear optimizer.
+	LinearOptions = linear.Options
+	// MachineConfig describes the simulated multicore.
+	MachineConfig = machine.Config
+	// Strategy names a parallelization strategy.
+	Strategy = partition.Strategy
+)
+
+// Constructors and helpers.
+var (
+	// Pipe builds a pipeline from children.
+	Pipe = ir.Pipe
+	// SJ builds a split-join.
+	SJ = ir.SJ
+	// RoundRobin builds a (weighted) round-robin splitter/joiner spec.
+	RoundRobin = ir.RoundRobin
+	// Duplicate builds a duplicating-splitter spec.
+	Duplicate = ir.Duplicate
+	// Identity returns an identity filter of the given type.
+	Identity = ir.Identity
+
+	// Compile verifies and schedules a program.
+	Compile = core.Compile
+	// CompileSource parses, elaborates, and compiles a .str program.
+	CompileSource = core.CompileSource
+
+	// DefaultMachine is the 16-tile configuration of the evaluation.
+	DefaultMachine = machine.DefaultConfig
+
+	// FuseFilters collapses two pipelined filters into one (see
+	// internal/fuse for the stateless-producer requirement).
+	FuseFilters = fuse.Pipeline
+
+	// CompileDynamic builds the demand-driven engine for dynamic-rate
+	// programs.
+	CompileDynamic = core.CompileDynamic
+)
+
+// Parallelization strategies from the paper's evaluation.
+const (
+	Sequential      = partition.StratSequential
+	TaskParallel    = partition.StratTask
+	FineGrainedData = partition.StratFineData
+	TaskData        = partition.StratCoarseData
+	TaskSWP         = partition.StratSWP
+	TaskDataSWP     = partition.StratCombined
+	SpaceMultiplex  = partition.StratSpace
+)

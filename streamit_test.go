@@ -1,0 +1,82 @@
+package streamit_test
+
+import (
+	"strings"
+	"testing"
+
+	"streamit"
+	"streamit/internal/apps"
+	"streamit/internal/exec"
+)
+
+// TestFacadeEndToEnd exercises the root package's re-exported API exactly
+// the way the README shows it.
+func TestFacadeEndToEnd(t *testing.T) {
+	snk, got := exec.SliceSink("speaker")
+	prog := &streamit.Program{Name: "radio", Top: streamit.Pipe("main",
+		apps.Source("antenna"),
+		apps.FIR("lp", 16, 0.25),
+		streamit.SJ("eq", streamit.Duplicate(), streamit.RoundRobin(),
+			apps.Gain("lo", 0.5), apps.Gain("hi", 2)),
+		apps.Adder("sum", 2),
+		snk,
+	)}
+	lo := streamit.LinearOptions{Combine: true}
+	c, err := streamit.Compile(prog, streamit.Options{Linear: &lo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := c.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(24); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) == 0 {
+		t.Fatal("no output")
+	}
+	if rep := c.Report(); !strings.Contains(rep, "linear optimization") {
+		t.Errorf("report missing optimizer summary:\n%s", rep)
+	}
+	res, err := c.MapOnto(streamit.TaskDataSWP, streamit.DefaultMachine(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CyclesPerIter <= 0 {
+		t.Errorf("bad simulation result: %+v", res)
+	}
+}
+
+// TestFacadeSource compiles textual source through the facade.
+func TestFacadeSource(t *testing.T) {
+	src := `
+void->float filter S() { float n; work push 1 { push(n); n = n + 1; } }
+float->void filter K() { work pop 1 { pop(); } }
+void->void pipeline Main() { add S(); add K(); }
+`
+	c, err := streamit.CompileSource(src, "Main", streamit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeFusion uses the re-exported fusion entry point.
+func TestFacadeFusion(t *testing.T) {
+	a := apps.Gain("a", 2)
+	b := apps.Gain("b", 3)
+	fused, err := streamit.FuseFilters("ab", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.Kernel.Pop != 1 || fused.Kernel.Push != 1 {
+		t.Errorf("fused rates: %+v", fused.Kernel)
+	}
+}
