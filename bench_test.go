@@ -149,6 +149,25 @@ func BenchmarkTableTeleport(b *testing.B) {
 	b.ReportMetric(res.Improvement, "%improvement")
 }
 
+// BenchmarkVMSpeedup measures the bytecode-VM execution backend against
+// the tree-walking interpreter on the linear suite's work functions
+// (items/sec at the sinks; acceptance floor is a 1.5x geomean).
+func BenchmarkVMSpeedup(b *testing.B) {
+	var rows []bench.VMRow
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, mean, err = bench.VMBench()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup, "x-"+r.Name)
+	}
+	b.ReportMetric(mean, "x-geomean-vm")
+}
+
 // BenchmarkAblationScaling regenerates A1: geomean speedups at several
 // machine sizes.
 func BenchmarkAblationScaling(b *testing.B) {

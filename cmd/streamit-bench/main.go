@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, benchchar, main, finegrain, softpipe, thruput, vsspace, linear, teleport, scaling, commablation, freqblocks")
+	table := flag.String("table", "all", "table to print: all, benchchar, main, finegrain, softpipe, thruput, vsspace, linear, teleport, scaling, commablation, freqblocks, vm")
 	dur := flag.Duration("dur", 150*time.Millisecond, "measurement window per configuration for the execution benchmarks")
 	flag.Parse()
 
@@ -51,6 +51,8 @@ func main() {
 		err = bench.PrintCommAblation(os.Stdout)
 	case "freqblocks":
 		err = bench.PrintFreqBlocks(os.Stdout)
+	case "vm":
+		err = bench.PrintVM(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)

@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	streamit-run [-top Main] [-iters N] [-linear] [-strategy name] prog.str
+//	streamit-run [-top Main] [-iters N] [-linear] [-backend vm|interp] [-strategy name] prog.str
+//
+// Work functions execute on the bytecode VM by default; -backend=interp
+// forces the tree-walking interpreter (bit-identical output, useful for
+// cross-checking and debugging).
 //
 // With -strategy, the program is instead mapped onto the simulated 16-tile
 // machine with the chosen strategy (sequential, task, task+data, task+swp,
@@ -30,6 +34,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run on the goroutine-per-filter parallel backend")
 	dynamic := flag.Bool("dynamic", false, "run on the demand-driven dynamic-rate backend (-iters counts sink items)")
 	traceOut := flag.String("trace", "", "with -strategy: write a Chrome trace JSON of the simulated execution to this file")
+	backendName := flag.String("backend", "vm", "work-function backend: vm (bytecode) or interp (tree-walking)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -37,12 +42,17 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	backend, err := core.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	runOpts := core.RunOptions{Backend: backend}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
 	if *dynamic {
-		d, err := core.CompileSourceDynamic(string(src), *top)
+		d, err := core.CompileSourceDynamicOpts(string(src), *top, runOpts)
 		if err != nil {
 			fatal(err)
 		}
@@ -86,7 +96,7 @@ func main() {
 	}
 
 	if *parallel {
-		pe, err := c.ParallelEngine()
+		pe, err := c.ParallelEngineOpts(runOpts)
 		if err != nil {
 			fatal(err)
 		}
@@ -99,7 +109,7 @@ func main() {
 		fmt.Printf("%.0f iterations/sec\n", float64(*iters)/dur.Seconds())
 		return
 	}
-	e, err := c.Engine()
+	e, err := c.EngineOpts(runOpts)
 	if err != nil {
 		fatal(err)
 	}

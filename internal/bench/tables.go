@@ -122,6 +122,22 @@ func PrintLinear(w io.Writer) error {
 	return nil
 }
 
+// PrintVM renders the bytecode-VM vs interpreter backend comparison.
+func PrintVM(w io.Writer) error {
+	rows, mean, err := VMBench()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table vm: work-function throughput, bytecode VM vs tree-walking interpreter")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tInterp items/sec\tVM items/sec\tSpeedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.2fx\n", r.Name, r.InterpRate, r.VMRate, r.Speedup)
+	}
+	fmt.Fprintf(tw, "geometric mean\t\t\t%.2fx\n", mean)
+	return tw.Flush()
+}
+
 // PrintTeleport renders E8.
 func PrintTeleport(w io.Writer) error {
 	res, err := TeleportBench()
@@ -145,7 +161,7 @@ func PrintAll(w io.Writer) error {
 	printers := []func(io.Writer) error{
 		PrintBenchChar, PrintMainComparison, PrintFineGrained, PrintSoftPipe,
 		PrintThroughput, PrintVsSpace, PrintLinear, PrintTeleport,
-		PrintScaling, PrintCommAblation, PrintFreqBlocks,
+		PrintScaling, PrintCommAblation, PrintFreqBlocks, PrintVM,
 	}
 	for i, p := range printers {
 		if i > 0 {

@@ -33,6 +33,18 @@ type Options struct {
 	CheckFeedback bool
 }
 
+// RunOptions configure execution-engine construction.
+type RunOptions struct {
+	// Backend selects the work-function execution substrate. The zero
+	// value is the bytecode VM (exec.BackendVM); exec.BackendInterp forces
+	// the tree-walking interpreter.
+	Backend exec.Backend
+}
+
+// ParseBackend maps the user-facing backend names ("vm", "interp") onto
+// exec.Backend values; see the -backend flag of cmd/streamit-run.
+func ParseBackend(s string) (exec.Backend, error) { return exec.ParseBackend(s) }
+
 // Compiled is the result of compilation: the (possibly optimized) program,
 // its flat graph, and its schedule.
 type Compiled struct {
@@ -90,34 +102,56 @@ func CompileSource(src, top string, opts Options) (*Compiled, error) {
 	return Compile(prog, opts)
 }
 
-// Engine builds a sequential execution engine for the compiled program.
+// Engine builds a sequential execution engine for the compiled program on
+// the default (VM) backend.
 func (c *Compiled) Engine() (*exec.Engine, error) {
-	return exec.NewFromGraph(c.Graph, c.Schedule)
+	return c.EngineOpts(RunOptions{})
+}
+
+// EngineOpts is Engine with explicit run options.
+func (c *Compiled) EngineOpts(opts RunOptions) (*exec.Engine, error) {
+	return exec.NewFromGraphBackend(c.Graph, c.Schedule, opts.Backend)
 }
 
 // ParallelEngine builds the goroutine-per-filter backend (no teleport
 // messaging or feedback loops; see exec.NewParallel).
 func (c *Compiled) ParallelEngine() (*exec.ParallelEngine, error) {
-	return exec.NewParallel(c.Graph, c.Schedule)
+	return c.ParallelEngineOpts(RunOptions{})
+}
+
+// ParallelEngineOpts is ParallelEngine with explicit run options.
+func (c *Compiled) ParallelEngineOpts(opts RunOptions) (*exec.ParallelEngine, error) {
+	return exec.NewParallelBackend(c.Graph, c.Schedule, opts.Backend)
 }
 
 // CompileDynamic parses and flattens a program with dynamic-rate filters
 // (no static schedule exists) and returns the demand-driven engine.
 func CompileDynamic(prog *ir.Program) (*exec.DynamicEngine, error) {
+	return CompileDynamicOpts(prog, RunOptions{})
+}
+
+// CompileDynamicOpts is CompileDynamic with explicit run options.
+func CompileDynamicOpts(prog *ir.Program, opts RunOptions) (*exec.DynamicEngine, error) {
 	g, err := ir.Flatten(prog)
 	if err != nil {
 		return nil, err
 	}
-	return exec.NewDynamic(g)
+	return exec.NewDynamicBackend(g, opts.Backend)
 }
 
 // CompileSourceDynamic is CompileDynamic over textual source.
 func CompileSourceDynamic(src, top string) (*exec.DynamicEngine, error) {
+	return CompileSourceDynamicOpts(src, top, RunOptions{})
+}
+
+// CompileSourceDynamicOpts is CompileSourceDynamic with explicit run
+// options.
+func CompileSourceDynamicOpts(src, top string, opts RunOptions) (*exec.DynamicEngine, error) {
 	prog, err := lang.ParseAndElaborate(src, top)
 	if err != nil {
 		return nil, err
 	}
-	return CompileDynamic(prog)
+	return CompileDynamicOpts(prog, opts)
 }
 
 // MapOnto partitions the program for the simulated multicore with the

@@ -11,9 +11,12 @@ import "fmt"
 // channel is a growable ring buffer of float64 items implementing the
 // wfunc.Tape contract for its consumer (Peek/Pop) and producer (Push).
 // It also tracks the tape counters of the paper's semantics: pushed is
-// n(t), popped is p(t).
+// n(t), popped is p(t). Capacity is kept a power of two so position
+// wrapping is a mask, not a division — Peek/Pop/Push are the innermost
+// operations of every backend.
 type channel struct {
 	buf    []float64
+	mask   int
 	head   int
 	count  int
 	pushed int64
@@ -21,10 +24,11 @@ type channel struct {
 }
 
 func newChannel(capacity int) *channel {
-	if capacity < 4 {
-		capacity = 4
+	n := 4
+	for n < capacity {
+		n *= 2
 	}
-	return &channel{buf: make([]float64, capacity)}
+	return &channel{buf: make([]float64, n), mask: n - 1}
 }
 
 // Peek returns the item i positions from the read end.
@@ -32,7 +36,7 @@ func (c *channel) Peek(i int) float64 {
 	if i < 0 || i >= c.count {
 		panic(fmt.Sprintf("peek(%d) with %d items buffered", i, c.count))
 	}
-	return c.buf[(c.head+i)%len(c.buf)]
+	return c.buf[(c.head+i)&c.mask]
 }
 
 // Pop consumes the next item.
@@ -41,7 +45,7 @@ func (c *channel) Pop() float64 {
 		panic("pop on empty channel")
 	}
 	v := c.buf[c.head]
-	c.head = (c.head + 1) % len(c.buf)
+	c.head = (c.head + 1) & c.mask
 	c.count--
 	c.popped++
 	return v
@@ -52,7 +56,7 @@ func (c *channel) Push(v float64) {
 	if c.count == len(c.buf) {
 		c.grow()
 	}
-	c.buf[(c.head+c.count)%len(c.buf)] = v
+	c.buf[(c.head+c.count)&c.mask] = v
 	c.count++
 	c.pushed++
 }
@@ -60,9 +64,10 @@ func (c *channel) Push(v float64) {
 func (c *channel) grow() {
 	nb := make([]float64, 2*len(c.buf))
 	for i := 0; i < c.count; i++ {
-		nb[i] = c.buf[(c.head+i)%len(c.buf)]
+		nb[i] = c.buf[(c.head+i)&c.mask]
 	}
 	c.buf = nb
+	c.mask = len(nb) - 1
 	c.head = 0
 }
 

@@ -23,6 +23,9 @@ import (
 // semantics assume static rates, as the paper notes).
 type DynamicEngine struct {
 	G *ir.Graph
+	// Backend is the work-function execution substrate (bytecode VM by
+	// default).
+	Backend Backend
 	// ChanCap is the per-edge buffering in items (default 4096). Dynamic
 	// graphs have no static buffer bound; a graph that needs more buffering
 	// than this to make progress will report deadlock via timeout-free
@@ -42,15 +45,20 @@ type dynNodeRT struct {
 type stopSignal struct{}
 
 // NewDynamic prepares a dynamic engine for a flattened graph (no schedule
-// is needed or computed).
+// is needed or computed) on the default (VM) backend.
 func NewDynamic(g *ir.Graph) (*DynamicEngine, error) {
+	return NewDynamicBackend(g, BackendVM)
+}
+
+// NewDynamicBackend is NewDynamic with an explicit work-function backend.
+func NewDynamicBackend(g *ir.Graph, backend Backend) (*DynamicEngine, error) {
 	if len(g.Portals) > 0 || len(g.Constraints) > 0 {
 		return nil, fmt.Errorf("exec: dynamic-rate execution does not support teleport messaging")
 	}
 	if len(g.Sinks()) == 0 {
 		return nil, fmt.Errorf("exec: dynamic execution needs at least one sink to count output")
 	}
-	d := &DynamicEngine{G: g, ChanCap: 4096}
+	d := &DynamicEngine{G: g, Backend: backend, ChanCap: 4096}
 	d.nodes = make([]*dynNodeRT, len(g.Nodes))
 	for _, n := range g.Nodes {
 		rt := &dynNodeRT{node: n}
@@ -146,10 +154,9 @@ func (d *DynamicEngine) runDynNode(rt *dynNodeRT, chans []chan float64, done cha
 		outs[p] = &dynOut{ch: chans[e.ID], done: done}
 	}
 
-	var env *wfunc.Env
+	var runner *workRunner
 	if n.Kind == ir.NodeFilter && n.Filter.WorkFn == nil {
-		env = wfunc.NewEnv(n.Filter.Kernel.Work)
-		env.State = rt.state
+		runner = newWorkRunner(n.Filter.Kernel, rt.state, d.Backend)
 	}
 
 	for {
@@ -170,12 +177,8 @@ func (d *DynamicEngine) runDynNode(rt *dynNodeRT, chans []chan float64, done cha
 			}
 			if n.Filter.WorkFn != nil {
 				n.Filter.WorkFn(tIn, tOut, rt.state)
-			} else {
-				env.Reset()
-				env.In, env.Out = tIn, tOut
-				if err := wfunc.Exec(n.Filter.Kernel.Work, env); err != nil {
-					panic(err)
-				}
+			} else if err := runner.run(tIn, tOut, nil, nil); err != nil {
+				panic(err)
 			}
 		case ir.NodeSplitter:
 			if n.SJ.Kind == ir.SJDuplicate {

@@ -13,6 +13,9 @@ import (
 type Engine struct {
 	G   *ir.Graph
 	Sch *sched.Schedule
+	// Backend is the work-function execution substrate chosen at
+	// construction (bytecode VM by default).
+	Backend Backend
 
 	calc  *sdep.Calc
 	chans []*channel
@@ -35,10 +38,12 @@ type Engine struct {
 
 // nodeRT is the per-node runtime state.
 type nodeRT struct {
-	node  *ir.Node
-	state *wfunc.State
-	env   *wfunc.Env
-	fired int64
+	node   *ir.Node
+	state  *wfunc.State
+	runner *workRunner
+	send   *sender       // hoisted messenger (one per node, not per firing)
+	print  func(float64) // hoisted print hook trampoline
+	fired  int64
 }
 
 // message is an in-flight teleport message.
@@ -59,8 +64,14 @@ type constraint struct {
 	upstream bool // receiver upstream of sender
 }
 
-// New flattens, verifies, and prepares prog for execution.
+// New flattens, verifies, and prepares prog for execution on the default
+// (VM) backend.
 func New(prog *ir.Program) (*Engine, error) {
+	return NewBackend(prog, BackendVM)
+}
+
+// NewBackend is New with an explicit work-function backend.
+func NewBackend(prog *ir.Program, backend Backend) (*Engine, error) {
 	g, err := ir.Flatten(prog)
 	if err != nil {
 		return nil, err
@@ -69,14 +80,22 @@ func New(prog *ir.Program) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewFromGraph(g, s)
+	return NewFromGraphBackend(g, s, backend)
 }
 
-// NewFromGraph prepares an engine for an already-flattened graph.
+// NewFromGraph prepares an engine for an already-flattened graph on the
+// default (VM) backend.
 func NewFromGraph(g *ir.Graph, s *sched.Schedule) (*Engine, error) {
+	return NewFromGraphBackend(g, s, BackendVM)
+}
+
+// NewFromGraphBackend is NewFromGraph with an explicit work-function
+// backend.
+func NewFromGraphBackend(g *ir.Graph, s *sched.Schedule, backend Backend) (*Engine, error) {
 	e := &Engine{
 		G:       g,
 		Sch:     s,
+		Backend: backend,
 		calc:    sdep.NewCalc(g, s),
 		chans:   make([]*channel, len(g.Edges)),
 		nodes:   make([]*nodeRT, len(g.Nodes)),
@@ -94,13 +113,21 @@ func NewFromGraph(g *ir.Graph, s *sched.Schedule) (*Engine, error) {
 		if n.Kind == ir.NodeFilter {
 			k := n.Filter.Kernel
 			rt.state = k.NewState()
-			rt.env = wfunc.NewEnv(k.Work)
-			rt.env.State = rt.state
+			// Init always runs on the interpreter: it fires once, so
+			// compilation would cost more than it saves.
 			if k.Init != nil {
 				initEnv := wfunc.NewEnv(k.Init)
 				initEnv.State = rt.state
 				if err := wfunc.Exec(k.Init, initEnv); err != nil {
 					return nil, fmt.Errorf("init of %s: %w", n.Name, err)
+				}
+			}
+			rt.runner = newWorkRunner(k, rt.state, backend)
+			rt.send = &sender{e: e, node: n}
+			name := n.Name
+			rt.print = func(v float64) {
+				if e.Printer != nil {
+					e.Printer(name, v)
 				}
 			}
 		}
@@ -442,7 +469,6 @@ func (e *Engine) fireInner(n *ir.Node) error {
 
 func (e *Engine) fireFilter(rt *nodeRT) error {
 	n := rt.node
-	k := n.Filter.Kernel
 	var in, out wfunc.Tape
 	if edge := n.InEdge(); edge != nil {
 		in = e.chans[edge.ID]
@@ -454,14 +480,11 @@ func (e *Engine) fireFilter(rt *nodeRT) error {
 		n.Filter.WorkFn(in, out, rt.state)
 		return nil
 	}
-	env := rt.env
-	env.Reset()
-	env.In, env.Out = in, out
-	env.Msg = &sender{e: e, node: n}
+	var print func(float64)
 	if e.Printer != nil {
-		env.Print = func(v float64) { e.Printer(n.Name, v) }
+		print = rt.print
 	}
-	return wfunc.Exec(k.Work, env)
+	return rt.runner.run(in, out, rt.send, print)
 }
 
 func (e *Engine) fireSplitter(n *ir.Node) {
@@ -498,6 +521,17 @@ func (e *Engine) fireJoiner(n *ir.Node) {
 
 // ChannelLen returns the buffered item count on an edge (for tests).
 func (e *Engine) ChannelLen(edge *ir.Edge) int { return e.chans[edge.ID].Len() }
+
+// ChannelItems returns the buffered items on an edge in order, without
+// consuming them (for tests, notably the backend crosscheck).
+func (e *Engine) ChannelItems(edge *ir.Edge) []float64 {
+	ch := e.chans[edge.ID]
+	out := make([]float64, ch.Len())
+	for i := range out {
+		out[i] = ch.Peek(i)
+	}
+	return out
+}
 
 // FiredCount returns the number of firings of a node so far.
 func (e *Engine) FiredCount(n *ir.Node) int64 { return e.nodes[n.ID].fired }
@@ -565,8 +599,8 @@ func (e *Engine) Restore(s *Snapshot) {
 	for i, rt := range e.nodes {
 		if s.states[i] != nil {
 			rt.state = s.states[i].Clone()
-			if rt.env != nil {
-				rt.env.State = rt.state
+			if rt.runner != nil {
+				rt.runner.setState(rt.state)
 			}
 		}
 		rt.fired = s.fired[i]

@@ -22,6 +22,9 @@ import (
 type ParallelEngine struct {
 	G   *ir.Graph
 	Sch *sched.Schedule
+	// Backend is the work-function execution substrate (bytecode VM by
+	// default).
+	Backend Backend
 
 	nodes []*pnodeRT
 	chans []chan []float64
@@ -40,10 +43,16 @@ type pnodeRT struct {
 	carry [][]float64
 }
 
-// NewParallel prepares a parallel engine for a scheduled graph. Programs
-// with portals or latency constraints are rejected — teleport messaging
-// needs the sequential runtime.
+// NewParallel prepares a parallel engine for a scheduled graph on the
+// default (VM) backend. Programs with portals or latency constraints are
+// rejected — teleport messaging needs the sequential runtime.
 func NewParallel(g *ir.Graph, s *sched.Schedule) (*ParallelEngine, error) {
+	return NewParallelBackend(g, s, BackendVM)
+}
+
+// NewParallelBackend is NewParallel with an explicit work-function
+// backend.
+func NewParallelBackend(g *ir.Graph, s *sched.Schedule, backend Backend) (*ParallelEngine, error) {
 	if len(g.Portals) > 0 || len(g.Constraints) > 0 {
 		return nil, fmt.Errorf("exec: the parallel backend does not support teleport messaging; use the sequential Engine")
 	}
@@ -57,7 +66,7 @@ func NewParallel(g *ir.Graph, s *sched.Schedule) (*ParallelEngine, error) {
 			return nil, fmt.Errorf("exec: filter %s sends messages; use the sequential Engine", n.Name)
 		}
 	}
-	pe := &ParallelEngine{G: g, Sch: s, Depth: 2}
+	pe := &ParallelEngine{G: g, Sch: s, Backend: backend, Depth: 2}
 	pe.nodes = make([]*pnodeRT, len(g.Nodes))
 	for _, n := range g.Nodes {
 		rt := &pnodeRT{node: n, carry: make([][]float64, len(n.In))}
@@ -163,10 +172,11 @@ func (pe *ParallelEngine) runNode(rt *pnodeRT, iters int) error {
 		}
 	}
 
-	var env *wfunc.Env
+	var runner *workRunner
 	if n.Kind == ir.NodeFilter && n.Filter.WorkFn == nil {
-		env = wfunc.NewEnv(n.Filter.Kernel.Work)
-		env.State = rt.state
+		// Built here, after Run adopted the init-phase states, so the
+		// runner binds the state the work function must see.
+		runner = newWorkRunner(n.Filter.Kernel, rt.state, pe.Backend)
 	}
 	// Always close outputs so consumers never block on a dead producer.
 	defer func() {
@@ -200,7 +210,7 @@ func (pe *ParallelEngine) runNode(rt *pnodeRT, iters int) error {
 		}
 		// Fire reps times.
 		for r := 0; r < reps; r++ {
-			if err := pe.fireOnce(rt, env, in, out); err != nil {
+			if err := pe.fireOnce(rt, runner, in, out); err != nil {
 				return err
 			}
 		}
@@ -216,7 +226,7 @@ func (pe *ParallelEngine) runNode(rt *pnodeRT, iters int) error {
 	return nil
 }
 
-func (pe *ParallelEngine) fireOnce(rt *pnodeRT, env *wfunc.Env, in, out []*SliceQueue) error {
+func (pe *ParallelEngine) fireOnce(rt *pnodeRT, runner *workRunner, in, out []*SliceQueue) error {
 	n := rt.node
 	switch n.Kind {
 	case ir.NodeFilter:
@@ -231,9 +241,7 @@ func (pe *ParallelEngine) fireOnce(rt *pnodeRT, env *wfunc.Env, in, out []*Slice
 			n.Filter.WorkFn(tIn, tOut, rt.state)
 			return nil
 		}
-		env.Reset()
-		env.In, env.Out = tIn, tOut
-		return wfunc.Exec(n.Filter.Kernel.Work, env)
+		return runner.run(tIn, tOut, nil, nil)
 	case ir.NodeSplitter:
 		if n.SJ.Kind == ir.SJDuplicate {
 			v := in[0].Pop()

@@ -20,6 +20,7 @@ func Elaborate(f *File, top string) (*ir.Program, error) {
 		prog:    &ir.Program{Name: top},
 		portals: map[string]*ir.Portal{},
 		named:   map[string]*ir.Filter{},
+		fuel:    elabFuel,
 	}
 	for _, d := range f.Streams {
 		if e.decls[d.Name] != nil {
@@ -62,6 +63,35 @@ type elab struct {
 	portals map[string]*ir.Portal
 	named   map[string]*ir.Filter // instances named with "as"
 	inst    int
+	depth   int
+	fuel    int
+}
+
+// maxElabDepth bounds nested stream instantiation. Recursion with a
+// compile-time base case (add Sort(n/2) under if (n > 1)) is legitimate
+// StreamIt; a stream that adds itself unconditionally is not, and without
+// this bound it would elaborate forever.
+const maxElabDepth = 500
+
+// elabFuel bounds the total compile-time statements executed across one
+// elaboration. Per-loop iteration caps alone don't terminate nested
+// non-terminating loops (they multiply), nor exponential instantiation
+// trees; a single global budget covers every such shape. Real programs
+// use a few thousand statements; ~1M keeps even adversarial inputs
+// (fuzzing) sub-second while leaving orders of magnitude of headroom.
+const elabFuel = 1 << 20
+
+// maxArraySize bounds declared array lengths (compile-time and filter
+// state). Sizes are program text, so an absurd one is a program error,
+// and allocating it eagerly (as the elaborator does for compile-time
+// arrays) must not take down the compiler.
+const maxArraySize = 1 << 24
+
+func checkArraySize(name string, n float64) error {
+	if !(n >= 1 && n <= maxArraySize) {
+		return fmt.Errorf("array %s: size %g out of range [1,%d]", name, n, maxArraySize)
+	}
+	return nil
 }
 
 // value is a compile-time value: a scalar or an array.
@@ -92,6 +122,11 @@ func (c *cenv) lookup(name string) *value {
 func (e *elab) instantiate(d *StreamDecl, args []float64) (ir.Stream, error) {
 	if len(args) != len(d.Params) {
 		return nil, fmt.Errorf("stream %s takes %d parameters, got %d", d.Name, len(d.Params), len(args))
+	}
+	e.depth++
+	defer func() { e.depth-- }()
+	if e.depth > maxElabDepth {
+		return nil, fmt.Errorf("stream %s: instantiation deeper than %d levels (unbounded recursion?)", d.Name, maxElabDepth)
 	}
 	env := newCenv(nil)
 	for i, p := range d.Params {
@@ -187,12 +222,19 @@ func (e *elab) runStmts(body []Stmt, env *cenv, b *compositeBuilder) (ctlFlow, e
 }
 
 func (e *elab) runStmt(s Stmt, env *cenv, b *compositeBuilder) (ctlFlow, error) {
+	e.fuel--
+	if e.fuel < 0 {
+		return flowNone, fmt.Errorf("elaboration exceeded %d compile-time statements (non-terminating loop or unbounded recursion?)", elabFuel)
+	}
 	switch s := s.(type) {
 	case *DeclStmt:
 		v := &value{}
 		if s.Size != nil {
 			n, err := e.constExpr(s.Size, env)
 			if err != nil {
+				return flowNone, err
+			}
+			if err := checkArraySize(s.Name, n); err != nil {
 				return flowNone, err
 			}
 			v.isArr = true

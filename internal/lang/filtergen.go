@@ -62,6 +62,9 @@ func (e *elab) buildFilter(d *StreamDecl, env *cenv) (ir.Stream, error) {
 			if err != nil {
 				return nil, fmt.Errorf("filter %s, field %s: %w", d.Name, fd.Name, err)
 			}
+			if err := checkArraySize(fd.Name, n); err != nil {
+				return nil, fmt.Errorf("filter %s: %w", d.Name, err)
+			}
 			fc.farr[fd.Name] = b.FieldArray(fd.Name, int(n))
 		} else {
 			init := 0.0
@@ -171,6 +174,9 @@ func (fc *filterComp) stmt(s Stmt, inWork bool) ([]wfunc.Stmt, error) {
 			n, err := fc.e.constExpr(s.Size, fc.env)
 			if err != nil {
 				return nil, fmt.Errorf("array %s size: %w", s.Name, err)
+			}
+			if err := checkArraySize(s.Name, n); err != nil {
+				return nil, err
 			}
 			fc.larr[s.Name] = fc.b.LocalArray(s.Name, int(n))
 			return nil, nil

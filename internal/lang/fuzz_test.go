@@ -1,0 +1,47 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary input, seeded with
+// the five example programs. The parser's contract is errors, never
+// panics, on malformed source; anything the parser accepts must also
+// survive elaboration attempts without crashing (elaboration errors are
+// fine — undefined top-level streams, bad rates — but not panics).
+func FuzzParse(f *testing.F) {
+	dir := filepath.Join("..", "..", "examples", "strprogs")
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, de := range names {
+		if filepath.Ext(de.Name()) != ".str" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	// Hand-picked slivers that exercise corners the examples miss.
+	f.Add("float->float filter F { work push 1 pop 1 { push(pop()); } }")
+	f.Add("void->void pipeline Main { add A; add B; }")
+	f.Add("float->float splitjoin S { split duplicate; join roundrobin(2,1); }")
+	f.Add("portal<F> p; int x = 1 + 2 * 3;")
+	f.Add("float->float feedbackloop L { join roundrobin; body B; loop C; split duplicate; enqueue 0.0; }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil || file == nil {
+			return
+		}
+		// Elaborate every declared stream; panics are bugs, errors are not.
+		for _, d := range file.Streams {
+			_, _ = ParseAndElaborate(src, d.Name)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package vm
+
+import (
+	"testing"
+
+	"streamit/internal/wfunc"
+)
+
+// firKernel builds the canonical hot work function — an n-tap FIR
+// accumulation loop — for microbenchmarking the execution substrates in
+// isolation (no engine, no scheduling, a slice tape).
+func firKernel(n int) *wfunc.Kernel {
+	b := wfunc.NewKernel("fir", n, 1, 1)
+	w := b.FieldArray("w", n)
+	i := b.Local("i")
+	sum := b.Local("sum")
+	b.WorkBody(
+		wfunc.Set(sum, wfunc.C(0)),
+		wfunc.ForUp(i, wfunc.Ci(0), wfunc.Ci(n),
+			wfunc.Set(sum, wfunc.AddX(sum, wfunc.MulX(wfunc.PeekX(i), wfunc.FIdx(w, i))))),
+		wfunc.Pop1(),
+		wfunc.Push1(sum),
+	)
+	return b.Build()
+}
+
+func firState(k *wfunc.Kernel, n int) *wfunc.State {
+	st := k.NewState()
+	for i := range st.Arrays[0] {
+		st.Arrays[0][i] = 1.0 / float64(n)
+	}
+	return st
+}
+
+const benchTaps = 256
+
+// BenchmarkFIRInterp measures one work-function firing on the
+// tree-walking interpreter.
+func BenchmarkFIRInterp(b *testing.B) {
+	k := firKernel(benchTaps)
+	st := firState(k, benchTaps)
+	env := wfunc.NewEnv(k.Work)
+	env.State = st
+	in := &wfunc.SliceTape{}
+	out := &wfunc.SliceTape{}
+	for i := 0; i < benchTaps+b.N; i++ {
+		in.Push(float64(i % 17))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Reset()
+		env.In, env.Out = in, out
+		if err := wfunc.Exec(k.Work, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFIRVM measures the same firing on the bytecode VM.
+func BenchmarkFIRVM(b *testing.B) {
+	k := firKernel(benchTaps)
+	st := firState(k, benchTaps)
+	p, err := Compile(k.Work)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewMachine(p)
+	m.SetState(st)
+	in := &wfunc.SliceTape{}
+	out := &wfunc.SliceTape{}
+	for i := 0; i < benchTaps+b.N; i++ {
+		in.Push(float64(i % 17))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Run(in, out, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package vm_test
+
+// Backend equivalence crosscheck: every application in the benchmark
+// suites must produce bit-identical results on the bytecode VM and the
+// tree-walking interpreter — channel contents, filter field state, firing
+// counts, and println output all compared via float64 bit patterns after
+// a multi-iteration run. This is the acceptance gate for the VM backend:
+// any divergence, however small, fails loudly with the app and location.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"streamit/internal/apps"
+	"streamit/internal/exec"
+	"streamit/internal/ir"
+	"streamit/internal/sched"
+)
+
+// backendRun is everything observable about one engine run.
+type backendRun struct {
+	graph  *ir.Graph
+	engine *exec.Engine
+	prints []string // "node:bits" in emission order
+}
+
+func runOn(t *testing.T, prog *ir.Program, iters int, backend exec.Backend) *backendRun {
+	t.Helper()
+	g, err := ir.Flatten(prog)
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	s, err := sched.Compute(g)
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	e, err := exec.NewFromGraphBackend(g, s, backend)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	r := &backendRun{graph: g, engine: e}
+	e.Printer = func(node string, v float64) {
+		r.prints = append(r.prints, fmt.Sprintf("%s:%016x", node, math.Float64bits(v)))
+	}
+	if err := e.Run(iters); err != nil {
+		t.Fatalf("run on %v: %v", backend, err)
+	}
+	return r
+}
+
+// crosscheck runs prog-builder twice (once per backend) and compares every
+// observable bit of the final execution state.
+func crosscheck(t *testing.T, build func() *ir.Program, iters int) {
+	t.Helper()
+	vmRun := runOn(t, build(), iters, exec.BackendVM)
+	inRun := runOn(t, build(), iters, exec.BackendInterp)
+
+	// The graphs are built identically, so IDs correspond.
+	if len(vmRun.graph.Nodes) != len(inRun.graph.Nodes) || len(vmRun.graph.Edges) != len(inRun.graph.Edges) {
+		t.Fatalf("graph shapes differ: %d/%d nodes, %d/%d edges",
+			len(vmRun.graph.Nodes), len(inRun.graph.Nodes),
+			len(vmRun.graph.Edges), len(inRun.graph.Edges))
+	}
+
+	// Firing counts and field state per node.
+	for i, vn := range vmRun.graph.Nodes {
+		in := inRun.graph.Nodes[i]
+		if vf, inf := vmRun.engine.FiredCount(vn), inRun.engine.FiredCount(in); vf != inf {
+			t.Errorf("node %s: fired %d on vm, %d on interp", vn.Name, vf, inf)
+		}
+		if vn.Kind != ir.NodeFilter {
+			continue
+		}
+		vs := vmRun.engine.State(vn.Filter)
+		is := inRun.engine.State(in.Filter)
+		for j := range vs.Scalars {
+			if math.Float64bits(vs.Scalars[j]) != math.Float64bits(is.Scalars[j]) {
+				t.Errorf("node %s: field %d differs: vm %v interp %v",
+					vn.Name, j, vs.Scalars[j], is.Scalars[j])
+			}
+		}
+		for j := range vs.Arrays {
+			for k := range vs.Arrays[j] {
+				if math.Float64bits(vs.Arrays[j][k]) != math.Float64bits(is.Arrays[j][k]) {
+					t.Errorf("node %s: array %d[%d] differs: vm %v interp %v",
+						vn.Name, j, k, vs.Arrays[j][k], is.Arrays[j][k])
+				}
+			}
+		}
+	}
+
+	// Residual channel contents (peek margins, split/join buffering).
+	for i, ve := range vmRun.graph.Edges {
+		ie := inRun.graph.Edges[i]
+		vItems := vmRun.engine.ChannelItems(ve)
+		iItems := inRun.engine.ChannelItems(ie)
+		if len(vItems) != len(iItems) {
+			t.Errorf("edge %s: %d items on vm, %d on interp", ve, len(vItems), len(iItems))
+			continue
+		}
+		for j := range vItems {
+			if math.Float64bits(vItems[j]) != math.Float64bits(iItems[j]) {
+				t.Errorf("edge %s item %d differs: vm %v interp %v", ve, j, vItems[j], iItems[j])
+			}
+		}
+	}
+
+	// println output, in order, bit-exact.
+	if len(vmRun.prints) != len(inRun.prints) {
+		t.Fatalf("print counts differ: %d on vm, %d on interp", len(vmRun.prints), len(inRun.prints))
+	}
+	for i := range vmRun.prints {
+		if vmRun.prints[i] != inRun.prints[i] {
+			t.Fatalf("print %d differs: vm %s interp %s", i, vmRun.prints[i], inRun.prints[i])
+		}
+	}
+}
+
+// TestBackendEquivalenceSuite runs the full 12-application parallelization
+// suite on both backends.
+func TestBackendEquivalenceSuite(t *testing.T) {
+	for _, app := range apps.Suite() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			crosscheck(t, app.Build, 20)
+		})
+	}
+}
+
+// TestBackendEquivalenceLinearSuite covers the linear-optimization suite
+// (heavy FIR work functions — the VM's hottest path).
+func TestBackendEquivalenceLinearSuite(t *testing.T) {
+	for _, app := range apps.LinearSuite() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			crosscheck(t, app.Build, 20)
+		})
+	}
+}
+
+// TestBackendEquivalenceFreqHop covers teleport messaging: the frequency-
+// hopping radio's detector sends hop messages whose delivery points (and
+// the resulting state changes) must coincide exactly across backends.
+// Both the teleport and the hand-synchronized variants run long enough to
+// trigger multiple hops.
+func TestBackendEquivalenceFreqHop(t *testing.T) {
+	for _, teleport := range []bool{true, false} {
+		teleport := teleport
+		t.Run(fmt.Sprintf("teleport=%v", teleport), func(t *testing.T) {
+			crosscheck(t, func() *ir.Program { return apps.FreqHoppingRadio(teleport) }, 60)
+		})
+	}
+}

@@ -116,7 +116,7 @@ func FoldExpr(e Expr) Expr {
 	case *Unary:
 		e.X = FoldExpr(e.X)
 		if c, ok := e.X.(*Const); ok {
-			return &Const{V: evalUnary(e.Op, c.V)}
+			return &Const{V: EvalUnary(e.Op, c.V)}
 		}
 		// --x == x
 		if e.Op == Neg {
@@ -132,7 +132,7 @@ func FoldExpr(e Expr) Expr {
 		cb, bConst := e.B.(*Const)
 		// Never fold across short-circuit when the discarded side does IO.
 		if aConst && bConst {
-			return &Const{V: evalBinary(e.Op, ca.V, cb.V)}
+			return &Const{V: EvalBinary(e.Op, ca.V, cb.V)}
 		}
 		switch e.Op {
 		case Add:

@@ -283,7 +283,7 @@ func eval(e Expr, env *Env) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		return evalUnary(e.Op, x), nil
+		return EvalUnary(e.Op, x), nil
 	case *Binary:
 		a, err := eval(e.A, env)
 		if err != nil {
@@ -304,7 +304,7 @@ func eval(e Expr, env *Env) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		return evalBinary(e.Op, a, b), nil
+		return EvalBinary(e.Op, a, b), nil
 	case *Cond:
 		c, err := eval(e.C, env)
 		if err != nil {
@@ -319,7 +319,10 @@ func eval(e Expr, env *Env) (float64, error) {
 	}
 }
 
-func evalUnary(op UnOp, x float64) float64 {
+// EvalUnary applies a unary operator to a value. It is the single source
+// of truth for IL unary-operator semantics, shared by the interpreter, the
+// constant folder, and the bytecode VM (which must be bit-identical).
+func EvalUnary(op UnOp, x float64) float64 {
 	switch op {
 	case Neg:
 		return -x
@@ -369,7 +372,11 @@ func boolVal(b bool) float64 {
 	return 0
 }
 
-func evalBinary(op BinOp, a, b float64) float64 {
+// EvalBinary applies a binary operator to two values with the IL's exact
+// float64 semantics (integer truncation for %, shifts masked to 63 bits,
+// NaN on modulo by zero). Like EvalUnary it is shared by every execution
+// substrate so results are bit-identical across backends.
+func EvalBinary(op BinOp, a, b float64) float64 {
 	switch op {
 	case Add:
 		return a + b

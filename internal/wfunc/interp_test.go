@@ -161,13 +161,13 @@ func TestIntegerOps(t *testing.T) {
 		{Atan2, 1, 1, math.Pi / 4},
 	}
 	for _, c := range cases {
-		got := evalBinary(c.op, c.a, c.b)
+		got := EvalBinary(c.op, c.a, c.b)
 		if got != c.want {
 			t.Errorf("%v(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
 		}
 	}
-	if evalUnary(BitNot, 0) != -1 {
-		t.Errorf("bitnot 0 = %v, want -1", evalUnary(BitNot, 0))
+	if EvalUnary(BitNot, 0) != -1 {
+		t.Errorf("bitnot 0 = %v, want -1", EvalUnary(BitNot, 0))
 	}
 }
 

@@ -37,6 +37,10 @@ type (
 	Compiled = core.Compiled
 	// Engine executes a compiled program sequentially.
 	Engine = exec.Engine
+	// RunOptions select per-run execution choices (work-function backend).
+	RunOptions = core.RunOptions
+	// Backend names a work-function execution backend.
+	Backend = exec.Backend
 	// LinearOptions configure the linear optimizer.
 	LinearOptions = linear.Options
 	// MachineConfig describes the simulated multicore.
@@ -73,6 +77,17 @@ var (
 	// CompileDynamic builds the demand-driven engine for dynamic-rate
 	// programs.
 	CompileDynamic = core.CompileDynamic
+
+	// ParseBackend parses a -backend style name ("vm", "interp").
+	ParseBackend = core.ParseBackend
+)
+
+// Work-function execution backends.
+const (
+	// BackendVM runs work functions on the bytecode VM (the default).
+	BackendVM = exec.BackendVM
+	// BackendInterp runs work functions on the tree-walking interpreter.
+	BackendInterp = exec.BackendInterp
 )
 
 // Parallelization strategies from the paper's evaluation.
