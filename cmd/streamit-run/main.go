@@ -12,15 +12,29 @@
 // With -strategy, the program is instead mapped onto the simulated 16-tile
 // machine with the chosen strategy (sequential, task, task+data, task+swp,
 // task+data+swp, space) and the simulated throughput is reported.
+//
+// Robustness controls:
+//
+//	-faults "panic:Filter@100;rand:3@42"   inject deterministic faults
+//	-on-error "retry;Filter=skip"          per-filter recovery policies
+//	-watchdog 2s                           stall-detection interval (-1s disables)
+//	-checkpoint st.ckpt -checkpoint-after 500   stop at iteration 500, save state
+//	-resume st.ckpt                        restore and finish the remaining iterations
+//
+// Checkpoints are engine-state images taken at iteration boundaries; a
+// resumed run is bit-identical to an uninterrupted one, on either backend.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"streamit/internal/core"
+	"streamit/internal/exec"
+	"streamit/internal/faults"
 	"streamit/internal/linear"
 	"streamit/internal/machine"
 	"streamit/internal/partition"
@@ -35,6 +49,12 @@ func main() {
 	dynamic := flag.Bool("dynamic", false, "run on the demand-driven dynamic-rate backend (-iters counts sink items)")
 	traceOut := flag.String("trace", "", "with -strategy: write a Chrome trace JSON of the simulated execution to this file")
 	backendName := flag.String("backend", "vm", "work-function backend: vm (bytecode) or interp (tree-walking)")
+	faultSpec := flag.String("faults", "", "inject faults: 'kind:filter@firing' (kind: panic, stall, corrupt) or 'rand:N@seed', ';'-separated")
+	onError := flag.String("on-error", "", "recovery policies: 'policy' or 'filter=policy' (fail, retry[:n[:backoff]], skip, restart), ','-separated")
+	watchdog := flag.Duration("watchdog", 0, "no-progress window before the parallel/dynamic engines abort with a deadlock report (0 = default, negative = off)")
+	ckptPath := flag.String("checkpoint", "", "write an engine checkpoint to this file (sequential engine only)")
+	ckptAfter := flag.Int("checkpoint-after", 0, "with -checkpoint: stop and save after this many steady iterations")
+	resumePath := flag.String("resume", "", "restore a checkpoint written by -checkpoint and run the remaining iterations (sequential engine only)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -46,7 +66,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	runOpts := core.RunOptions{Backend: backend}
+	runOpts := core.RunOptions{Backend: backend, Watchdog: *watchdog}
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		runOpts.Faults = plan
+	}
+	if *onError != "" {
+		pols, err := faults.ParsePolicies(*onError)
+		if err != nil {
+			fatal(err)
+		}
+		runOpts.OnError = pols
+	}
+	useCkpt := *ckptPath != "" || *resumePath != ""
+	if useCkpt && (*parallel || *dynamic || *strategy != "") {
+		fatal(fmt.Errorf("-checkpoint/-resume require the sequential engine"))
+	}
+	if *ckptPath != "" && *ckptAfter <= 0 {
+		fatal(fmt.Errorf("-checkpoint needs -checkpoint-after N (N > 0)"))
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -58,11 +99,13 @@ func main() {
 		}
 		start := time.Now()
 		if err := d.Run(int64(*iters)); err != nil {
+			report(d.SupervisionReport(), len(d.Degraded()) > 0)
 			fatal(err)
 		}
 		dur := time.Since(start)
 		fmt.Printf("dynamic run: %d sink items in %v (%.0f items/sec)\n",
 			d.SinkItems(), dur.Round(time.Microsecond), float64(d.SinkItems())/dur.Seconds())
+		report(d.SupervisionReport(), len(d.Degraded()) > 0)
 		return
 	}
 	opts := core.Options{}
@@ -102,11 +145,13 @@ func main() {
 		}
 		start := time.Now()
 		if err := pe.Run(*iters); err != nil {
+			report(pe.SupervisionReport(), len(pe.Degraded()) > 0)
 			fatal(err)
 		}
 		dur := time.Since(start)
 		fmt.Printf("ran %d steady-state iterations on the parallel backend in %v\n", *iters, dur.Round(time.Microsecond))
 		fmt.Printf("%.0f iterations/sec\n", float64(*iters)/dur.Seconds())
+		report(pe.SupervisionReport(), len(pe.Degraded()) > 0)
 		return
 	}
 	e, err := c.EngineOpts(runOpts)
@@ -114,12 +159,69 @@ func main() {
 		fatal(err)
 	}
 	start := time.Now()
-	if err := e.Run(*iters); err != nil {
-		fatal(err)
+	switch {
+	case *resumePath != "":
+		img, err := os.ReadFile(*resumePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := e.RunFromCheckpoint(img, *iters); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resumed from %s and finished at iteration %d\n", *resumePath, *iters)
+	case *ckptPath != "":
+		if *ckptAfter > *iters {
+			fatal(fmt.Errorf("-checkpoint-after %d exceeds -iters %d", *ckptAfter, *iters))
+		}
+		if err := e.RunInit(); err != nil {
+			fatal(err)
+		}
+		if err := e.RunSteady(*ckptAfter); err != nil {
+			fatal(err)
+		}
+		if err := writeCheckpoint(e, *ckptPath, int64(*ckptAfter)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s at iteration %d (resume with -resume %s -iters %d)\n",
+			*ckptPath, *ckptAfter, *ckptPath, *iters)
+		report(e.SupervisionReport(), len(e.Degraded()) > 0)
+		return
+	default:
+		if err := e.Run(*iters); err != nil {
+			report(e.SupervisionReport(), len(e.Degraded()) > 0)
+			fatal(err)
+		}
 	}
 	dur := time.Since(start)
 	fmt.Printf("ran %d steady-state iterations (%d firings) in %v\n", *iters, e.Firings, dur.Round(time.Microsecond))
 	fmt.Printf("%.0f firings/sec\n", float64(e.Firings)/dur.Seconds())
+	report(e.SupervisionReport(), len(e.Degraded()) > 0)
+}
+
+// writeCheckpoint saves the engine image atomically enough for a CLI: a
+// temp file in the same directory, then rename.
+func writeCheckpoint(e *exec.Engine, path string, iteration int64) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".streamit-ckpt-*")
+	if err != nil {
+		return err
+	}
+	if err := e.WriteCheckpoint(f, iteration); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
+// report prints the supervision summary when anything degraded the run.
+func report(s string, degraded bool) {
+	if degraded && s != "" {
+		fmt.Print(s)
+	}
 }
 
 func fatal(err error) {

@@ -15,6 +15,8 @@ import (
 	"strings"
 
 	"streamit/internal/core"
+	"streamit/internal/faults"
+	"streamit/internal/ir"
 	"streamit/internal/linear"
 )
 
@@ -26,6 +28,7 @@ func main() {
 	maxItems := flag.Int("maxitems", 0, "bound total live items in the schedule (0 = unbounded)")
 	dot := flag.Bool("dot", false, "emit the flattened stream graph in Graphviz DOT format instead of the report")
 	sdepPair := flag.String("sdep", "", "print the sdep table between two instances named with 'as', e.g. -sdep mid,out")
+	faultSpec := flag.String("faults", "", "validate a fault-injection spec against the program and print the materialized schedule")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -69,4 +72,26 @@ func main() {
 		return
 	}
 	fmt.Print(c.Report())
+	if *faultSpec != "" {
+		plan, err := faults.ParsePlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "streamitc:", err)
+			os.Exit(1)
+		}
+		var names []string
+		for _, n := range c.Graph.Nodes {
+			if n.Kind == ir.NodeFilter {
+				names = append(names, n.Name)
+			}
+		}
+		sched, err := plan.Materialize(names)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "streamitc:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nfault schedule (deterministic):")
+		for _, f := range sched {
+			fmt.Printf("  %s\n", f)
+		}
+	}
 }

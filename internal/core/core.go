@@ -10,8 +10,10 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"streamit/internal/exec"
+	"streamit/internal/faults"
 	"streamit/internal/ir"
 	"streamit/internal/lang"
 	"streamit/internal/linear"
@@ -39,6 +41,29 @@ type RunOptions struct {
 	// value is the bytecode VM (exec.BackendVM); exec.BackendInterp forces
 	// the tree-walking interpreter.
 	Backend exec.Backend
+	// Faults schedules deterministic fault injection for robustness
+	// testing (nil: none). Build one with faults.ParsePlan, e.g.
+	// "panic:LowPassFilter@100".
+	Faults *faults.Plan
+	// OnError maps filters to recovery policies (fail, retry, skip,
+	// restart); the zero value fails fast. Build with
+	// faults.ParsePolicies. The dynamic engine rejects non-fail policies.
+	OnError faults.Policies
+	// Watchdog is the no-progress window after which the parallel and
+	// dynamic engines abort with a *exec.DeadlockError naming the blocked
+	// filters and wait-cycle. 0 selects exec.DefaultWatchdogInterval;
+	// negative disables detection.
+	Watchdog time.Duration
+}
+
+// execOptions lowers driver-level run options to the engine layer.
+func (o RunOptions) execOptions() exec.Options {
+	return exec.Options{
+		Backend:  o.Backend,
+		Faults:   o.Faults,
+		OnError:  o.OnError,
+		Watchdog: o.Watchdog,
+	}
 }
 
 // ParseBackend maps the user-facing backend names ("vm", "interp") onto
@@ -110,7 +135,7 @@ func (c *Compiled) Engine() (*exec.Engine, error) {
 
 // EngineOpts is Engine with explicit run options.
 func (c *Compiled) EngineOpts(opts RunOptions) (*exec.Engine, error) {
-	return exec.NewFromGraphBackend(c.Graph, c.Schedule, opts.Backend)
+	return exec.NewFromGraphOpts(c.Graph, c.Schedule, opts.execOptions())
 }
 
 // ParallelEngine builds the goroutine-per-filter backend (no teleport
@@ -121,7 +146,7 @@ func (c *Compiled) ParallelEngine() (*exec.ParallelEngine, error) {
 
 // ParallelEngineOpts is ParallelEngine with explicit run options.
 func (c *Compiled) ParallelEngineOpts(opts RunOptions) (*exec.ParallelEngine, error) {
-	return exec.NewParallelBackend(c.Graph, c.Schedule, opts.Backend)
+	return exec.NewParallelOpts(c.Graph, c.Schedule, opts.execOptions())
 }
 
 // CompileDynamic parses and flattens a program with dynamic-rate filters
@@ -136,7 +161,7 @@ func CompileDynamicOpts(prog *ir.Program, opts RunOptions) (*exec.DynamicEngine,
 	if err != nil {
 		return nil, err
 	}
-	return exec.NewDynamicBackend(g, opts.Backend)
+	return exec.NewDynamicOpts(g, opts.execOptions())
 }
 
 // CompileSourceDynamic is CompileDynamic over textual source.

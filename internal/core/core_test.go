@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"streamit/internal/apps"
+	"streamit/internal/exec"
+	"streamit/internal/faults"
 	"streamit/internal/linear"
 	"streamit/internal/machine"
 	"streamit/internal/partition"
@@ -153,5 +156,77 @@ void->void pipeline Main() { add Src() as src; add Mid() as mid; add Out() as ou
 	// Unknown names error and list the available ones.
 	if _, err := c.SdepTable("nope", "mid", 4); err == nil || !strings.Contains(err.Error(), "src") {
 		t.Errorf("expected helpful unknown-name error, got %v", err)
+	}
+}
+
+// TestRunOptionsSupervision: the driver threads fault plans, recovery
+// policies, and the watchdog interval down to all three engines.
+func TestRunOptionsSupervision(t *testing.T) {
+	c, err := CompileSource(firSrc, "Main", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faults.ParsePlan("panic:Smooth@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols, err := faults.ParsePolicies("Smooth=retry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RunOptions{Faults: plan, OnError: pols}
+
+	e, err := c.EngineOpts(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(16); err != nil {
+		t.Fatalf("retry policy should survive the injected panic: %v", err)
+	}
+	st := e.Degraded()["Smooth"]
+	if st.Injected != 1 || st.Retries != 1 {
+		t.Fatalf("degraded stats = %+v, want 1 injection / 1 retry", st)
+	}
+
+	pe, err := c.ParallelEngineOpts(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.Run(16); err != nil {
+		t.Fatalf("parallel retry failed: %v", err)
+	}
+	if pst := pe.Degraded()["Smooth"]; pst.Injected != 1 {
+		t.Fatalf("parallel degraded stats = %+v", pst)
+	}
+
+	// The dynamic engine has no rollback point; recovery policies are a
+	// construction-time error, surfaced through the driver.
+	if _, err := CompileSourceDynamicOpts(firSrc, "Main", opts); err == nil {
+		t.Fatal("dynamic engine accepted a recovery policy")
+	}
+}
+
+// TestRunOptionsWatchdogDisabled: a negative watchdog interval reaches the
+// parallel engine (the run fails via the fault, not a DeadlockError).
+func TestRunOptionsWatchdogDisabled(t *testing.T) {
+	c, err := CompileSource(firSrc, "Main", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faults.ParsePlan("panic:Smooth@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := c.ParallelEngineOpts(RunOptions{Faults: plan, Watchdog: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = pe.Run(16)
+	var ee *exec.ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want the injected *exec.ExecError", err)
+	}
+	if faults.BaseName(ee.Filter) != "Smooth" {
+		t.Fatalf("error names %q, want Smooth", ee.Filter)
 	}
 }

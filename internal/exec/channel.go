@@ -34,7 +34,7 @@ func newChannel(capacity int) *channel {
 // Peek returns the item i positions from the read end.
 func (c *channel) Peek(i int) float64 {
 	if i < 0 || i >= c.count {
-		panic(fmt.Sprintf("peek(%d) with %d items buffered", i, c.count))
+		panic(tapeFault{op: "peek", detail: fmt.Sprintf("peek(%d) with %d items buffered", i, c.count)})
 	}
 	return c.buf[(c.head+i)&c.mask]
 }
@@ -42,7 +42,7 @@ func (c *channel) Peek(i int) float64 {
 // Pop consumes the next item.
 func (c *channel) Pop() float64 {
 	if c.count == 0 {
-		panic("pop on empty channel")
+		panic(tapeFault{op: "pop", detail: "pop on empty channel"})
 	}
 	v := c.buf[c.head]
 	c.head = (c.head + 1) & c.mask
@@ -73,3 +73,20 @@ func (c *channel) grow() {
 
 // Len returns the number of buffered items.
 func (c *channel) Len() int { return c.count }
+
+// clone returns an independent copy (supervised-rollback save point).
+func (c *channel) clone() *channel {
+	cp := *c
+	cp.buf = append([]float64(nil), c.buf...)
+	return &cp
+}
+
+// restoreFrom rolls the channel back to a clone taken earlier.
+func (c *channel) restoreFrom(saved *channel) {
+	c.buf = append(c.buf[:0], saved.buf...)
+	c.mask = saved.mask
+	c.head = saved.head
+	c.count = saved.count
+	c.pushed = saved.pushed
+	c.popped = saved.popped
+}

@@ -1,0 +1,430 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+)
+
+// Checkpoint format: a self-describing binary image of the engine's
+// complete execution state, written at an iteration boundary and restored
+// into a freshly constructed engine over the same program. The image holds
+// only semantic state — tape contents and counters, filter fields, firing
+// counts, pending teleport messages — never backend artifacts, so a
+// checkpoint taken under the VM restores under the interpreter and vice
+// versa, bit-identically.
+//
+// Layout (little-endian):
+//
+//	magic "STRMCKPT" | u32 version | u64 graph fingerprint
+//	i64 iteration | i64 firings
+//	u32 node count | per node: i64 fired, u8 hasState,
+//	    [u32 scalar count, f64...; u32 array count, per array u32 len, f64...]
+//	u32 edge count | per edge: i64 pushed, i64 popped, u32 len, f64 items...
+//	per node: u32 message count, per message:
+//	    u32 handler len, bytes, u32 arg count, f64 args...,
+//	    i64 target, u8 upstream, u8 bestEffort
+//
+// Every count is validated against the engine's graph before allocation,
+// so corrupt or truncated images produce errors, never panics or huge
+// allocations.
+const (
+	checkpointMagic   = "STRMCKPT"
+	checkpointVersion = 1
+)
+
+// Fingerprint hashes the graph and schedule structure (FNV-1a). A
+// checkpoint only restores into an engine whose fingerprint matches, which
+// catches restoring against a different program, different flattening, or
+// different schedule.
+func (e *Engine) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	ws := func(s string) {
+		wi(int64(len(s)))
+		io.WriteString(h, s)
+	}
+	wi(int64(len(e.G.Nodes)))
+	for _, n := range e.G.Nodes {
+		ws(n.Name)
+		wi(int64(n.Kind))
+		wi(int64(len(n.In)))
+		wi(int64(len(n.Out)))
+		for _, w := range n.SJ.Weights {
+			wi(int64(w))
+		}
+		wi(int64(e.Sch.Reps[n.ID]))
+	}
+	wi(int64(len(e.G.Edges)))
+	for _, edge := range e.G.Edges {
+		wi(int64(edge.Src.ID))
+		wi(int64(edge.SrcPort))
+		wi(int64(edge.Dst.ID))
+		wi(int64(edge.DstPort))
+	}
+	return h.Sum64()
+}
+
+// ckptWriter accumulates the image, latching the first write error.
+type ckptWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (c *ckptWriter) bytes(b []byte) {
+	if c.err == nil {
+		_, c.err = c.w.Write(b)
+	}
+}
+
+func (c *ckptWriter) u8(v byte) { c.bytes([]byte{v}) }
+
+func (c *ckptWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	c.bytes(b[:])
+}
+
+func (c *ckptWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.bytes(b[:])
+}
+
+func (c *ckptWriter) i64(v int64)   { c.u64(uint64(v)) }
+func (c *ckptWriter) f64(v float64) { c.u64(math.Float64bits(v)) }
+
+func (c *ckptWriter) floats(vs []float64) {
+	c.u32(uint32(len(vs)))
+	for _, v := range vs {
+		c.f64(v)
+	}
+}
+
+func (c *ckptWriter) str(s string) {
+	c.u32(uint32(len(s)))
+	c.bytes([]byte(s))
+}
+
+// WriteCheckpoint serializes the engine's execution state. iteration is
+// the caller's steady-state position (how many iterations have run), so a
+// resuming process knows how many remain.
+func (e *Engine) WriteCheckpoint(w io.Writer, iteration int64) error {
+	c := &ckptWriter{w: w}
+	c.bytes([]byte(checkpointMagic))
+	c.u32(checkpointVersion)
+	c.u64(e.Fingerprint())
+	c.i64(iteration)
+	c.i64(e.Firings)
+	c.u32(uint32(len(e.nodes)))
+	for _, rt := range e.nodes {
+		c.i64(rt.fired)
+		if rt.state == nil {
+			c.u8(0)
+			continue
+		}
+		c.u8(1)
+		c.floats(rt.state.Scalars)
+		c.u32(uint32(len(rt.state.Arrays)))
+		for _, a := range rt.state.Arrays {
+			c.floats(a)
+		}
+	}
+	c.u32(uint32(len(e.chans)))
+	for _, ch := range e.chans {
+		c.i64(ch.pushed)
+		c.i64(ch.popped)
+		c.u32(uint32(ch.Len()))
+		for i := 0; i < ch.Len(); i++ {
+			c.f64(ch.Peek(i))
+		}
+	}
+	for _, msgs := range e.pending {
+		c.u32(uint32(len(msgs)))
+		for _, m := range msgs {
+			c.str(m.handler)
+			c.floats(m.args)
+			c.i64(m.target)
+			b := byte(0)
+			if m.upstream {
+				b = 1
+			}
+			c.u8(b)
+			b = 0
+			if m.bestEffort {
+				b = 1
+			}
+			c.u8(b)
+		}
+	}
+	return c.err
+}
+
+// ckptReader consumes the image with hard bounds checks: every read
+// validates the remaining length first, so malformed input fails cleanly.
+type ckptReader struct {
+	data []byte
+	off  int
+}
+
+func (c *ckptReader) remaining() int { return len(c.data) - c.off }
+
+func (c *ckptReader) take(n int) ([]byte, error) {
+	if n < 0 || c.remaining() < n {
+		return nil, fmt.Errorf("exec: checkpoint truncated at offset %d (want %d more bytes, have %d)", c.off, n, c.remaining())
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *ckptReader) u8() (byte, error) {
+	b, err := c.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (c *ckptReader) u32() (uint32, error) {
+	b, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (c *ckptReader) u64() (uint64, error) {
+	b, err := c.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (c *ckptReader) i64() (int64, error) {
+	v, err := c.u64()
+	return int64(v), err
+}
+
+func (c *ckptReader) f64() (float64, error) {
+	v, err := c.u64()
+	return math.Float64frombits(v), err
+}
+
+// count reads a u32 length and checks it against the bytes that must
+// follow (per-element size), so a corrupt length cannot trigger a huge
+// allocation.
+func (c *ckptReader) count(elemSize int, what string) (int, error) {
+	v, err := c.u32()
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if n*elemSize > c.remaining() {
+		return 0, fmt.Errorf("exec: checkpoint %s count %d exceeds remaining data", what, n)
+	}
+	return n, nil
+}
+
+func (c *ckptReader) floats(what string) ([]float64, error) {
+	n, err := c.count(8, what)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if out[i], err = c.f64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RestoreCheckpoint loads a checkpoint image into an engine constructed
+// over the same program and schedule, replacing its entire execution
+// state. It returns the iteration recorded at checkpoint time. The engine
+// must be freshly constructed or otherwise disposable: on error the
+// engine's state is unspecified and it must not be run.
+func (e *Engine) RestoreCheckpoint(data []byte) (int64, error) {
+	c := &ckptReader{data: data}
+	magic, err := c.take(len(checkpointMagic))
+	if err != nil {
+		return 0, err
+	}
+	if string(magic) != checkpointMagic {
+		return 0, fmt.Errorf("exec: not a checkpoint image (bad magic)")
+	}
+	version, err := c.u32()
+	if err != nil {
+		return 0, err
+	}
+	if version != checkpointVersion {
+		return 0, fmt.Errorf("exec: checkpoint version %d not supported (want %d)", version, checkpointVersion)
+	}
+	fp, err := c.u64()
+	if err != nil {
+		return 0, err
+	}
+	if want := e.Fingerprint(); fp != want {
+		return 0, fmt.Errorf("exec: checkpoint fingerprint %016x does not match this program (%016x); was it taken from a different graph or schedule?", fp, want)
+	}
+	iteration, err := c.i64()
+	if err != nil {
+		return 0, err
+	}
+	firings, err := c.i64()
+	if err != nil {
+		return 0, err
+	}
+	numNodes, err := c.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int(numNodes) != len(e.nodes) {
+		return 0, fmt.Errorf("exec: checkpoint has %d nodes, engine has %d", numNodes, len(e.nodes))
+	}
+	for _, rt := range e.nodes {
+		if rt.fired, err = c.i64(); err != nil {
+			return 0, err
+		}
+		hasState, err := c.u8()
+		if err != nil {
+			return 0, err
+		}
+		if hasState > 1 {
+			return 0, fmt.Errorf("exec: checkpoint state flag %d out of range on node %s", hasState, rt.node.Name)
+		}
+		if (hasState == 1) != (rt.state != nil) {
+			return 0, fmt.Errorf("exec: checkpoint state presence mismatch on node %s", rt.node.Name)
+		}
+		if hasState == 0 {
+			continue
+		}
+		scalars, err := c.floats("scalar")
+		if err != nil {
+			return 0, err
+		}
+		if len(scalars) != len(rt.state.Scalars) {
+			return 0, fmt.Errorf("exec: node %s has %d scalar fields, checkpoint has %d", rt.node.Name, len(rt.state.Scalars), len(scalars))
+		}
+		numArrays, err := c.count(4, "array")
+		if err != nil {
+			return 0, err
+		}
+		if numArrays != len(rt.state.Arrays) {
+			return 0, fmt.Errorf("exec: node %s has %d array fields, checkpoint has %d", rt.node.Name, len(rt.state.Arrays), numArrays)
+		}
+		arrays := make([][]float64, numArrays)
+		for i := range arrays {
+			if arrays[i], err = c.floats("array data"); err != nil {
+				return 0, err
+			}
+			if len(arrays[i]) != len(rt.state.Arrays[i]) {
+				return 0, fmt.Errorf("exec: node %s array field %d has size %d, checkpoint has %d", rt.node.Name, i, len(rt.state.Arrays[i]), len(arrays[i]))
+			}
+		}
+		rt.state.Scalars = scalars
+		rt.state.Arrays = arrays
+		if rt.runner != nil {
+			rt.runner.setState(rt.state)
+		}
+	}
+	numEdges, err := c.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int(numEdges) != len(e.chans) {
+		return 0, fmt.Errorf("exec: checkpoint has %d edges, engine has %d", numEdges, len(e.chans))
+	}
+	for i := range e.chans {
+		pushed, err := c.i64()
+		if err != nil {
+			return 0, err
+		}
+		popped, err := c.i64()
+		if err != nil {
+			return 0, err
+		}
+		items, err := c.floats("channel item")
+		if err != nil {
+			return 0, err
+		}
+		if pushed-popped != int64(len(items)) {
+			return 0, fmt.Errorf("exec: checkpoint edge %d counters (pushed %d, popped %d) disagree with %d buffered items", i, pushed, popped, len(items))
+		}
+		ch := newChannel(len(items))
+		for _, v := range items {
+			ch.Push(v)
+		}
+		ch.pushed = pushed
+		ch.popped = popped
+		e.chans[i] = ch
+	}
+	for i := range e.pending {
+		numMsgs, err := c.count(1, "message")
+		if err != nil {
+			return 0, err
+		}
+		e.pending[i] = nil
+		for k := 0; k < numMsgs; k++ {
+			nameLen, err := c.count(1, "handler name")
+			if err != nil {
+				return 0, err
+			}
+			name, err := c.take(nameLen)
+			if err != nil {
+				return 0, err
+			}
+			args, err := c.floats("message arg")
+			if err != nil {
+				return 0, err
+			}
+			target, err := c.i64()
+			if err != nil {
+				return 0, err
+			}
+			up, err := c.u8()
+			if err != nil {
+				return 0, err
+			}
+			be, err := c.u8()
+			if err != nil {
+				return 0, err
+			}
+			if up > 1 || be > 1 {
+				return 0, fmt.Errorf("exec: checkpoint message flags out of range")
+			}
+			e.pending[i] = append(e.pending[i], &message{
+				handler: string(name), args: args, target: target,
+				upstream: up == 1, bestEffort: be == 1,
+			})
+		}
+	}
+	if c.remaining() != 0 {
+		return 0, fmt.Errorf("exec: %d trailing bytes after checkpoint image", c.remaining())
+	}
+	e.Firings = firings
+	return iteration, nil
+}
+
+// RunFromCheckpoint restores data into the engine and runs the remaining
+// steady-state iterations up to total (the run's original iteration
+// count). The initialization schedule is not re-run — its effects are part
+// of the checkpointed state.
+func (e *Engine) RunFromCheckpoint(data []byte, total int) error {
+	it, err := e.RestoreCheckpoint(data)
+	if err != nil {
+		return err
+	}
+	if int64(total) < it {
+		return fmt.Errorf("exec: checkpoint is at iteration %d, past the requested total %d", it, total)
+	}
+	return e.RunSteady(total - int(it))
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"streamit/internal/faults"
 	"streamit/internal/ir"
 	"streamit/internal/wfunc"
 )
@@ -28,17 +30,32 @@ type DynamicEngine struct {
 	Backend Backend
 	// ChanCap is the per-edge buffering in items (default 4096). Dynamic
 	// graphs have no static buffer bound; a graph that needs more buffering
-	// than this to make progress will report deadlock via timeout-free
-	// blocking — raise ChanCap for bursty programs.
+	// than this to make progress wedges with every producer blocked — the
+	// watchdog then aborts the run with a *DeadlockError naming the blocked
+	// wait-cycle. Raise ChanCap for bursty programs.
 	ChanCap int
+
+	// Watchdog is the stall-detection interval: 0 selects
+	// DefaultWatchdogInterval, negative disables detection. Dynamic graphs
+	// have no static deadlock-freedom guarantee, so the watchdog is the
+	// engine's only diagnosis for insufficient buffering or rate mismatch.
+	Watchdog time.Duration
+
+	sup *supervisor
 
 	nodes  []*dynNodeRT
 	popped int64
+
+	// Per-run supervision state.
+	progress int64
+	statuses []*nodeStatus
 }
 
 type dynNodeRT struct {
 	node  *ir.Node
 	state *wfunc.State
+	// fired counts completed firings (the fault injector's index).
+	fired int64
 }
 
 // stopSignal unwinds a node goroutine during shutdown.
@@ -52,13 +69,30 @@ func NewDynamic(g *ir.Graph) (*DynamicEngine, error) {
 
 // NewDynamicBackend is NewDynamic with an explicit work-function backend.
 func NewDynamicBackend(g *ir.Graph, backend Backend) (*DynamicEngine, error) {
+	return NewDynamicOpts(g, Options{Backend: backend})
+}
+
+// NewDynamicOpts is the full-option constructor. Fault injection and the
+// watchdog are supported; recovery policies are not — a dynamic filter's
+// pushes go straight to live channels where consumers may already have
+// seen them, so there is no rollback point. Use the sequential or parallel
+// engine for retry/skip/restart semantics.
+func NewDynamicOpts(g *ir.Graph, opts Options) (*DynamicEngine, error) {
 	if len(g.Portals) > 0 || len(g.Constraints) > 0 {
 		return nil, fmt.Errorf("exec: dynamic-rate execution does not support teleport messaging")
 	}
 	if len(g.Sinks()) == 0 {
 		return nil, fmt.Errorf("exec: dynamic execution needs at least one sink to count output")
 	}
-	d := &DynamicEngine{G: g, Backend: backend, ChanCap: 4096}
+	if opts.OnError.Active() {
+		return nil, fmt.Errorf("exec: the dynamic engine cannot roll back firings (pushes reach live channels); recovery policies require the sequential or parallel engine")
+	}
+	d := &DynamicEngine{G: g, Backend: opts.Backend, ChanCap: 4096, Watchdog: opts.Watchdog}
+	sup, err := newSupervisor(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	d.sup = sup
 	d.nodes = make([]*dynNodeRT, len(g.Nodes))
 	for _, n := range g.Nodes {
 		rt := &dynNodeRT{node: n}
@@ -81,12 +115,37 @@ func NewDynamicBackend(g *ir.Graph, backend Backend) (*DynamicEngine, error) {
 // SinkItems returns the total items consumed by sinks in the last Run.
 func (d *DynamicEngine) SinkItems() int64 { return atomic.LoadInt64(&d.popped) }
 
+// SupervisionReport renders per-filter fault counters (empty when the
+// engine is unsupervised or nothing was injected).
+func (d *DynamicEngine) SupervisionReport() string { return d.sup.Report() }
+
+// Degraded returns per-filter fault counters (nil when unsupervised).
+func (d *DynamicEngine) Degraded() map[string]DegradedStats {
+	if d.sup == nil {
+		return nil
+	}
+	return d.sup.Stats()
+}
+
 // Run executes until the sinks have consumed at least sinkItems items.
 func (d *DynamicEngine) Run(sinkItems int64) error {
 	done := make(chan struct{})
 	var stopOnce sync.Once
 	stop := func() { stopOnce.Do(func() { close(done) }) }
 	atomic.StoreInt64(&d.popped, 0)
+	atomic.StoreInt64(&d.progress, 0)
+	d.statuses = make([]*nodeStatus, len(d.G.Nodes))
+	for _, n := range d.G.Nodes {
+		d.statuses[n.ID] = newNodeStatus(n.Name)
+	}
+	var wd *watchdog
+	if d.Watchdog >= 0 {
+		interval := d.Watchdog
+		if interval == 0 {
+			interval = DefaultWatchdogInterval
+		}
+		wd = newWatchdog("dynamic", interval, &d.progress, d.statuses, stop)
+	}
 
 	chans := make([]chan float64, len(d.G.Edges))
 	for _, e := range d.G.Edges {
@@ -107,10 +166,11 @@ func (d *DynamicEngine) Run(sinkItems int64) error {
 		wg.Add(1)
 		go func(rt *dynNodeRT) {
 			defer wg.Done()
+			defer d.statuses[rt.node.ID].set(stDone, "", 0, -1)
 			defer func() {
 				if r := recover(); r != nil {
 					if _, isStop := r.(stopSignal); !isStop {
-						errs <- fmt.Errorf("node %s: %v", rt.node.Name, r)
+						errs <- asExecError(rt.node.Name, rt.fired, r)
 						stop()
 					}
 				}
@@ -119,6 +179,12 @@ func (d *DynamicEngine) Run(sinkItems int64) error {
 		}(rt)
 	}
 	wg.Wait()
+	if wd != nil {
+		wd.close()
+		if derr := wd.error(); derr != nil {
+			return derr
+		}
+	}
 	close(errs)
 	for err := range errs {
 		if err != nil {
@@ -133,13 +199,17 @@ func (d *DynamicEngine) Run(sinkItems int64) error {
 
 func (d *DynamicEngine) runDynNode(rt *dynNodeRT, chans []chan float64, done chan struct{}, target int64, stop func()) {
 	n := rt.node
+	st := d.statuses[n.ID]
 	// Build tapes.
 	ins := make([]*dynIn, len(n.In))
 	for p, e := range n.In {
 		if e == nil {
 			continue
 		}
-		ins[p] = &dynIn{ch: chans[e.ID], done: done}
+		ins[p] = &dynIn{
+			ch: chans[e.ID], done: done,
+			st: st, progress: &d.progress, edge: e.String(), srcID: e.Src.ID,
+		}
 		if n.IsSink() {
 			ins[p].count = &d.popped
 			ins[p].target = target
@@ -151,7 +221,10 @@ func (d *DynamicEngine) runDynNode(rt *dynNodeRT, chans []chan float64, done cha
 		if e == nil {
 			continue
 		}
-		outs[p] = &dynOut{ch: chans[e.ID], done: done}
+		outs[p] = &dynOut{
+			ch: chans[e.ID], done: done,
+			st: st, progress: &d.progress, edge: e.String(), dstID: e.Dst.ID,
+		}
 	}
 
 	var runner *workRunner
@@ -175,10 +248,26 @@ func (d *DynamicEngine) runDynNode(rt *dynNodeRT, chans []chan float64, done cha
 			if len(outs) > 0 && outs[0] != nil {
 				tOut = outs[0]
 			}
+			if d.sup != nil {
+				if fault, ok := d.sup.take(n.Name, rt.fired); ok {
+					switch fault.Kind {
+					case faults.Panic:
+						panic(&ExecError{Filter: n.Name, Op: "injected panic", Iteration: rt.fired})
+					case faults.Stall:
+						// Wedge like a hung kernel until the watchdog (or
+						// another node's completion) aborts the run.
+						st.set(stStalled, "", 0, -1)
+						<-done
+						panic(stopSignal{})
+					case faults.Corrupt:
+						tOut = corruptOut(tOut)
+					}
+				}
+			}
 			if n.Filter.WorkFn != nil {
 				n.Filter.WorkFn(tIn, tOut, rt.state)
 			} else if err := runner.run(tIn, tOut, nil, nil); err != nil {
-				panic(err)
+				panic(&ExecError{Filter: n.Name, Op: "work", Iteration: rt.fired, Err: err})
 			}
 		case ir.NodeSplitter:
 			if n.SJ.Kind == ir.SJDuplicate {
@@ -208,6 +297,7 @@ func (d *DynamicEngine) runDynNode(rt *dynNodeRT, chans []chan float64, done cha
 				}
 			}
 		}
+		rt.fired++
 	}
 }
 
@@ -221,6 +311,13 @@ type dynIn struct {
 	count  *int64 // when set (sinks), pops count toward the run target
 	target int64
 	stop   func()
+
+	// Watchdog instrumentation: wait state while blocked, progress on
+	// every item received.
+	st       *nodeStatus
+	progress *int64
+	edge     string
+	srcID    int
 }
 
 func (t *dynIn) fill(n int) {
@@ -229,9 +326,29 @@ func (t *dynIn) fill(n int) {
 			t.buf = append([]float64(nil), t.buf[t.head:]...)
 			t.head = 0
 		}
+		// Fast path: data already queued.
 		select {
 		case v := <-t.ch:
 			t.buf = append(t.buf, v)
+			if t.progress != nil {
+				atomic.AddInt64(t.progress, 1)
+			}
+			continue
+		default:
+		}
+		// Blocking path: record who we wait on for the watchdog.
+		if t.st != nil {
+			t.st.set(stWaitRecv, t.edge, len(t.buf)-t.head, t.srcID)
+		}
+		select {
+		case v := <-t.ch:
+			t.buf = append(t.buf, v)
+			if t.progress != nil {
+				atomic.AddInt64(t.progress, 1)
+			}
+			if t.st != nil {
+				t.st.set(stRunning, "", 0, -1)
+			}
 		case <-t.done:
 			panic(stopSignal{})
 		}
@@ -258,24 +375,55 @@ func (t *dynIn) Pop() float64 {
 }
 
 // Push is invalid on an input tape.
-func (t *dynIn) Push(float64) { panic("push on input tape") }
+func (t *dynIn) Push(float64) {
+	panic(tapeFault{op: "push", detail: "push on input tape"})
+}
 
 // dynOut is a blocking output tape.
 type dynOut struct {
 	ch   chan float64
 	done chan struct{}
+
+	// Watchdog instrumentation, as in dynIn.
+	st       *nodeStatus
+	progress *int64
+	edge     string
+	dstID    int
 }
 
 // Peek is invalid on an output tape.
-func (t *dynOut) Peek(int) float64 { panic("peek on output tape") }
+func (t *dynOut) Peek(int) float64 {
+	panic(tapeFault{op: "peek", detail: "peek on output tape"})
+}
 
 // Pop is invalid on an output tape.
-func (t *dynOut) Pop() float64 { panic("pop on output tape") }
+func (t *dynOut) Pop() float64 {
+	panic(tapeFault{op: "pop", detail: "pop on output tape"})
+}
 
 // Push implements wfunc.Tape, blocking when the channel is full.
 func (t *dynOut) Push(v float64) {
+	// Fast path: channel has room.
 	select {
 	case t.ch <- v:
+		if t.progress != nil {
+			atomic.AddInt64(t.progress, 1)
+		}
+		return
+	default:
+	}
+	// Blocking path: record who we wait on for the watchdog.
+	if t.st != nil {
+		t.st.set(stWaitSend, t.edge, len(t.ch), t.dstID)
+	}
+	select {
+	case t.ch <- v:
+		if t.progress != nil {
+			atomic.AddInt64(t.progress, 1)
+		}
+		if t.st != nil {
+			t.st.set(stRunning, "", 0, -1)
+		}
 	case <-t.done:
 		panic(stopSignal{})
 	}

@@ -2,7 +2,9 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
+	"streamit/internal/faults"
 	"streamit/internal/ir"
 	"streamit/internal/sched"
 	"streamit/internal/sdep"
@@ -34,6 +36,9 @@ type Engine struct {
 	Firings int64
 	// dynamic is set when messaging requires constraint-aware scheduling.
 	dynamic bool
+	// sup applies fault injection and recovery policies; nil when
+	// unsupervised (the zero-overhead default).
+	sup *supervisor
 }
 
 // nodeRT is the per-node runtime state.
@@ -92,6 +97,14 @@ func NewFromGraph(g *ir.Graph, s *sched.Schedule) (*Engine, error) {
 // NewFromGraphBackend is NewFromGraph with an explicit work-function
 // backend.
 func NewFromGraphBackend(g *ir.Graph, s *sched.Schedule, backend Backend) (*Engine, error) {
+	return NewFromGraphOpts(g, s, Options{Backend: backend})
+}
+
+// NewFromGraphOpts is the full-option engine constructor: backend
+// selection plus supervised execution (fault injection and per-kernel
+// recovery policies).
+func NewFromGraphOpts(g *ir.Graph, s *sched.Schedule, opts Options) (*Engine, error) {
+	backend := opts.Backend
 	e := &Engine{
 		G:       g,
 		Sch:     s,
@@ -137,6 +150,11 @@ func NewFromGraphBackend(g *ir.Graph, s *sched.Schedule, backend Backend) (*Engi
 		return nil, err
 	}
 	e.dynamic = len(e.constraints) > 0
+	sup, err := newSupervisor(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.sup = sup
 	return e, nil
 }
 
@@ -436,12 +454,12 @@ func (e *Engine) constraintsAllow(n *ir.Node) (bool, error) {
 // timing rules: downstream receivers get messages immediately before the
 // firing that first sees the sender's effects; upstream receivers get them
 // immediately after the firing that last affects the sender's data.
-// Runtime panics (native-kernel bugs, buffer misuse) surface as errors
-// with the node's name attached.
+// Runtime panics (native-kernel bugs, buffer misuse) surface as structured
+// *ExecError values naming the node, operation, and firing index.
 func (e *Engine) fire(n *ir.Node) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("node %s: %v", n.Name, r)
+			err = asExecError(n.Name, e.nodes[n.ID].fired, r)
 		}
 	}()
 	return e.fireInner(n)
@@ -469,12 +487,48 @@ func (e *Engine) fireInner(n *ir.Node) error {
 
 func (e *Engine) fireFilter(rt *nodeRT) error {
 	n := rt.node
-	var in, out wfunc.Tape
+	var inCh, outCh *channel
 	if edge := n.InEdge(); edge != nil {
-		in = e.chans[edge.ID]
+		inCh = e.chans[edge.ID]
 	}
 	if edge := n.OutEdge(); edge != nil {
-		out = e.chans[edge.ID]
+		outCh = e.chans[edge.ID]
+	}
+	if e.sup != nil {
+		return e.fireSupervised(rt, inCh, outCh)
+	}
+	return e.attemptFire(rt, inCh, outCh, faults.Fault{}, false)
+}
+
+// attemptFire executes one (possibly fault-afflicted) work invocation,
+// converting panics and IL runtime errors into *ExecError.
+func (e *Engine) attemptFire(rt *nodeRT, inCh, outCh *channel, fault faults.Fault, injected bool) (err error) {
+	n := rt.node
+	defer func() {
+		if r := recover(); r != nil {
+			err = asExecError(n.Name, rt.fired, r)
+		}
+	}()
+	if injected {
+		switch fault.Kind {
+		case faults.Panic:
+			return &ExecError{Filter: n.Name, Op: "injected panic", Iteration: rt.fired}
+		case faults.Stall:
+			// The sequential engine is single-threaded: blocking here would
+			// hang with no watchdog to notice, so stalls report synchronously.
+			return &ExecError{Filter: n.Name, Op: "injected stall", Iteration: rt.fired,
+				Err: fmt.Errorf("sequential engine reports stalls synchronously")}
+		}
+	}
+	var in, out wfunc.Tape
+	if inCh != nil {
+		in = inCh
+	}
+	if outCh != nil {
+		out = outCh
+	}
+	if injected && fault.Kind == faults.Corrupt {
+		out = corruptOut(out)
 	}
 	if n.Filter.WorkFn != nil {
 		n.Filter.WorkFn(in, out, rt.state)
@@ -484,7 +538,106 @@ func (e *Engine) fireFilter(rt *nodeRT) error {
 	if e.Printer != nil {
 		print = rt.print
 	}
-	return rt.runner.run(in, out, rt.send, print)
+	if err := rt.runner.run(in, out, rt.send, print); err != nil {
+		return &ExecError{Filter: n.Name, Op: "work", Iteration: rt.fired, Err: err}
+	}
+	return nil
+}
+
+// fireSupervised wraps one filter firing in the fault injector and the
+// filter's recovery policy. When the policy may need to roll the firing
+// back (anything but Fail), the filter's tapes and state are saved first;
+// recovery rewinds to that save point.
+func (e *Engine) fireSupervised(rt *nodeRT, inCh, outCh *channel) error {
+	n := rt.node
+	pol := e.sup.pol.For(n.Name)
+	rollback := pol.Action != faults.Fail
+	var inSave, outSave *channel
+	var stateSave *wfunc.State
+	if rollback {
+		if inCh != nil {
+			inSave = inCh.clone()
+		}
+		if outCh != nil {
+			outSave = outCh.clone()
+		}
+		if rt.state != nil {
+			stateSave = rt.state.Clone()
+		}
+	}
+	restore := func() {
+		if inCh != nil {
+			inCh.restoreFrom(inSave)
+		}
+		if outCh != nil {
+			outCh.restoreFrom(outSave)
+		}
+		if stateSave != nil {
+			rt.state = stateSave.Clone()
+			if rt.runner != nil {
+				rt.runner.setState(rt.state)
+			}
+		}
+	}
+	fault, injected := e.sup.take(n.Name, rt.fired)
+	err := e.attemptFire(rt, inCh, outCh, fault, injected)
+	if err == nil {
+		return nil
+	}
+	switch pol.Action {
+	case faults.Retry:
+		for attempt := 1; attempt <= pol.Retries; attempt++ {
+			e.sup.noteRetry(n.Name)
+			if pol.Backoff > 0 {
+				time.Sleep(time.Duration(attempt) * pol.Backoff)
+			}
+			restore()
+			if err = e.attemptFire(rt, inCh, outCh, faults.Fault{}, false); err == nil {
+				return nil
+			}
+		}
+		return fmt.Errorf("exec: %d retries exhausted: %w", pol.Retries, err)
+	case faults.Skip:
+		restore()
+		e.sup.noteSkip(n.Name)
+		var in, out wfunc.Tape
+		if inCh != nil {
+			in = inCh
+		}
+		if outCh != nil {
+			out = outCh
+		}
+		skipFiring(n, in, out)
+		return nil
+	case faults.Restart:
+		restore()
+		st, serr := freshState(n)
+		if serr != nil {
+			return serr
+		}
+		rt.state = st
+		if rt.runner != nil {
+			rt.runner.setState(st)
+		}
+		e.sup.noteRestart(n.Name)
+		if err = e.attemptFire(rt, inCh, outCh, faults.Fault{}, false); err != nil {
+			return fmt.Errorf("exec: restart did not recover: %w", err)
+		}
+		return nil
+	}
+	return err
+}
+
+// SupervisionReport renders per-filter recovery counters (empty when the
+// engine is unsupervised or nothing degraded).
+func (e *Engine) SupervisionReport() string { return e.sup.Report() }
+
+// Degraded returns per-filter recovery counters (nil when unsupervised).
+func (e *Engine) Degraded() map[string]DegradedStats {
+	if e.sup == nil {
+		return nil
+	}
+	return e.sup.Stats()
 }
 
 func (e *Engine) fireSplitter(n *ir.Node) {

@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ExecError is a structured runtime failure of one node firing. Tape
+// misuse (pop on empty, peek out of range), IL runtime errors, injected
+// faults, and native-kernel panics all surface as (or wrapped in) an
+// ExecError so callers can recover the failing filter, operation, and
+// firing index programmatically instead of parsing a panic string.
+type ExecError struct {
+	Filter    string // node name
+	Op        string // "pop", "peek", "push", "work", "injected panic", "injected stall", ...
+	Iteration int64  // the filter's firing index when the fault occurred
+	Err       error  // underlying cause (may be nil for pure tape faults)
+}
+
+// Error implements error.
+func (e *ExecError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("exec: filter %s: %s at firing %d: %v", e.Filter, e.Op, e.Iteration, e.Err)
+	}
+	return fmt.Sprintf("exec: filter %s: %s at firing %d", e.Filter, e.Op, e.Iteration)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ExecError) Unwrap() error { return e.Err }
+
+// tapeFault is the panic payload of channel/tape misuse. It carries the
+// operation so the recover site (which knows the firing node) can build a
+// full ExecError; the tape itself does not know who is using it.
+type tapeFault struct {
+	op     string
+	detail string
+}
+
+func (f tapeFault) Error() string { return fmt.Sprintf("%s: %s", f.op, f.detail) }
+
+// asExecError converts a recovered panic value into an *ExecError carrying
+// the node and firing context.
+func asExecError(filter string, firing int64, r any) *ExecError {
+	switch r := r.(type) {
+	case *ExecError:
+		return r
+	case tapeFault:
+		return &ExecError{Filter: filter, Op: r.op, Iteration: firing, Err: fmt.Errorf("%s", r.detail)}
+	case error:
+		return &ExecError{Filter: filter, Op: "work", Iteration: firing, Err: r}
+	default:
+		return &ExecError{Filter: filter, Op: "work", Iteration: firing, Err: fmt.Errorf("%v", r)}
+	}
+}
+
+// FilterStatus is one node's wait state in a watchdog report: what it was
+// last seen doing, on which tape, and for how long.
+type FilterStatus struct {
+	Name     string
+	State    string        // "waiting recv", "waiting send", "in work", "stalled (injected)"
+	Edge     string        // "Src->Dst" tape name, when blocked on one
+	Buffered int           // items visible to the node on that tape
+	Blocked  time.Duration // how long it has been in this state
+}
+
+func (s FilterStatus) String() string {
+	b := s.Name + ": " + s.State
+	if s.Edge != "" {
+		b += fmt.Sprintf(" on %s (%d items buffered)", s.Edge, s.Buffered)
+	}
+	if s.Blocked > 0 {
+		b += fmt.Sprintf(" for %s", s.Blocked.Round(time.Millisecond))
+	}
+	return b
+}
+
+// DeadlockError reports a watchdog-detected stall: no item or batch moved
+// anywhere in the engine for at least Interval. Blocked lists every node
+// still waiting and what it is waiting on; Cycle names the wait-cycle (or
+// terminal chain) the watchdog traced through the blocked nodes.
+type DeadlockError struct {
+	Engine   string // "parallel" or "dynamic"
+	Interval time.Duration
+	Blocked  []FilterStatus
+	Cycle    []string
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exec: %s engine watchdog: no progress for %s", e.Engine, e.Interval.Round(time.Millisecond))
+	for _, s := range e.Blocked {
+		b.WriteString("; ")
+		b.WriteString(s.String())
+	}
+	if len(e.Cycle) > 0 {
+		fmt.Fprintf(&b, "; wait-cycle: %s", strings.Join(e.Cycle, " -> "))
+	}
+	return b.String()
+}

@@ -1,13 +1,21 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"streamit/internal/faults"
 	"streamit/internal/ir"
 	"streamit/internal/sched"
 	"streamit/internal/wfunc"
 )
+
+// errStopped unwinds a node goroutine after the run was aborted (watchdog
+// deadlock, or another node's error). It never reaches the caller of Run.
+var errStopped = errors.New("exec: run aborted")
 
 // ParallelEngine executes a flattened stream graph on real OS threads: one
 // goroutine per node, connected by Go channels carrying one steady-state
@@ -19,6 +27,11 @@ import (
 // feedback delays pre-populate the loop channel, so results are
 // bit-identical to the sequential Engine. Teleport messaging requires the
 // sequential engine's global wavefront ordering and is not supported here.
+//
+// A watchdog supervises every run: if no batch moves and no filter fires
+// for the configured interval, the run aborts with a *DeadlockError naming
+// each blocked node, the tape it waits on, and the traced wait-cycle —
+// instead of hanging forever.
 type ParallelEngine struct {
 	G   *ir.Graph
 	Sch *sched.Schedule
@@ -32,6 +45,17 @@ type ParallelEngine struct {
 	// Depth is the channel buffering in steady-state batches (default 2:
 	// double buffering).
 	Depth int
+
+	// Watchdog is the stall-detection interval: 0 selects
+	// DefaultWatchdogInterval, negative disables detection.
+	Watchdog time.Duration
+
+	sup *supervisor
+
+	// Per-run supervision state.
+	stopCh   chan struct{}
+	progress int64
+	statuses []*nodeStatus
 }
 
 // pnodeRT is the per-goroutine runtime state of one node.
@@ -41,6 +65,8 @@ type pnodeRT struct {
 	// carry holds unconsumed items per input port (the peek margin and any
 	// initialization residue).
 	carry [][]float64
+	// fired counts steady-state firings (the fault injector's index).
+	fired int64
 }
 
 // NewParallel prepares a parallel engine for a scheduled graph on the
@@ -53,6 +79,13 @@ func NewParallel(g *ir.Graph, s *sched.Schedule) (*ParallelEngine, error) {
 // NewParallelBackend is NewParallel with an explicit work-function
 // backend.
 func NewParallelBackend(g *ir.Graph, s *sched.Schedule, backend Backend) (*ParallelEngine, error) {
+	return NewParallelOpts(g, s, Options{Backend: backend})
+}
+
+// NewParallelOpts is the full-option constructor: backend selection plus
+// supervised execution (fault injection, recovery policies, watchdog
+// interval).
+func NewParallelOpts(g *ir.Graph, s *sched.Schedule, opts Options) (*ParallelEngine, error) {
 	if len(g.Portals) > 0 || len(g.Constraints) > 0 {
 		return nil, fmt.Errorf("exec: the parallel backend does not support teleport messaging; use the sequential Engine")
 	}
@@ -66,7 +99,12 @@ func NewParallelBackend(g *ir.Graph, s *sched.Schedule, backend Backend) (*Paral
 			return nil, fmt.Errorf("exec: filter %s sends messages; use the sequential Engine", n.Name)
 		}
 	}
-	pe := &ParallelEngine{G: g, Sch: s, Backend: backend, Depth: 2}
+	pe := &ParallelEngine{G: g, Sch: s, Backend: opts.Backend, Depth: 2, Watchdog: opts.Watchdog}
+	sup, err := newSupervisor(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	pe.sup = sup
 	pe.nodes = make([]*pnodeRT, len(g.Nodes))
 	for _, n := range g.Nodes {
 		rt := &pnodeRT{node: n, carry: make([][]float64, len(n.In))}
@@ -86,12 +124,26 @@ func NewParallelBackend(g *ir.Graph, s *sched.Schedule, backend Backend) (*Paral
 	return pe, nil
 }
 
+// SupervisionReport renders per-filter recovery counters (empty when the
+// engine is unsupervised or nothing degraded).
+func (pe *ParallelEngine) SupervisionReport() string { return pe.sup.Report() }
+
+// Degraded returns per-filter recovery counters (nil when unsupervised).
+func (pe *ParallelEngine) Degraded() map[string]DegradedStats {
+	if pe.sup == nil {
+		return nil
+	}
+	return pe.sup.Stats()
+}
+
 // Run executes the initialization phase sequentially (it is a transient)
 // and then iters steady-state iterations with every node running
 // concurrently. It returns only after all goroutines drain.
 func (pe *ParallelEngine) Run(iters int) error {
 	// Initialization runs on a scratch sequential engine sharing our node
-	// states, leaving each channel's residue in carry buffers.
+	// states, leaving each channel's residue in carry buffers. The init
+	// transient is unsupervised; fault firing indexes count steady-state
+	// firings per filter.
 	seq, err := NewFromGraph(pe.G, pe.Sch)
 	if err != nil {
 		return err
@@ -120,6 +172,23 @@ func (pe *ParallelEngine) Run(iters int) error {
 	for _, e := range pe.G.Edges {
 		pe.chans[e.ID] = make(chan []float64, pe.Depth)
 	}
+	pe.stopCh = make(chan struct{})
+	var stopOnce sync.Once
+	stopAll := func() { stopOnce.Do(func() { close(pe.stopCh) }) }
+	atomic.StoreInt64(&pe.progress, 0)
+	pe.statuses = make([]*nodeStatus, len(pe.G.Nodes))
+	for _, n := range pe.G.Nodes {
+		pe.statuses[n.ID] = newNodeStatus(n.Name)
+	}
+	var wd *watchdog
+	if pe.Watchdog >= 0 {
+		interval := pe.Watchdog
+		if interval == 0 {
+			interval = DefaultWatchdogInterval
+		}
+		wd = newWatchdog("parallel", interval, &pe.progress, pe.statuses, stopAll)
+	}
+
 	var wg sync.WaitGroup
 	errs := make(chan error, len(pe.G.Nodes))
 	for _, rt := range pe.nodes {
@@ -129,27 +198,28 @@ func (pe *ParallelEngine) Run(iters int) error {
 			err := func() (err error) {
 				defer func() {
 					if r := recover(); r != nil {
-						err = fmt.Errorf("node %s: %v", rt.node.Name, r)
+						err = asExecError(rt.node.Name, rt.fired, r)
 					}
 				}()
 				return pe.runNode(rt, iters)
 			}()
 			if err != nil {
-				errs <- err
-				// Unblock upstream producers so the whole network drains.
-				for _, e := range rt.node.In {
-					if e == nil {
-						continue
-					}
-					go func(ch chan []float64) {
-						for range ch {
-						}
-					}(pe.chans[e.ID])
+				if err != errStopped {
+					errs <- err
 				}
+				// Abort the whole network so producers and consumers blocked
+				// on this node's tapes unwind instead of hanging.
+				stopAll()
 			}
 		}(rt)
 	}
 	wg.Wait()
+	if wd != nil {
+		wd.close()
+		if derr := wd.error(); derr != nil {
+			return derr
+		}
+	}
 	close(errs)
 	for err := range errs {
 		if err != nil {
@@ -159,9 +229,67 @@ func (pe *ParallelEngine) Run(iters int) error {
 	return nil
 }
 
+// recvBatch receives one batch, recording the wait state while blocked so
+// the watchdog can report who waits on whom.
+func (pe *ParallelEngine) recvBatch(n *ir.Node, e *ir.Edge, q *SliceQueue, st *nodeStatus) ([]float64, error) {
+	ch := pe.chans[e.ID]
+	select {
+	case batch, ok := <-ch:
+		if !ok {
+			return nil, pe.closedEarly(n)
+		}
+		atomic.AddInt64(&pe.progress, 1)
+		return batch, nil
+	default:
+	}
+	st.set(stWaitRecv, e.String(), q.Len(), e.Src.ID)
+	defer st.set(stRunning, "", 0, -1)
+	select {
+	case batch, ok := <-ch:
+		if !ok {
+			return nil, pe.closedEarly(n)
+		}
+		atomic.AddInt64(&pe.progress, 1)
+		return batch, nil
+	case <-pe.stopCh:
+		return nil, errStopped
+	}
+}
+
+func (pe *ParallelEngine) closedEarly(n *ir.Node) error {
+	select {
+	case <-pe.stopCh:
+		return errStopped
+	default:
+		return fmt.Errorf("exec: channel into %s closed early", n.Name)
+	}
+}
+
+// sendBatch ships one batch, recording the wait state while blocked.
+func (pe *ParallelEngine) sendBatch(e *ir.Edge, batch []float64, st *nodeStatus) error {
+	ch := pe.chans[e.ID]
+	select {
+	case ch <- batch:
+		atomic.AddInt64(&pe.progress, 1)
+		return nil
+	default:
+	}
+	st.set(stWaitSend, e.String(), len(batch), e.Dst.ID)
+	defer st.set(stRunning, "", 0, -1)
+	select {
+	case ch <- batch:
+		atomic.AddInt64(&pe.progress, 1)
+		return nil
+	case <-pe.stopCh:
+		return errStopped
+	}
+}
+
 // runNode executes one node's share of iters steady iterations.
 func (pe *ParallelEngine) runNode(rt *pnodeRT, iters int) error {
 	n := rt.node
+	st := pe.statuses[n.ID]
+	defer st.set(stDone, "", 0, -1)
 	reps := pe.Sch.Reps[n.ID]
 
 	// Per-iteration production sizes (consumption is implied by batches).
@@ -202,17 +330,19 @@ func (pe *ParallelEngine) runNode(rt *pnodeRT, iters int) error {
 			if e == nil {
 				continue
 			}
-			batch, ok := <-pe.chans[e.ID]
-			if !ok {
-				return fmt.Errorf("exec: channel into %s closed early", n.Name)
+			batch, err := pe.recvBatch(n, e, in[p], st)
+			if err != nil {
+				return err
 			}
 			in[p].Append(batch)
 		}
 		// Fire reps times.
 		for r := 0; r < reps; r++ {
-			if err := pe.fireOnce(rt, runner, in, out); err != nil {
+			if err := pe.fireOnce(rt, runner, in, out, st); err != nil {
 				return err
 			}
+			rt.fired++
+			atomic.AddInt64(&pe.progress, 1)
 		}
 		// Ship one batch per output port.
 		for p, e := range n.Out {
@@ -220,16 +350,21 @@ func (pe *ParallelEngine) runNode(rt *pnodeRT, iters int) error {
 				continue
 			}
 			batch := out[p].Take(produce[p])
-			pe.chans[e.ID] <- batch
+			if err := pe.sendBatch(e, batch, st); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-func (pe *ParallelEngine) fireOnce(rt *pnodeRT, runner *workRunner, in, out []*SliceQueue) error {
+func (pe *ParallelEngine) fireOnce(rt *pnodeRT, runner *workRunner, in, out []*SliceQueue, st *nodeStatus) error {
 	n := rt.node
 	switch n.Kind {
 	case ir.NodeFilter:
+		if pe.sup != nil {
+			return pe.fireFilterSupervised(rt, runner, in, out, st)
+		}
 		var tIn, tOut wfunc.Tape
 		if len(in) > 0 && n.In[0] != nil {
 			tIn = in[0]
@@ -241,7 +376,10 @@ func (pe *ParallelEngine) fireOnce(rt *pnodeRT, runner *workRunner, in, out []*S
 			n.Filter.WorkFn(tIn, tOut, rt.state)
 			return nil
 		}
-		return runner.run(tIn, tOut, nil, nil)
+		if err := runner.run(tIn, tOut, nil, nil); err != nil {
+			return &ExecError{Filter: n.Name, Op: "work", Iteration: rt.fired, Err: err}
+		}
+		return nil
 	case ir.NodeSplitter:
 		if n.SJ.Kind == ir.SJDuplicate {
 			v := in[0].Pop()
@@ -275,6 +413,133 @@ func (pe *ParallelEngine) fireOnce(rt *pnodeRT, runner *workRunner, in, out []*S
 	return fmt.Errorf("exec: unknown node kind")
 }
 
+// fireFilterSupervised wraps one filter firing in the fault injector and
+// the filter's recovery policy, mirroring the sequential engine's
+// semantics on the batch queues.
+func (pe *ParallelEngine) fireFilterSupervised(rt *pnodeRT, runner *workRunner, in, out []*SliceQueue, st *nodeStatus) error {
+	n := rt.node
+	name := n.Name
+	pol := pe.sup.pol.For(name)
+	rollback := pol.Action != faults.Fail
+	var qIn, qOut *SliceQueue
+	if len(in) > 0 && n.In[0] != nil {
+		qIn = in[0]
+	}
+	if len(out) > 0 && n.Out[0] != nil {
+		qOut = out[0]
+	}
+	var inHead, outLen int
+	var stateSave *wfunc.State
+	if rollback {
+		if qIn != nil {
+			inHead = qIn.head
+		}
+		if qOut != nil {
+			outLen = len(qOut.buf)
+		}
+		if rt.state != nil {
+			stateSave = rt.state.Clone()
+		}
+	}
+	restore := func() {
+		if qIn != nil {
+			qIn.head = inHead
+		}
+		if qOut != nil {
+			qOut.buf = qOut.buf[:outLen]
+		}
+		if stateSave != nil {
+			rt.state = stateSave.Clone()
+			if runner != nil {
+				runner.setState(rt.state)
+			}
+		}
+	}
+	attempt := func(fault faults.Fault, injected bool) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = asExecError(name, rt.fired, r)
+			}
+		}()
+		if injected {
+			switch fault.Kind {
+			case faults.Panic:
+				return &ExecError{Filter: name, Op: "injected panic", Iteration: rt.fired}
+			case faults.Stall:
+				// Block like a wedged kernel until the watchdog aborts the run.
+				st.set(stStalled, "", 0, -1)
+				<-pe.stopCh
+				return errStopped
+			}
+		}
+		var tIn, tOut wfunc.Tape
+		if qIn != nil {
+			tIn = qIn
+		}
+		if qOut != nil {
+			tOut = qOut
+		}
+		if injected && fault.Kind == faults.Corrupt {
+			tOut = corruptOut(tOut)
+		}
+		if n.Filter.WorkFn != nil {
+			n.Filter.WorkFn(tIn, tOut, rt.state)
+			return nil
+		}
+		if err := runner.run(tIn, tOut, nil, nil); err != nil {
+			return &ExecError{Filter: name, Op: "work", Iteration: rt.fired, Err: err}
+		}
+		return nil
+	}
+	fault, injected := pe.sup.take(name, rt.fired)
+	err := attempt(fault, injected)
+	if err == nil || err == errStopped {
+		return err
+	}
+	switch pol.Action {
+	case faults.Retry:
+		for a := 1; a <= pol.Retries; a++ {
+			pe.sup.noteRetry(name)
+			if pol.Backoff > 0 {
+				time.Sleep(time.Duration(a) * pol.Backoff)
+			}
+			restore()
+			if err = attempt(faults.Fault{}, false); err == nil || err == errStopped {
+				return err
+			}
+		}
+		return fmt.Errorf("exec: %d retries exhausted: %w", pol.Retries, err)
+	case faults.Skip:
+		restore()
+		pe.sup.noteSkip(name)
+		var tIn, tOut wfunc.Tape
+		if qIn != nil {
+			tIn = qIn
+		}
+		if qOut != nil {
+			tOut = qOut
+		}
+		skipFiring(n, tIn, tOut)
+		return nil
+	case faults.Restart:
+		restore()
+		stFresh, serr := freshState(n)
+		if serr != nil {
+			return serr
+		}
+		rt.state = stFresh
+		if runner != nil {
+			runner.setState(stFresh)
+		}
+		pe.sup.noteRestart(name)
+		if err = attempt(faults.Fault{}, false); err != nil && err != errStopped {
+			return fmt.Errorf("exec: restart did not recover: %w", err)
+		}
+		return err
+	}
+	return err
+}
+
 // SliceQueue is a simple FIFO over a slice implementing wfunc.Tape; the
 // parallel backend uses one per port with batch append/take.
 type SliceQueue struct {
@@ -305,10 +570,18 @@ func (q *SliceQueue) Take(n int) []float64 {
 }
 
 // Peek implements wfunc.Tape.
-func (q *SliceQueue) Peek(i int) float64 { return q.buf[q.head+i] }
+func (q *SliceQueue) Peek(i int) float64 {
+	if i < 0 || q.head+i >= len(q.buf) {
+		panic(tapeFault{op: "peek", detail: fmt.Sprintf("peek(%d) with %d items buffered", i, q.Len())})
+	}
+	return q.buf[q.head+i]
+}
 
 // Pop implements wfunc.Tape.
 func (q *SliceQueue) Pop() float64 {
+	if q.head >= len(q.buf) {
+		panic(tapeFault{op: "pop", detail: "pop on empty batch queue"})
+	}
 	v := q.buf[q.head]
 	q.head++
 	return v

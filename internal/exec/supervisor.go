@@ -1,0 +1,211 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streamit/internal/faults"
+	"streamit/internal/ir"
+	"streamit/internal/wfunc"
+)
+
+// Options configure engine construction across all three engines: the
+// work-function backend, an optional fault-injection plan, per-kernel
+// recovery policies, and the watchdog interval for the concurrent engines.
+type Options struct {
+	// Backend selects the work-function substrate (zero value: bytecode VM).
+	Backend Backend
+	// Faults schedules deterministic fault injection (nil: none).
+	Faults *faults.Plan
+	// OnError maps filters to recovery policies (zero value: fail).
+	OnError faults.Policies
+	// Watchdog is the stall-detection interval of the parallel and dynamic
+	// engines: if no item or batch moves anywhere for this long, the run
+	// aborts with a *DeadlockError describing the blocked wait-cycle.
+	// 0 selects DefaultWatchdogInterval; negative disables the watchdog.
+	// The sequential engine is single-threaded and has no watchdog.
+	Watchdog time.Duration
+}
+
+// DefaultWatchdogInterval is the no-progress window after which the
+// parallel and dynamic engines declare deadlock. Generous enough that only
+// a genuine wedge (never a slow kernel making progress) trips it.
+const DefaultWatchdogInterval = 5 * time.Second
+
+// watchdogInterval resolves the option value.
+func (o Options) watchdogInterval() time.Duration {
+	if o.Watchdog == 0 {
+		return DefaultWatchdogInterval
+	}
+	return o.Watchdog
+}
+
+// supervised reports whether the options ask for any supervision work.
+func (o Options) supervised() bool {
+	return !o.Faults.Empty() || o.OnError.Active()
+}
+
+// filterNames lists the graph's filter-node names in deterministic graph
+// order (the order fault plans materialize against).
+func filterNames(g *ir.Graph) []string {
+	var out []string
+	for _, n := range g.Nodes {
+		if n.Kind == ir.NodeFilter {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+// DegradedStats counts the recovery actions taken for one filter.
+type DegradedStats struct {
+	Injected  int64 // faults the injector delivered
+	Retries   int64 // rolled-back re-executions
+	Skips     int64 // firings replaced by rate-honoring zeros
+	Restarts  int64 // state resets
+	Corrupted int64 // firings whose pushes were replaced by the corrupt sentinel
+}
+
+// supervisor applies fault injection and recovery policies to filter
+// firings. One instance is shared by all node contexts of an engine; it is
+// concurrency-safe for the parallel and dynamic engines.
+type supervisor struct {
+	inj *faults.Injector
+	pol faults.Policies
+
+	mu    sync.Mutex
+	stats map[string]*DegradedStats
+}
+
+// newSupervisor materializes the options against a graph. Returns nil when
+// no supervision is requested, so engines keep their zero-cost fast path.
+func newSupervisor(g *ir.Graph, o Options) (*supervisor, error) {
+	if !o.supervised() {
+		return nil, nil
+	}
+	inj, err := faults.NewInjector(o.Faults, filterNames(g))
+	if err != nil {
+		return nil, err
+	}
+	return &supervisor{inj: inj, pol: o.OnError, stats: map[string]*DegradedStats{}}, nil
+}
+
+// statFor aggregates counters under the source-level filter name (all
+// flattened instances of one filter share a row in the report).
+func (s *supervisor) statFor(filter string) *DegradedStats {
+	base := faults.BaseName(filter)
+	st := s.stats[base]
+	if st == nil {
+		st = &DegradedStats{}
+		s.stats[base] = st
+	}
+	return st
+}
+
+// take consults the injector for a fault due at this firing, recording it.
+func (s *supervisor) take(filter string, firing int64) (faults.Fault, bool) {
+	f, ok := s.inj.Next(filter, firing)
+	if ok {
+		s.mu.Lock()
+		s.statFor(filter).Injected++
+		if f.Kind == faults.Corrupt {
+			s.statFor(filter).Corrupted++
+		}
+		s.mu.Unlock()
+	}
+	return f, ok
+}
+
+func (s *supervisor) noteRetry(filter string) {
+	s.mu.Lock()
+	s.statFor(filter).Retries++
+	s.mu.Unlock()
+}
+func (s *supervisor) noteSkip(filter string) { s.mu.Lock(); s.statFor(filter).Skips++; s.mu.Unlock() }
+func (s *supervisor) noteRestart(filter string) {
+	s.mu.Lock()
+	s.statFor(filter).Restarts++
+	s.mu.Unlock()
+}
+
+// Stats returns a copy of the per-filter recovery counters.
+func (s *supervisor) Stats() map[string]DegradedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]DegradedStats, len(s.stats))
+	for k, v := range s.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// Report renders the recovery counters for CLI output; empty when nothing
+// degraded.
+func (s *supervisor) Report() string {
+	if s == nil {
+		return ""
+	}
+	stats := s.Stats()
+	var names []string
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		st := stats[n]
+		if st == (DegradedStats{}) {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-24s injected=%d retries=%d skips=%d restarts=%d corrupted=%d\n",
+			n, st.Injected, st.Retries, st.Skips, st.Restarts, st.Corrupted)
+	}
+	return b.String()
+}
+
+// corruptTape passes reads through but replaces every pushed value with
+// the corruption sentinel — the tape-level realization of a Corrupt fault.
+type corruptTape struct {
+	inner wfunc.Tape
+}
+
+func (t corruptTape) Peek(i int) float64 { return t.inner.Peek(i) }
+func (t corruptTape) Pop() float64       { return t.inner.Pop() }
+func (t corruptTape) Push(float64)       { t.inner.Push(faults.CorruptValue) }
+
+// corruptOut wraps out (which may be nil for sinks) for one firing.
+func corruptOut(out wfunc.Tape) wfunc.Tape {
+	if out == nil {
+		return nil
+	}
+	return corruptTape{inner: out}
+}
+
+// skipFiring honors a filter's static rates without running its kernel:
+// pop-rate items are consumed and discarded, push-rate zeros emitted.
+func skipFiring(n *ir.Node, in, out wfunc.Tape) {
+	for i := 0; i < n.TotalPop(); i++ {
+		in.Pop()
+	}
+	for i := 0; i < n.TotalPush(); i++ {
+		out.Push(0)
+	}
+}
+
+// freshState re-creates a filter's initial state (fields re-initialized,
+// init function re-run) for the Restart policy.
+func freshState(n *ir.Node) (*wfunc.State, error) {
+	k := n.Filter.Kernel
+	st := k.NewState()
+	if k.Init != nil {
+		env := wfunc.NewEnv(k.Init)
+		env.State = st
+		if err := wfunc.Exec(k.Init, env); err != nil {
+			return nil, fmt.Errorf("restart init of %s: %w", n.Name, err)
+		}
+	}
+	return st, nil
+}

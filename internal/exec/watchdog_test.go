@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"streamit/internal/faults"
+	"streamit/internal/ir"
+)
+
+// TestParallelStallWatchdog: an injected stall wedges one goroutine; the
+// watchdog detects frozen progress and reports the blocked filters.
+func TestParallelStallWatchdog(t *testing.T) {
+	g, s, _ := faultPipeline(t, gainFilter("Double", 2))
+	pe, err := NewParallelOpts(g, s, Options{
+		Faults:   mustPlan(t, "stall:Double@5"),
+		Watchdog: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = pe.Run(64)
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if de.Engine != "parallel" {
+		t.Fatalf("engine = %q, want parallel", de.Engine)
+	}
+	stalled := false
+	for _, fs := range de.Blocked {
+		if faults.BaseName(fs.Name) == "Double" && fs.State == stStalled {
+			stalled = true
+		}
+	}
+	if !stalled {
+		t.Fatalf("report %v does not show Double stalled", err)
+	}
+	if !strings.Contains(err.Error(), "Double") {
+		t.Fatalf("error %q does not name the stalled filter", err)
+	}
+}
+
+// TestDynamicStallWatchdog: same detection on the dynamic engine.
+func TestDynamicStallWatchdog(t *testing.T) {
+	g, _, _ := faultPipeline(t, gainFilter("Double", 2))
+	d, err := NewDynamicOpts(g, Options{
+		Faults:   mustPlan(t, "stall:Double@5"),
+		Watchdog: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.Run(64)
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if de.Engine != "dynamic" {
+		t.Fatalf("engine = %q, want dynamic", de.Engine)
+	}
+	if !strings.Contains(err.Error(), "Double") {
+		t.Fatalf("error %q does not name the stalled filter", err)
+	}
+}
+
+// TestDynamicBufferDeadlockCycle: a rate-mismatched graph (duplicate split
+// feeding a weighted joiner) wedges once the bounded channels fill — the
+// classic dynamic-rate deadlock the watchdog exists for. The report traces
+// the wait-cycle through splitter, branch, and joiner.
+func TestDynamicBufferDeadlockCycle(t *testing.T) {
+	snk, _ := SliceSink("snk")
+	sj := ir.SJ("sj", ir.Duplicate(), ir.RoundRobin(8, 1),
+		gainFilter("a", 1), gainFilter("b", 1))
+	prog := &ir.Program{Name: "dl", Top: ir.Pipe("main", rampFilter("Src"), sj, snk)}
+	g, err := ir.Flatten(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDynamicOpts(g, Options{Watchdog: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ChanCap = 4
+	err = d.Run(1000)
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if len(de.Blocked) == 0 {
+		t.Fatal("deadlock report lists no blocked nodes")
+	}
+	if len(de.Cycle) < 2 {
+		t.Fatalf("expected a traced wait-cycle, got %v", de.Cycle)
+	}
+	if !strings.Contains(err.Error(), "wait-cycle") {
+		t.Fatalf("error %q does not include the wait-cycle", err)
+	}
+}
+
+// TestWatchdogDisabled: a negative interval turns detection off; the run
+// aborts via the normal error path instead (other node finishing is not
+// possible here, so use a panic fault to end the run).
+func TestWatchdogDisabled(t *testing.T) {
+	g, s, _ := faultPipeline(t, gainFilter("Double", 2))
+	pe, err := NewParallelOpts(g, s, Options{
+		Faults:   mustPlan(t, "panic:Double@3"),
+		Watchdog: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = pe.Run(16)
+	var de *DeadlockError
+	if errors.As(err, &de) {
+		t.Fatalf("watchdog fired despite being disabled: %v", err)
+	}
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want the filter's *ExecError", err)
+	}
+}
+
+// TestWaitCycleTrace: unit test of the cycle tracer.
+func TestWaitCycleTrace(t *testing.T) {
+	names := map[int]string{1: "A", 2: "B", 3: "C", 4: "D"}
+	// A -> B -> C -> B is a cycle (B C B); D -> A joins the chain.
+	cycle := traceWaitCycle(map[int]int{1: 2, 2: 3, 3: 2, 4: 1}, names)
+	if len(cycle) != 3 || cycle[0] != "B" || cycle[1] != "C" || cycle[2] != "B" {
+		t.Fatalf("cycle = %v, want [B C B]", cycle)
+	}
+	// No cycle: the longest chain is reported.
+	chain := traceWaitCycle(map[int]int{1: 2, 2: 3}, names)
+	if len(chain) < 2 || chain[0] != "A" {
+		t.Fatalf("chain = %v, want the A -> B -> C chain", chain)
+	}
+}

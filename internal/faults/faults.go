@@ -1,0 +1,294 @@
+// Package faults is the runtime-robustness substrate of the execution
+// engines: a deterministic, seedable fault injector (kernel panics, stalls,
+// and value corruption at chosen firings) and per-kernel recovery policies
+// (fail, retry, skip, restart). The paper's execution model assumes filters
+// never fail; this package supplies the controlled failure modes and the
+// recovery vocabulary that let the engines prove they can diagnose and
+// survive a misbehaving kernel instead of hanging or dying on a bare panic.
+//
+// Plans are textual so they thread through CLI flags:
+//
+//	panic:LowPass@12;corrupt:Eq@30;stall:Demod@5
+//	rand:4@42
+//
+// The first form schedules explicit one-shot faults ("make filter LowPass
+// panic at its 12th firing"). The second derives a pseudo-random schedule
+// of 4 panic/corrupt faults from seed 42 — the same seed over the same
+// graph always yields the same schedule, so a failure found by a fuzzing
+// run is replayable bit-for-bit.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind enumerates injected failure modes.
+type Kind int
+
+const (
+	// Panic makes the firing fail as if the kernel panicked.
+	Panic Kind = iota
+	// Stall makes the kernel block forever (watchdog fodder). The
+	// sequential engine, which has no watchdog, reports stalls
+	// synchronously as errors.
+	Stall
+	// Corrupt lets the firing run but replaces every value it pushes with
+	// CorruptValue.
+	Corrupt
+)
+
+// CorruptValue is the sentinel emitted by Corrupt faults — large, exactly
+// representable, and never produced by the benchmark kernels, so degraded
+// output is unmistakable in tests and logs.
+const CorruptValue = 9.9e99
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	case Corrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind maps the spec names onto Kind values.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "panic":
+		return Panic, nil
+	case "stall":
+		return Stall, nil
+	case "corrupt":
+		return Corrupt, nil
+	}
+	return 0, fmt.Errorf("faults: unknown fault kind %q (want panic, stall, or corrupt)", s)
+}
+
+// Fault is one scheduled failure: filter Filter misbehaves at its
+// Firing-th firing (0-based, counted per engine from the start of the
+// supervised phase). Faults are one-shot: once triggered they are consumed,
+// so a retried or restarted firing succeeds.
+type Fault struct {
+	Filter string
+	Firing int64
+	Kind   Kind
+}
+
+// String renders the spec form of the fault.
+func (f Fault) String() string {
+	return fmt.Sprintf("%s:%s@%d", f.Kind, f.Filter, f.Firing)
+}
+
+// RandSpec asks for N pseudo-random faults derived from Seed, scheduled
+// over the graph's filters within the first MaxFiring firings. Stalls are
+// never generated randomly (they would hang watchdog-less engines);
+// explicit specs can still schedule them.
+type RandSpec struct {
+	N         int
+	Seed      int64
+	MaxFiring int64
+}
+
+// Plan is a parsed fault schedule: explicit faults plus an optional random
+// generator, materialized against a concrete graph by NewInjector.
+type Plan struct {
+	Faults []Fault
+	Rand   *RandSpec
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Faults) == 0 && p.Rand == nil)
+}
+
+// ParsePlan parses a -faults flag value. Entries are separated by ';' or
+// ','; each is kind:filter@firing or rand:N@seed.
+func ParsePlan(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, entry := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("faults: entry %q: want kind:filter@firing or rand:N@seed", entry)
+		}
+		target, atStr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("faults: entry %q: missing @", entry)
+		}
+		at, err := strconv.ParseInt(strings.TrimSpace(atStr), 10, 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("faults: entry %q: bad number after @", entry)
+		}
+		if kindStr == "rand" {
+			n, err := strconv.Atoi(strings.TrimSpace(target))
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("faults: entry %q: rand wants a positive count", entry)
+			}
+			if p.Rand != nil {
+				return nil, fmt.Errorf("faults: at most one rand entry")
+			}
+			p.Rand = &RandSpec{N: n, Seed: at, MaxFiring: 256}
+			continue
+		}
+		kind, err := ParseKind(kindStr)
+		if err != nil {
+			return nil, err
+		}
+		p.Faults = append(p.Faults, Fault{Filter: strings.TrimSpace(target), Firing: at, Kind: kind})
+	}
+	if p.Empty() {
+		return nil, fmt.Errorf("faults: empty plan %q", spec)
+	}
+	return p, nil
+}
+
+// BaseName strips the "#ID" uniquifier the flattener appends to node
+// names, recovering the source-level filter name users write in fault
+// plans and policy specs.
+func BaseName(node string) string {
+	if i := strings.IndexByte(node, '#'); i >= 0 {
+		return node[:i]
+	}
+	return node
+}
+
+// Materialize resolves the plan against a graph's filter names (in
+// deterministic graph order): explicit faults are validated, and the rand
+// spec is expanded with a seeded generator so the same seed over the same
+// filter list always yields the same schedule.
+func (p *Plan) Materialize(filters []string) ([]Fault, error) {
+	if p == nil {
+		return nil, nil
+	}
+	known := make(map[string]bool, len(filters))
+	byBase := make(map[string][]string, len(filters))
+	for _, f := range filters {
+		known[f] = true
+		byBase[BaseName(f)] = append(byBase[BaseName(f)], f)
+	}
+	out := append([]Fault(nil), p.Faults...)
+	for i, f := range out {
+		if known[f.Filter] {
+			continue
+		}
+		// Flattened node names carry a "#ID" uniquifier; resolve a bare
+		// source-level name when it is unambiguous.
+		switch matches := byBase[f.Filter]; len(matches) {
+		case 1:
+			out[i].Filter = matches[0]
+		case 0:
+			return nil, fmt.Errorf("faults: filter %q not in graph (have %s)", f.Filter, strings.Join(filters, ", "))
+		default:
+			return nil, fmt.Errorf("faults: filter %q is ambiguous (instances %s); use a full node name", f.Filter, strings.Join(matches, ", "))
+		}
+	}
+	if p.Rand != nil {
+		if len(filters) == 0 {
+			return nil, fmt.Errorf("faults: rand plan needs at least one filter")
+		}
+		rng := rand.New(rand.NewSource(p.Rand.Seed))
+		for i := 0; i < p.Rand.N; i++ {
+			kind := Panic
+			if rng.Intn(2) == 1 {
+				kind = Corrupt
+			}
+			out = append(out, Fault{
+				Filter: filters[rng.Intn(len(filters))],
+				Firing: rng.Int63n(p.Rand.MaxFiring),
+				Kind:   kind,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Firing < out[j].Firing })
+	return out, nil
+}
+
+// Injector hands scheduled faults to an engine as it fires filters. It is
+// safe for concurrent use (the parallel and dynamic engines consult it
+// from every node goroutine).
+type Injector struct {
+	mu      sync.Mutex
+	pending map[string][]Fault // per filter, ascending by firing
+}
+
+// NewInjector materializes a plan against the graph's filter names. A nil
+// or empty plan yields an injector that never fires.
+func NewInjector(p *Plan, filters []string) (*Injector, error) {
+	sched, err := p.Materialize(filters)
+	if err != nil {
+		return nil, err
+	}
+	inj := &Injector{pending: map[string][]Fault{}}
+	for _, f := range sched {
+		inj.pending[f.Filter] = append(inj.pending[f.Filter], f)
+	}
+	return inj, nil
+}
+
+// Next returns the scheduled fault due for this filter at (or before) the
+// given firing index, consuming it. One-shot consumption means a retried
+// firing does not re-trigger the same fault.
+func (inj *Injector) Next(filter string, firing int64) (Fault, bool) {
+	if inj == nil {
+		return Fault{}, false
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	q := inj.pending[filter]
+	if len(q) == 0 || q[0].Firing > firing {
+		return Fault{}, false
+	}
+	f := q[0]
+	inj.pending[filter] = q[1:]
+	return f, true
+}
+
+// Remaining returns the number of faults not yet triggered.
+func (inj *Injector) Remaining() int {
+	if inj == nil {
+		return 0
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	n := 0
+	for _, q := range inj.pending {
+		n += len(q)
+	}
+	return n
+}
+
+// Schedule returns the not-yet-triggered faults in deterministic order
+// (for -explain style tooling).
+func (inj *Injector) Schedule() []Fault {
+	if inj == nil {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var out []Fault
+	for _, q := range inj.pending {
+		out = append(out, q...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Firing != out[j].Firing {
+			return out[i].Firing < out[j].Firing
+		}
+		if out[i].Filter != out[j].Filter {
+			return out[i].Filter < out[j].Filter
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}

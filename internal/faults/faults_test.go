@@ -1,0 +1,154 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParsePlanExplicit(t *testing.T) {
+	p, err := ParsePlan("panic:LowPass@12; corrupt:Eq@30,stall:Demod@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Filter: "LowPass", Firing: 12, Kind: Panic},
+		{Filter: "Eq", Firing: 30, Kind: Corrupt},
+		{Filter: "Demod", Firing: 5, Kind: Stall},
+	}
+	if !reflect.DeepEqual(p.Faults, want) {
+		t.Fatalf("got %v, want %v", p.Faults, want)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{"", "panic", "panic:X", "panic:X@-1", "blow:X@3", "rand:0@7", "rand:2@1;rand:2@2"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", bad)
+		}
+	}
+}
+
+func TestSeededScheduleIsDeterministic(t *testing.T) {
+	filters := []string{"A", "B", "C"}
+	p, err := ParsePlan("rand:5@42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.Materialize(filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Materialize(filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("same seed diverged: %v vs %v", s1, s2)
+	}
+	if len(s1) != 5 {
+		t.Fatalf("got %d faults, want 5", len(s1))
+	}
+	for _, f := range s1 {
+		if f.Kind == Stall {
+			t.Fatalf("rand schedule must not contain stalls: %v", f)
+		}
+	}
+	other, err := ParsePlan("rand:5@43")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := other.Materialize(filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestMaterializeRejectsUnknownFilter(t *testing.T) {
+	p, err := ParsePlan("panic:Ghost@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Materialize([]string{"A", "B"}); err == nil {
+		t.Fatal("unknown filter should be rejected")
+	}
+}
+
+func TestInjectorConsumesOneShot(t *testing.T) {
+	p, _ := ParsePlan("panic:A@3")
+	inj, err := NewInjector(p, []string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := inj.Next("A", 2); ok {
+		t.Fatal("fault fired early")
+	}
+	f, ok := inj.Next("A", 3)
+	if !ok || f.Kind != Panic {
+		t.Fatalf("fault did not fire: %v %v", f, ok)
+	}
+	if _, ok := inj.Next("A", 3); ok {
+		t.Fatal("fault fired twice")
+	}
+	if inj.Remaining() != 0 {
+		t.Fatalf("remaining = %d, want 0", inj.Remaining())
+	}
+}
+
+func TestInjectorLateDelivery(t *testing.T) {
+	// A fault whose firing index was passed still triggers at the next
+	// opportunity (<= semantics), so off-by-one engine counters cannot
+	// silently drop scheduled faults.
+	p, _ := ParsePlan("corrupt:A@1")
+	inj, err := NewInjector(p, []string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := inj.Next("A", 10); !ok || f.Kind != Corrupt {
+		t.Fatal("late fault should still deliver")
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	ps, err := ParsePolicies("LowPass=restart, Eq=retry:2:10ms, default=skip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Default.Action != Skip {
+		t.Fatalf("default = %v", ps.Default)
+	}
+	if got := ps.For("LowPass"); got.Action != Restart {
+		t.Fatalf("LowPass = %v", got)
+	}
+	if got := ps.For("Eq"); got.Action != Retry || got.Retries != 2 || got.Backoff != 10*time.Millisecond {
+		t.Fatalf("Eq = %+v", got)
+	}
+	if got := ps.For("Other"); got.Action != Skip {
+		t.Fatalf("fallback = %v", got)
+	}
+	if !ps.Active() {
+		t.Fatal("policies should be active")
+	}
+
+	bare, err := ParsePolicies("retry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Default.Action != Retry || bare.Default.Retries != 3 {
+		t.Fatalf("bare retry = %+v", bare.Default)
+	}
+
+	var zero Policies
+	if zero.Active() {
+		t.Fatal("zero policies must be inactive")
+	}
+	if _, err := ParsePolicies("explode"); err == nil {
+		t.Fatal("bad policy should be rejected")
+	}
+	if _, err := ParsePolicies("retry:0"); err == nil {
+		t.Fatal("retry:0 should be rejected")
+	}
+}

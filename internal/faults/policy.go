@@ -1,0 +1,163 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Action is what a supervised engine does when a kernel firing fails.
+type Action int
+
+const (
+	// Fail propagates the error to the caller (the default).
+	Fail Action = iota
+	// Retry rolls the firing back (tapes and filter state) and re-executes
+	// it up to Retries times with linear Backoff between attempts.
+	Retry
+	// Skip drops the firing: the filter's pop-rate items are consumed and
+	// discarded, and push-rate zeros are emitted so the static schedule
+	// stays consistent downstream.
+	Skip
+	// Restart resets the filter to its initial state (fresh fields, init
+	// function re-run), rolls the tapes back, and re-executes the firing
+	// once.
+	Restart
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case Fail:
+		return "fail"
+	case Retry:
+		return "retry"
+	case Skip:
+		return "skip"
+	case Restart:
+		return "restart"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Policy is one filter's recovery behaviour.
+type Policy struct {
+	Action  Action
+	Retries int           // Retry only; attempts after the first failure
+	Backoff time.Duration // Retry only; linear per-attempt backoff
+}
+
+// String renders the spec form of the policy.
+func (p Policy) String() string {
+	if p.Action == Retry {
+		if p.Backoff > 0 {
+			return fmt.Sprintf("retry:%d:%s", p.Retries, p.Backoff)
+		}
+		return fmt.Sprintf("retry:%d", p.Retries)
+	}
+	return p.Action.String()
+}
+
+// Policies maps filters to recovery policies, with a default for filters
+// not named explicitly. The zero value fails everything — supervision is
+// strictly opt-in.
+type Policies struct {
+	Default   Policy
+	PerFilter map[string]Policy
+}
+
+// For returns the policy governing a filter. Flattened node names carry a
+// "#ID" uniquifier; a policy keyed by the bare source-level name matches
+// every instance of that filter.
+func (ps Policies) For(filter string) Policy {
+	if p, ok := ps.PerFilter[filter]; ok {
+		return p
+	}
+	if p, ok := ps.PerFilter[BaseName(filter)]; ok {
+		return p
+	}
+	return ps.Default
+}
+
+// Active reports whether any filter has a non-Fail policy (i.e. whether
+// the engines need rollback bookkeeping at all).
+func (ps Policies) Active() bool {
+	if ps.Default.Action != Fail {
+		return true
+	}
+	for _, p := range ps.PerFilter {
+		if p.Action != Fail {
+			return true
+		}
+	}
+	return false
+}
+
+// ParsePolicies parses an -on-error flag value. Entries are separated by
+// ','; each is either a bare policy (setting the default) or
+// filter=policy. A policy is fail, skip, restart, or
+// retry[:attempts[:backoff]] (attempts default 3, backoff 0).
+//
+//	-on-error skip
+//	-on-error "retry:5:10ms"
+//	-on-error "LowPass=restart,Eq=retry:2,default=skip"
+//
+// The key "default" is accepted as an explicit alias for the bare form.
+func ParsePolicies(spec string) (Policies, error) {
+	ps := Policies{PerFilter: map[string]Policy{}}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		target := ""
+		polStr := entry
+		if name, rest, ok := strings.Cut(entry, "="); ok {
+			target, polStr = strings.TrimSpace(name), strings.TrimSpace(rest)
+		}
+		pol, err := parsePolicy(polStr)
+		if err != nil {
+			return Policies{}, err
+		}
+		if target == "" || target == "default" {
+			ps.Default = pol
+		} else {
+			ps.PerFilter[target] = pol
+		}
+	}
+	return ps, nil
+}
+
+func parsePolicy(s string) (Policy, error) {
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "fail":
+		return Policy{Action: Fail}, nil
+	case "skip":
+		return Policy{Action: Skip}, nil
+	case "restart":
+		return Policy{Action: Restart}, nil
+	case "retry":
+		p := Policy{Action: Retry, Retries: 3}
+		if len(parts) > 1 {
+			n, err := strconv.Atoi(parts[1])
+			if err != nil || n <= 0 {
+				return Policy{}, fmt.Errorf("faults: retry wants a positive attempt count in %q", s)
+			}
+			p.Retries = n
+		}
+		if len(parts) > 2 {
+			d, err := time.ParseDuration(parts[2])
+			if err != nil || d < 0 {
+				return Policy{}, fmt.Errorf("faults: retry wants a duration backoff in %q", s)
+			}
+			p.Backoff = d
+		}
+		if len(parts) > 3 {
+			return Policy{}, fmt.Errorf("faults: too many parts in policy %q", s)
+		}
+		return p, nil
+	}
+	return Policy{}, fmt.Errorf("faults: unknown policy %q (want fail, skip, restart, or retry[:n[:backoff]])", s)
+}

@@ -1,0 +1,188 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// TileFault takes one tile offline at a simulated cycle. The machine model
+// has no spare tiles and no migration, so any node mapped to the tile that
+// still needs to execute at or after AtCycle strands the computation: the
+// simulation reports an error naming the stranded nodes rather than
+// silently completing. (A run whose nodes finish before AtCycle never
+// observes the fault.)
+type TileFault struct {
+	Tile    int
+	AtCycle int64
+}
+
+// LinkFault severs the mesh link between two adjacent tiles (both
+// directions) from AtCycle on. Routes that used the link fall back from
+// dimension-ordered XY to YX routing; a transfer whose XY and YX routes
+// are both severed is a hard communication failure.
+type LinkFault struct {
+	FromTile, ToTile int
+	AtCycle          int64
+}
+
+// FaultPlan schedules tile and link failures for SimulateFaults.
+type FaultPlan struct {
+	Tiles []TileFault
+	Links []LinkFault
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *FaultPlan) Empty() bool {
+	return p == nil || (len(p.Tiles) == 0 && len(p.Links) == 0)
+}
+
+// validate checks every fault against the machine shape.
+func (p *FaultPlan) validate(cfg Config) error {
+	if p == nil {
+		return nil
+	}
+	for _, tf := range p.Tiles {
+		if tf.Tile < 0 || tf.Tile >= cfg.Tiles() {
+			return fmt.Errorf("machine: tile fault on tile %d, machine has %d tiles", tf.Tile, cfg.Tiles())
+		}
+		if tf.AtCycle < 0 {
+			return fmt.Errorf("machine: tile fault cycle %d is negative", tf.AtCycle)
+		}
+	}
+	for _, lf := range p.Links {
+		for _, t := range []int{lf.FromTile, lf.ToTile} {
+			if t < 0 || t >= cfg.Tiles() {
+				return fmt.Errorf("machine: link fault endpoint tile %d, machine has %d tiles", t, cfg.Tiles())
+			}
+		}
+		x1, y1 := lf.FromTile%cfg.Cols, lf.FromTile/cfg.Cols
+		x2, y2 := lf.ToTile%cfg.Cols, lf.ToTile/cfg.Cols
+		if abs(x1-x2)+abs(y1-y2) != 1 {
+			return fmt.Errorf("machine: link fault %d-%d does not name adjacent tiles", lf.FromTile, lf.ToTile)
+		}
+		if lf.AtCycle < 0 {
+			return fmt.Errorf("machine: link fault cycle %d is negative", lf.AtCycle)
+		}
+	}
+	return nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// SimulateFaults is Simulate with a fault plan: the simulation proceeds
+// normally until a scheduled failure is actually exercised, then either
+// reroutes around it (link failures with a live alternate route) or
+// reports a structured error (stranded nodes, severed communication).
+func SimulateFaults(g *WGraph, m *Mapping, cfg Config, iters int, fp *FaultPlan) (*Result, error) {
+	return simulateHooked(g, m, cfg, iters, fp, nil)
+}
+
+// applyFaultPlan precomputes per-tile and per-link failure times.
+func (s *sim) applyFaultPlan(fp *FaultPlan) {
+	s.tileDownAt = make([]int64, s.cfg.Tiles())
+	for i := range s.tileDownAt {
+		s.tileDownAt[i] = math.MaxInt64
+	}
+	s.linkDownAt = map[link]int64{}
+	if fp == nil {
+		return
+	}
+	for _, tf := range fp.Tiles {
+		if tf.AtCycle < s.tileDownAt[tf.Tile] {
+			s.tileDownAt[tf.Tile] = tf.AtCycle
+		}
+	}
+	for _, lf := range fp.Links {
+		x1, y1 := s.tileXY(lf.FromTile)
+		x2, y2 := s.tileXY(lf.ToTile)
+		for _, l := range []link{{x1, y1, x2, y2}, {x2, y2, x1, y1}} {
+			if down, ok := s.linkDownAt[l]; !ok || lf.AtCycle < down {
+				s.linkDownAt[l] = lf.AtCycle
+			}
+		}
+	}
+}
+
+// fail records the first fault-induced error; the run aborts at the next
+// iteration boundary.
+func (s *sim) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// checkTile verifies the tile executing n is still alive at start.
+func (s *sim) checkTile(n *WNode, tile int, start int64) bool {
+	down := s.tileDownAt[tile]
+	if start < down {
+		return true
+	}
+	var stranded []string
+	for id, t := range s.m.Tile {
+		if t == tile {
+			stranded = append(stranded, s.g.Nodes[id].Name)
+		}
+	}
+	s.fail(fmt.Errorf("machine: tile %d failed at cycle %d; nodes stranded with no spare tile: %v (first hit: %s at cycle %d)",
+		tile, down, stranded, n.Name, start))
+	return false
+}
+
+// linkDown reports whether l is severed for a use starting at t.
+func (s *sim) linkDown(l link, t int64) bool {
+	down, ok := s.linkDownAt[l]
+	return ok && t >= down
+}
+
+// pathXY returns the dimension-ordered (X then Y) hop list.
+func (s *sim) pathXY(from, to int) []link {
+	x1, y1 := s.tileXY(from)
+	x2, y2 := s.tileXY(to)
+	var hops []link
+	for x1 != x2 {
+		nx := x1 + sign(x2-x1)
+		hops = append(hops, link{x1, y1, nx, y1})
+		x1 = nx
+	}
+	for y1 != y2 {
+		ny := y1 + sign(y2-y1)
+		hops = append(hops, link{x1, y1, x1, ny})
+		y1 = ny
+	}
+	return hops
+}
+
+// pathYX returns the Y-then-X hop list (the fallback route under link
+// failures; deadlock-freedom is not modeled at this granularity).
+func (s *sim) pathYX(from, to int) []link {
+	x1, y1 := s.tileXY(from)
+	x2, y2 := s.tileXY(to)
+	var hops []link
+	for y1 != y2 {
+		ny := y1 + sign(y2-y1)
+		hops = append(hops, link{x1, y1, x1, ny})
+		y1 = ny
+	}
+	for x1 != x2 {
+		nx := x1 + sign(x2-x1)
+		hops = append(hops, link{x1, y1, nx, y1})
+		x1 = nx
+	}
+	return hops
+}
+
+// pathBlocked reports whether any hop is severed for a route starting at
+// ready.
+func (s *sim) pathBlocked(hops []link, ready int64) bool {
+	for _, l := range hops {
+		if s.linkDown(l, ready) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTileFaultStrandsNodes: a node mapped to a tile that dies mid-run has
+// nowhere to go; the simulation reports the stranded nodes instead of
+// completing.
+func TestTileFaultStrandsNodes(t *testing.T) {
+	g := chainGraph(4, 1000, 10)
+	m := seqMapping(g)
+	for i := range m.Tile {
+		m.Tile[i] = i
+	}
+	fp := &FaultPlan{Tiles: []TileFault{{Tile: 2, AtCycle: 100}}}
+	_, err := SimulateFaults(g, m, DefaultConfig(), 20, fp)
+	if err == nil {
+		t.Fatal("expected a stranded-node error")
+	}
+	if !strings.Contains(err.Error(), "tile 2") || !strings.Contains(err.Error(), "stranded") {
+		t.Fatalf("error %q does not name the failed tile and stranded nodes", err)
+	}
+}
+
+// TestTileFaultBarriered: the same detection holds in barriered mode.
+func TestTileFaultBarriered(t *testing.T) {
+	g := chainGraph(2, 1000, 10)
+	m := seqMapping(g)
+	m.Mode = ModeBarriered
+	m.Tile = []int{0, 1}
+	fp := &FaultPlan{Tiles: []TileFault{{Tile: 1, AtCycle: 0}}}
+	if _, err := SimulateFaults(g, m, DefaultConfig(), 8, fp); err == nil {
+		t.Fatal("expected a stranded-node error in barriered mode")
+	}
+}
+
+// TestTileFaultNeverReached: a failure scheduled after the run finishes is
+// never observed; the result is identical to the fault-free simulation.
+func TestTileFaultNeverReached(t *testing.T) {
+	g := chainGraph(3, 500, 8)
+	m := seqMapping(g)
+	m.Tile = []int{0, 1, 2}
+	clean, err := Simulate(g, m, DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := &FaultPlan{Tiles: []TileFault{{Tile: 1, AtCycle: 1 << 40}}}
+	faulty, err := SimulateFaults(g, m, DefaultConfig(), 8, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.CyclesPerIter != clean.CyclesPerIter || faulty.Elapsed != clean.Elapsed {
+		t.Fatalf("unreached fault changed the simulation: %v vs %v", faulty, clean)
+	}
+}
+
+// TestLinkFaultReroutesYX: tile 0 -> tile 5 differs in both dimensions, so
+// severing the XY route's first link (0->1) leaves the YX route (0->4->5)
+// alive: the run completes.
+func TestLinkFaultReroutesYX(t *testing.T) {
+	g := chainGraph(2, 100, 50)
+	m := seqMapping(g)
+	m.Tile = []int{0, 5}
+	fp := &FaultPlan{Links: []LinkFault{{FromTile: 0, ToTile: 1, AtCycle: 0}}}
+	res, err := SimulateFaults(g, m, DefaultConfig(), 8, fp)
+	if err != nil {
+		t.Fatalf("YX reroute should survive a single severed link: %v", err)
+	}
+	if res.CyclesPerIter <= 0 {
+		t.Fatalf("bad result after reroute: %v", res)
+	}
+}
+
+// TestLinkFaultBothRoutesSevered: severing the first hop of both the XY
+// (0->1) and YX (0->4) routes isolates the producer tile; the transfer is a
+// hard failure.
+func TestLinkFaultBothRoutesSevered(t *testing.T) {
+	g := chainGraph(2, 100, 50)
+	m := seqMapping(g)
+	m.Tile = []int{0, 5}
+	fp := &FaultPlan{Links: []LinkFault{
+		{FromTile: 0, ToTile: 1, AtCycle: 0},
+		{FromTile: 0, ToTile: 4, AtCycle: 0},
+	}}
+	_, err := SimulateFaults(g, m, DefaultConfig(), 8, fp)
+	if err == nil {
+		t.Fatal("expected a communication failure with both routes severed")
+	}
+	if !strings.Contains(err.Error(), "routes") {
+		t.Fatalf("error %q does not describe the severed routes", err)
+	}
+}
+
+// TestLinkFaultSameRow: for tiles in the same row the XY and YX routes
+// coincide, so one severed row link is already fatal.
+func TestLinkFaultSameRow(t *testing.T) {
+	g := chainGraph(2, 100, 50)
+	m := seqMapping(g)
+	m.Tile = []int{0, 3}
+	fp := &FaultPlan{Links: []LinkFault{{FromTile: 1, ToTile: 2, AtCycle: 0}}}
+	if _, err := SimulateFaults(g, m, DefaultConfig(), 8, fp); err == nil {
+		t.Fatal("expected a communication failure: same-row routes coincide")
+	}
+}
+
+// TestFaultPlanValidation: malformed plans are rejected up front.
+func TestFaultPlanValidation(t *testing.T) {
+	g := chainGraph(2, 100, 10)
+	m := seqMapping(g)
+	cases := []*FaultPlan{
+		{Tiles: []TileFault{{Tile: 99, AtCycle: 0}}},
+		{Tiles: []TileFault{{Tile: 0, AtCycle: -1}}},
+		{Links: []LinkFault{{FromTile: 0, ToTile: 2, AtCycle: 0}}}, // not adjacent
+		{Links: []LinkFault{{FromTile: 0, ToTile: 16, AtCycle: 0}}},
+	}
+	for i, fp := range cases {
+		if _, err := SimulateFaults(g, m, DefaultConfig(), 8, fp); err == nil {
+			t.Errorf("case %d: malformed plan accepted", i)
+		}
+	}
+}
+
+// TestEmptyFaultPlan: a nil or empty plan is exactly Simulate.
+func TestEmptyFaultPlan(t *testing.T) {
+	g := chainGraph(3, 500, 8)
+	m := seqMapping(g)
+	m.Tile = []int{0, 1, 2}
+	clean, err := Simulate(g, m, DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range []*FaultPlan{nil, {}} {
+		if !fp.Empty() {
+			t.Fatal("plan should report empty")
+		}
+		res, err := SimulateFaults(g, m, DefaultConfig(), 8, fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CyclesPerIter != clean.CyclesPerIter {
+			t.Fatalf("empty plan changed the simulation: %v vs %v", res, clean)
+		}
+	}
+}

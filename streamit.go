@@ -3,6 +3,7 @@ package streamit
 import (
 	"streamit/internal/core"
 	"streamit/internal/exec"
+	"streamit/internal/faults"
 	"streamit/internal/fuse"
 	"streamit/internal/ir"
 	"streamit/internal/linear"
@@ -47,6 +48,19 @@ type (
 	MachineConfig = machine.Config
 	// Strategy names a parallelization strategy.
 	Strategy = partition.Strategy
+
+	// FaultPlan schedules deterministic filter-level fault injection.
+	FaultPlan = faults.Plan
+	// RecoveryPolicies map filters to on-error recovery actions.
+	RecoveryPolicies = faults.Policies
+	// ExecError is the structured runtime error (filter, operation,
+	// firing) raised by all three engines.
+	ExecError = exec.ExecError
+	// DeadlockError is the watchdog's no-progress report with the traced
+	// wait-cycle.
+	DeadlockError = exec.DeadlockError
+	// MachineFaultPlan schedules tile and link failures in the simulator.
+	MachineFaultPlan = machine.FaultPlan
 )
 
 // Constructors and helpers.
@@ -80,6 +94,14 @@ var (
 
 	// ParseBackend parses a -backend style name ("vm", "interp").
 	ParseBackend = core.ParseBackend
+
+	// ParseFaultPlan parses a "kind:filter@firing;..." injection spec.
+	ParseFaultPlan = faults.ParsePlan
+	// ParseRecoveryPolicies parses a "filter=policy,..." recovery spec.
+	ParseRecoveryPolicies = faults.ParsePolicies
+	// SimulateFaults runs the machine simulator under a tile/link fault
+	// plan.
+	SimulateFaults = machine.SimulateFaults
 )
 
 // Work-function execution backends.
