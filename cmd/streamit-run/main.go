@@ -23,6 +23,16 @@
 //
 // Checkpoints are engine-state images taken at iteration boundaries; a
 // resumed run is bit-identical to an uninterrupted one, on either backend.
+//
+// Observability (internal/obs):
+//
+//	-profile            print a per-filter table after the run: firings,
+//	                    tape traffic, work and stall time, buffer high-water
+//	                    marks (works on all three engines)
+//	-trace out.json     write a Chrome trace_event JSON of the run (load in
+//	                    chrome://tracing or https://ui.perfetto.dev); with
+//	                    -strategy, traces the simulated NoC execution
+//	                    instead of the runtime engines
 package main
 
 import (
@@ -37,8 +47,30 @@ import (
 	"streamit/internal/faults"
 	"streamit/internal/linear"
 	"streamit/internal/machine"
+	"streamit/internal/obs"
 	"streamit/internal/partition"
 )
+
+// observed is the observability surface shared by all three engines.
+type observed interface {
+	Profile() *obs.Profiler
+	TraceRecorder() *obs.Recorder
+}
+
+// finishObs emits the requested observability artifacts after a run: the
+// per-filter profile table on stdout and/or the Chrome trace file.
+func finishObs(e observed, tracePath string) {
+	if p := e.Profile(); p != nil {
+		fmt.Print("per-filter profile:\n")
+		fmt.Print(p.Table())
+	}
+	if r := e.TraceRecorder(); r != nil && tracePath != "" {
+		if err := r.WriteFile(tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", tracePath)
+	}
+}
 
 func main() {
 	top := flag.String("top", "Main", "top-level stream to elaborate")
@@ -47,7 +79,8 @@ func main() {
 	strategy := flag.String("strategy", "", "map onto the simulated multicore with this strategy instead of running sequentially")
 	parallel := flag.Bool("parallel", false, "run on the goroutine-per-filter parallel backend")
 	dynamic := flag.Bool("dynamic", false, "run on the demand-driven dynamic-rate backend (-iters counts sink items)")
-	traceOut := flag.String("trace", "", "with -strategy: write a Chrome trace JSON of the simulated execution to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace JSON of the execution to this file (runtime engines or, with -strategy, the simulated machine)")
+	profile := flag.Bool("profile", false, "print the per-filter profile table after the run")
 	backendName := flag.String("backend", "vm", "work-function backend: vm (bytecode) or interp (tree-walking)")
 	faultSpec := flag.String("faults", "", "inject faults: 'kind:filter@firing' (kind: panic, stall, corrupt) or 'rand:N@seed', ';'-separated")
 	onError := flag.String("on-error", "", "recovery policies: 'policy' or 'filter=policy' (fail, retry[:n[:backoff]], skip, restart), ','-separated")
@@ -66,7 +99,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	runOpts := core.RunOptions{Backend: backend, Watchdog: *watchdog}
+	runOpts := core.RunOptions{Backend: backend, Watchdog: *watchdog, Profile: *profile}
+	if *traceOut != "" && *strategy == "" {
+		runOpts.TracePath = *traceOut
+	}
 	if *faultSpec != "" {
 		plan, err := faults.ParsePlan(*faultSpec)
 		if err != nil {
@@ -106,6 +142,7 @@ func main() {
 		fmt.Printf("dynamic run: %d sink items in %v (%.0f items/sec)\n",
 			d.SinkItems(), dur.Round(time.Microsecond), float64(d.SinkItems())/dur.Seconds())
 		report(d.SupervisionReport(), len(d.Degraded()) > 0)
+		finishObs(d, runOpts.TracePath)
 		return
 	}
 	opts := core.Options{}
@@ -152,6 +189,7 @@ func main() {
 		fmt.Printf("ran %d steady-state iterations on the parallel backend in %v\n", *iters, dur.Round(time.Microsecond))
 		fmt.Printf("%.0f iterations/sec\n", float64(*iters)/dur.Seconds())
 		report(pe.SupervisionReport(), len(pe.Degraded()) > 0)
+		finishObs(pe, runOpts.TracePath)
 		return
 	}
 	e, err := c.EngineOpts(runOpts)
@@ -185,6 +223,7 @@ func main() {
 		fmt.Printf("checkpoint written to %s at iteration %d (resume with -resume %s -iters %d)\n",
 			*ckptPath, *ckptAfter, *ckptPath, *iters)
 		report(e.SupervisionReport(), len(e.Degraded()) > 0)
+		finishObs(e, runOpts.TracePath)
 		return
 	default:
 		if err := e.Run(*iters); err != nil {
@@ -196,6 +235,7 @@ func main() {
 	fmt.Printf("ran %d steady-state iterations (%d firings) in %v\n", *iters, e.Firings, dur.Round(time.Microsecond))
 	fmt.Printf("%.0f firings/sec\n", float64(e.Firings)/dur.Seconds())
 	report(e.SupervisionReport(), len(e.Degraded()) > 0)
+	finishObs(e, runOpts.TracePath)
 }
 
 // writeCheckpoint saves the engine image atomically enough for a CLI: a

@@ -1,0 +1,42 @@
+package bench
+
+import "streamit/internal/obs"
+
+// JSONDir, when non-empty, makes the execution-benchmark printers also
+// write one BENCH_<app>.json snapshot per measured app (obs.BenchSnapshot
+// schema). The CLI points this at its -json directory; tests point it at a
+// temp dir. Empty disables snapshot writing.
+var JSONDir string
+
+// writeVMSnapshots persists the VM-vs-interpreter measurements.
+func writeVMSnapshots(rows []VMRow, mean float64) error {
+	if JSONDir == "" {
+		return nil
+	}
+	for _, r := range rows {
+		b := obs.NewBench(r.Name)
+		b.Set("interp_items_per_sec", r.InterpRate, "items/s")
+		b.Set("vm_items_per_sec", r.VMRate, "items/s")
+		b.Set("vm_speedup_x", r.Speedup, "x")
+		if _, err := b.WriteFile(JSONDir); err != nil {
+			return err
+		}
+	}
+	b := obs.NewBench("vm_suite")
+	b.Set("vm_speedup_geomean_x", mean, "x")
+	_, err := b.WriteFile(JSONDir)
+	return err
+}
+
+// writeTeleportSnapshot persists the E8 measurement.
+func writeTeleportSnapshot(res *TeleportResult) error {
+	if JSONDir == "" {
+		return nil
+	}
+	b := obs.NewBench("FreqHoppingRadio")
+	b.Set("teleport_samples_per_sec", res.TeleportRate, "items/s")
+	b.Set("manual_samples_per_sec", res.ManualRate, "items/s")
+	b.Set("teleport_improvement_pct", res.Improvement, "%")
+	_, err := b.WriteFile(JSONDir)
+	return err
+}

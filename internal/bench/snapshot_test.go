@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamit/internal/obs"
+)
+
+func validateDir(t *testing.T, dir string, wantFiles int) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != wantFiles {
+		t.Fatalf("wrote %d snapshots, want %d: %v", len(paths), wantFiles, paths)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.ValidateBench(data); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestWriteVMSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	JSONDir = dir
+	defer func() { JSONDir = "" }()
+	rows := []VMRow{
+		{Name: "FIR", InterpRate: 1e6, VMRate: 3e6, Speedup: 3},
+		{Name: "DToA", InterpRate: 2e6, VMRate: 5e6, Speedup: 2.5},
+	}
+	if err := writeVMSnapshots(rows, 2.7); err != nil {
+		t.Fatal(err)
+	}
+	validateDir(t, dir, 3) // two apps + the vm_suite geomean
+
+	data, err := os.ReadFile(obs.BenchPath(dir, "FIR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateBench(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteTeleportSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	JSONDir = dir
+	defer func() { JSONDir = "" }()
+	res := &TeleportResult{TeleportRate: 1.5e5, ManualRate: 1e5, Improvement: 50}
+	if err := writeTeleportSnapshot(res); err != nil {
+		t.Fatal(err)
+	}
+	validateDir(t, dir, 1)
+}
+
+func TestSnapshotsDisabledByDefault(t *testing.T) {
+	JSONDir = ""
+	if err := writeVMSnapshots([]VMRow{{Name: "X", Speedup: 1}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTeleportSnapshot(&TeleportResult{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -122,10 +122,14 @@ func PrintLinear(w io.Writer) error {
 	return nil
 }
 
-// PrintVM renders the bytecode-VM vs interpreter backend comparison.
+// PrintVM renders the bytecode-VM vs interpreter backend comparison (and,
+// with JSONDir set, writes one BENCH_<app>.json snapshot per row).
 func PrintVM(w io.Writer) error {
 	rows, mean, err := VMBench()
 	if err != nil {
+		return err
+	}
+	if err := writeVMSnapshots(rows, mean); err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "Table vm: work-function throughput, bytecode VM vs tree-walking interpreter")
@@ -142,6 +146,9 @@ func PrintVM(w io.Writer) error {
 func PrintTeleport(w io.Writer) error {
 	res, err := TeleportBench()
 	if err != nil {
+		return err
+	}
+	if err := writeTeleportSnapshot(res); err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "Table teleport: frequency-hopping radio, teleport messaging vs manual embedding")

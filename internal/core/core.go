@@ -18,6 +18,7 @@ import (
 	"streamit/internal/lang"
 	"streamit/internal/linear"
 	"streamit/internal/machine"
+	"streamit/internal/obs"
 	"streamit/internal/partition"
 	"streamit/internal/sched"
 	"streamit/internal/sdep"
@@ -54,16 +55,29 @@ type RunOptions struct {
 	// filters and wait-cycle. 0 selects exec.DefaultWatchdogInterval;
 	// negative disables detection.
 	Watchdog time.Duration
+	// Profile enables the per-filter profiler (firings, tape traffic,
+	// work/stall time, buffer high-water marks). Read the results from the
+	// engine's Profile method; render a table with Profile().Table().
+	Profile bool
+	// TracePath enables the runtime trace recorder; after the run, write
+	// the Chrome trace with engine.TraceRecorder().WriteFile(TracePath)
+	// (cmd/streamit-run does this for its -trace flag).
+	TracePath string
 }
 
 // execOptions lowers driver-level run options to the engine layer.
 func (o RunOptions) execOptions() exec.Options {
-	return exec.Options{
+	opts := exec.Options{
 		Backend:  o.Backend,
 		Faults:   o.Faults,
 		OnError:  o.OnError,
 		Watchdog: o.Watchdog,
+		Profile:  o.Profile,
 	}
+	if o.TracePath != "" {
+		opts.Trace = obs.NewRecorder()
+	}
+	return opts
 }
 
 // ParseBackend maps the user-facing backend names ("vm", "interp") onto
@@ -220,6 +234,36 @@ func (c *Compiled) MapOntoTraced(strat partition.Strategy, cfg machine.Config, i
 		return nil, err
 	}
 	return res, nil
+}
+
+// ProfileWork runs iters steady-state iterations on a profiled sequential
+// engine and returns each filter's measured average work per firing in
+// nanoseconds — the measured-work estimate MapOntoMeasured (and
+// partition.BuildOptions.MeasuredWorkNS) consume in place of the static IL
+// estimator.
+func (c *Compiled) ProfileWork(iters int) (map[string]int64, error) {
+	e, err := c.EngineOpts(RunOptions{Profile: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Run(iters); err != nil {
+		return nil, err
+	}
+	return e.Profile().WorkNSPerFiring(), nil
+}
+
+// MapOntoMeasured is MapOnto with profiler-measured per-firing work (see
+// ProfileWork) replacing the static work estimates during partitioning.
+func (c *Compiled) MapOntoMeasured(strat partition.Strategy, cfg machine.Config, iters int, workNS map[string]int64) (*machine.Result, error) {
+	pg, err := partition.BuildOpts(c.Graph, c.Schedule, partition.BuildOptions{MeasuredWorkNS: workNS})
+	if err != nil {
+		return nil, err
+	}
+	plan, err := pg.Map(strat, cfg.Tiles())
+	if err != nil {
+		return nil, err
+	}
+	return plan.Simulate(cfg, iters)
 }
 
 // Report renders a human-readable compilation report: structure, rates,

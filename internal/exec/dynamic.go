@@ -8,6 +8,8 @@ import (
 
 	"streamit/internal/faults"
 	"streamit/internal/ir"
+	"streamit/internal/obs"
+	"streamit/internal/sched"
 	"streamit/internal/wfunc"
 )
 
@@ -42,6 +44,10 @@ type DynamicEngine struct {
 	Watchdog time.Duration
 
 	sup *supervisor
+
+	// prof and rec are the observability hooks; nil when disabled.
+	prof *obs.Profiler
+	rec  *obs.Recorder
 
 	nodes  []*dynNodeRT
 	popped int64
@@ -87,7 +93,17 @@ func NewDynamicOpts(g *ir.Graph, opts Options) (*DynamicEngine, error) {
 	if opts.OnError.Active() {
 		return nil, fmt.Errorf("exec: the dynamic engine cannot roll back firings (pushes reach live channels); recovery policies require the sequential or parallel engine")
 	}
-	d := &DynamicEngine{G: g, Backend: opts.Backend, ChanCap: 4096, Watchdog: opts.Watchdog}
+	d := &DynamicEngine{G: g, Backend: opts.Backend, ChanCap: 4096, Watchdog: opts.Watchdog, rec: opts.Trace}
+	if opts.Profile {
+		d.prof = obs.NewProfiler(nodeNames(g))
+	}
+	if d.rec != nil {
+		for _, n := range g.Nodes {
+			if n.Kind == ir.NodeFilter {
+				d.rec.Lane(n.ID, n.Name)
+			}
+		}
+	}
 	sup, err := newSupervisor(g, opts)
 	if err != nil {
 		return nil, err
@@ -129,6 +145,36 @@ func (d *DynamicEngine) Degraded() map[string]DegradedStats {
 
 // Run executes until the sinks have consumed at least sinkItems items.
 func (d *DynamicEngine) Run(sinkItems int64) error {
+	return d.run(sinkItems, nil)
+}
+
+// ScheduleBudget returns per-node firing budgets equal to a static
+// schedule's init phase plus iters steady iterations — the firing counts
+// the sequential and parallel engines produce for the same run length.
+func ScheduleBudget(s *sched.Schedule, iters int) []int64 {
+	budget := make([]int64, len(s.Reps))
+	for i := range budget {
+		budget[i] = int64(s.InitReps[i]) + int64(iters)*int64(s.Reps[i])
+	}
+	return budget
+}
+
+// RunBudget executes until every node has fired exactly budget[nodeID]
+// times (see ScheduleBudget). Unlike Run, which stops on a sink-item count
+// and leaves upstream firing counts nondeterministic, a budgeted run is
+// fully deterministic in its observable counters — this is what lets the
+// cross-engine conformance suite compare the demand-driven engine against
+// the schedule-driven ones. The budget must be consistent with the
+// graph's rates (a schedule-derived budget always is); an infeasible
+// budget wedges and is reported by the watchdog.
+func (d *DynamicEngine) RunBudget(budget []int64) error {
+	if len(budget) != len(d.G.Nodes) {
+		return fmt.Errorf("exec: budget for %d nodes, graph has %d", len(budget), len(d.G.Nodes))
+	}
+	return d.run(0, budget)
+}
+
+func (d *DynamicEngine) run(sinkItems int64, budget []int64) error {
 	done := make(chan struct{})
 	var stopOnce sync.Once
 	stop := func() { stopOnce.Do(func() { close(done) }) }
@@ -175,7 +221,7 @@ func (d *DynamicEngine) Run(sinkItems int64) error {
 					}
 				}
 			}()
-			d.runDynNode(rt, chans, done, sinkItems, stop)
+			d.runDynNode(rt, chans, done, sinkItems, stop, budget)
 		}(rt)
 	}
 	wg.Wait()
@@ -191,15 +237,21 @@ func (d *DynamicEngine) Run(sinkItems int64) error {
 			return err
 		}
 	}
-	if got := atomic.LoadInt64(&d.popped); got < sinkItems {
-		return fmt.Errorf("exec: dynamic run stopped after %d of %d sink items", got, sinkItems)
+	if budget == nil {
+		if got := atomic.LoadInt64(&d.popped); got < sinkItems {
+			return fmt.Errorf("exec: dynamic run stopped after %d of %d sink items", got, sinkItems)
+		}
 	}
 	return nil
 }
 
-func (d *DynamicEngine) runDynNode(rt *dynNodeRT, chans []chan float64, done chan struct{}, target int64, stop func()) {
+func (d *DynamicEngine) runDynNode(rt *dynNodeRT, chans []chan float64, done chan struct{}, target int64, stop func(), budget []int64) {
 	n := rt.node
 	st := d.statuses[n.ID]
+	var pst *obs.FilterStats
+	if d.prof != nil {
+		pst = d.prof.At(n.ID)
+	}
 	// Build tapes.
 	ins := make([]*dynIn, len(n.In))
 	for p, e := range n.In {
@@ -209,8 +261,9 @@ func (d *DynamicEngine) runDynNode(rt *dynNodeRT, chans []chan float64, done cha
 		ins[p] = &dynIn{
 			ch: chans[e.ID], done: done,
 			st: st, progress: &d.progress, edge: e.String(), srcID: e.Src.ID,
+			prof: pst,
 		}
-		if n.IsSink() {
+		if n.IsSink() && budget == nil {
 			ins[p].count = &d.popped
 			ins[p].target = target
 			ins[p].stop = stop
@@ -224,6 +277,7 @@ func (d *DynamicEngine) runDynNode(rt *dynNodeRT, chans []chan float64, done cha
 		outs[p] = &dynOut{
 			ch: chans[e.ID], done: done,
 			st: st, progress: &d.progress, edge: e.String(), dstID: e.Dst.ID,
+			prof: pst,
 		}
 	}
 
@@ -232,24 +286,43 @@ func (d *DynamicEngine) runDynNode(rt *dynNodeRT, chans []chan float64, done cha
 		runner = newWorkRunner(n.Filter.Kernel, rt.state, d.Backend)
 	}
 
-	for {
+	// Filter tapes, wrapped in counting adapters when profiling.
+	var fIn, fOut wfunc.Tape
+	if n.Kind == ir.NodeFilter {
+		if len(ins) > 0 && ins[0] != nil {
+			fIn = ins[0]
+			if pst != nil {
+				fIn = &obsTape{inner: ins[0], st: pst}
+			}
+		}
+		if len(outs) > 0 && outs[0] != nil {
+			fOut = outs[0]
+			if pst != nil {
+				fOut = &obsTape{inner: outs[0], st: pst, lenFn: outs[0].Len}
+			}
+		}
+	}
+
+	for budget == nil || rt.fired < budget[n.ID] {
 		select {
 		case <-done:
 			panic(stopSignal{})
 		default:
 		}
+		var start time.Time
+		var stall0 int64
+		if pst != nil || d.rec != nil {
+			start = time.Now()
+			if pst != nil {
+				stall0 = pst.StallNanos()
+			}
+		}
 		switch n.Kind {
 		case ir.NodeFilter:
-			var tIn wfunc.Tape
-			var tOut wfunc.Tape
-			if len(ins) > 0 && ins[0] != nil {
-				tIn = ins[0]
-			}
-			if len(outs) > 0 && outs[0] != nil {
-				tOut = outs[0]
-			}
+			tIn, tOut := fIn, fOut
 			if d.sup != nil {
 				if fault, ok := d.sup.take(n.Name, rt.fired); ok {
+					traceFault(d.rec, n.ID, n.Name, fault.Kind.String())
 					switch fault.Kind {
 					case faults.Panic:
 						panic(&ExecError{Filter: n.Name, Op: "injected panic", Iteration: rt.fired})
@@ -298,6 +371,34 @@ func (d *DynamicEngine) runDynNode(rt *dynNodeRT, chans []chan float64, done cha
 			}
 		}
 		rt.fired++
+		if pst != nil || d.rec != nil {
+			d.noteFiring(n, pst, start, stall0)
+		}
+	}
+}
+
+// noteFiring credits one dynamic-engine firing. Demand-driven pops and
+// pushes can block mid-firing, so the blocked time (accumulated by the
+// tapes into StallNanos during this firing) is subtracted from the work
+// measurement; the trace slice keeps the full elapsed span, which is what
+// the timeline viewer should show.
+func (d *DynamicEngine) noteFiring(n *ir.Node, pst *obs.FilterStats, start time.Time, stall0 int64) {
+	elapsed := time.Since(start)
+	if pst != nil {
+		pst.AddFiring()
+		if n.Kind == ir.NodeFilter {
+			work := elapsed - time.Duration(pst.StallNanos()-stall0)
+			if work < 0 {
+				work = 0
+			}
+			pst.AddWork(work)
+		} else {
+			profileSJ(pst, n)
+		}
+	}
+	if d.rec != nil && n.Kind == ir.NodeFilter {
+		end := d.rec.Stamp()
+		d.rec.Slice(n.ID, n.Name, "firing", end-elapsed, end)
 	}
 }
 
@@ -318,6 +419,8 @@ type dynIn struct {
 	progress *int64
 	edge     string
 	srcID    int
+	// prof accumulates stall time while blocked (nil unless profiling).
+	prof *obs.FilterStats
 }
 
 func (t *dynIn) fill(n int) {
@@ -340,11 +443,18 @@ func (t *dynIn) fill(n int) {
 		if t.st != nil {
 			t.st.set(stWaitRecv, t.edge, len(t.buf)-t.head, t.srcID)
 		}
+		var t0 time.Time
+		if t.prof != nil {
+			t0 = time.Now()
+		}
 		select {
 		case v := <-t.ch:
 			t.buf = append(t.buf, v)
 			if t.progress != nil {
 				atomic.AddInt64(t.progress, 1)
+			}
+			if t.prof != nil {
+				t.prof.AddStall(time.Since(t0))
 			}
 			if t.st != nil {
 				t.st.set(stRunning, "", 0, -1)
@@ -389,7 +499,13 @@ type dynOut struct {
 	progress *int64
 	edge     string
 	dstID    int
+	// prof accumulates stall time while blocked (nil unless profiling).
+	prof *obs.FilterStats
 }
+
+// Len reports the items currently queued on the output channel (the
+// profiler's occupancy sample).
+func (t *dynOut) Len() int { return len(t.ch) }
 
 // Peek is invalid on an output tape.
 func (t *dynOut) Peek(int) float64 {
@@ -416,10 +532,17 @@ func (t *dynOut) Push(v float64) {
 	if t.st != nil {
 		t.st.set(stWaitSend, t.edge, len(t.ch), t.dstID)
 	}
+	var t0 time.Time
+	if t.prof != nil {
+		t0 = time.Now()
+	}
 	select {
 	case t.ch <- v:
 		if t.progress != nil {
 			atomic.AddInt64(t.progress, 1)
+		}
+		if t.prof != nil {
+			t.prof.AddStall(time.Since(t0))
 		}
 		if t.st != nil {
 			t.st.set(stRunning, "", 0, -1)

@@ -6,6 +6,7 @@ import (
 
 	"streamit/internal/faults"
 	"streamit/internal/ir"
+	"streamit/internal/obs"
 	"streamit/internal/sched"
 	"streamit/internal/sdep"
 	"streamit/internal/wfunc"
@@ -39,6 +40,14 @@ type Engine struct {
 	// sup applies fault injection and recovery policies; nil when
 	// unsupervised (the zero-overhead default).
 	sup *supervisor
+
+	// prof and rec are the observability hooks; nil when disabled (the
+	// zero-overhead default). laneSched is the trace lane for steady
+	// iterations; steadyIdx numbers them across RunSteady calls.
+	prof      *obs.Profiler
+	rec       *obs.Recorder
+	laneSched int
+	steadyIdx int64
 }
 
 // nodeRT is the per-node runtime state.
@@ -49,6 +58,8 @@ type nodeRT struct {
 	send   *sender       // hoisted messenger (one per node, not per firing)
 	print  func(float64) // hoisted print hook trampoline
 	fired  int64
+	// inT/outT are counting tape wrappers, set only when profiling.
+	inT, outT wfunc.Tape
 }
 
 // message is an in-flight teleport message.
@@ -155,6 +166,13 @@ func NewFromGraphOpts(g *ir.Graph, s *sched.Schedule, opts Options) (*Engine, er
 		return nil, err
 	}
 	e.sup = sup
+	if opts.Profile || opts.Trace != nil {
+		var prof *obs.Profiler
+		if opts.Profile {
+			prof = obs.NewProfiler(nodeNames(g))
+		}
+		e.adoptObs(prof, opts.Trace)
+	}
 	return e, nil
 }
 
@@ -324,11 +342,27 @@ func (e *Engine) RunSteady(iters int) error {
 		for i, r := range e.Sch.Reps {
 			target[i] = iters * r
 		}
-		return e.runDynamic(target, false)
+		if e.rec == nil {
+			return e.runDynamic(target, false)
+		}
+		// Constraint-aware scheduling interleaves iterations, so the trace
+		// gets one slice covering the whole batch.
+		t0 := e.rec.Stamp()
+		err := e.runDynamic(target, false)
+		e.rec.Slice(e.laneSched, fmt.Sprintf("steady x%d", iters), "iteration", t0, e.rec.Stamp())
+		return err
 	}
 	for k := 0; k < iters; k++ {
+		var t0 time.Duration
+		if e.rec != nil {
+			t0 = e.rec.Stamp()
+		}
 		if err := e.runEntries(e.Sch.Steady); err != nil {
 			return err
+		}
+		if e.rec != nil {
+			e.steadyIdx++
+			e.rec.Slice(e.laneSched, fmt.Sprintf("steady %d", e.steadyIdx), "iteration", t0, e.rec.Stamp())
 		}
 	}
 	return nil
@@ -472,8 +506,24 @@ func (e *Engine) fireInner(n *ir.Node) error {
 	rt := e.nodes[n.ID]
 	switch n.Kind {
 	case ir.NodeFilter:
-		if err := e.fireFilter(rt); err != nil {
-			return err
+		if e.prof == nil && e.rec == nil {
+			if err := e.fireFilter(rt); err != nil {
+				return err
+			}
+		} else {
+			start := time.Now()
+			ferr := e.fireFilter(rt)
+			d := time.Since(start)
+			if e.prof != nil {
+				e.prof.At(n.ID).AddWork(d)
+			}
+			if e.rec != nil {
+				end := e.rec.Stamp()
+				e.rec.Slice(n.ID, n.Name, "firing", end-d, end)
+			}
+			if ferr != nil {
+				return ferr
+			}
 		}
 	case ir.NodeSplitter:
 		e.fireSplitter(n)
@@ -482,6 +532,13 @@ func (e *Engine) fireInner(n *ir.Node) error {
 	}
 	rt.fired++
 	e.Firings++
+	if e.prof != nil {
+		st := e.prof.At(n.ID)
+		st.AddFiring()
+		if n.Kind != ir.NodeFilter {
+			profileSJ(st, n)
+		}
+	}
 	return e.deliverDue(n, false)
 }
 
@@ -523,9 +580,15 @@ func (e *Engine) attemptFire(rt *nodeRT, inCh, outCh *channel, fault faults.Faul
 	var in, out wfunc.Tape
 	if inCh != nil {
 		in = inCh
+		if rt.inT != nil {
+			in = rt.inT
+		}
 	}
 	if outCh != nil {
 		out = outCh
+		if rt.outT != nil {
+			out = rt.outT
+		}
 	}
 	if injected && fault.Kind == faults.Corrupt {
 		out = corruptOut(out)
@@ -580,6 +643,9 @@ func (e *Engine) fireSupervised(rt *nodeRT, inCh, outCh *channel) error {
 		}
 	}
 	fault, injected := e.sup.take(n.Name, rt.fired)
+	if injected {
+		traceFault(e.rec, n.ID, n.Name, fault.Kind.String())
+	}
 	err := e.attemptFire(rt, inCh, outCh, fault, injected)
 	if err == nil {
 		return nil
@@ -588,6 +654,7 @@ func (e *Engine) fireSupervised(rt *nodeRT, inCh, outCh *channel) error {
 	case faults.Retry:
 		for attempt := 1; attempt <= pol.Retries; attempt++ {
 			e.sup.noteRetry(n.Name)
+			traceRecovery(e.rec, n.ID, n.Name, "retry")
 			if pol.Backoff > 0 {
 				time.Sleep(time.Duration(attempt) * pol.Backoff)
 			}
@@ -600,12 +667,19 @@ func (e *Engine) fireSupervised(rt *nodeRT, inCh, outCh *channel) error {
 	case faults.Skip:
 		restore()
 		e.sup.noteSkip(n.Name)
+		traceRecovery(e.rec, n.ID, n.Name, "skip")
 		var in, out wfunc.Tape
 		if inCh != nil {
 			in = inCh
+			if rt.inT != nil {
+				in = rt.inT
+			}
 		}
 		if outCh != nil {
 			out = outCh
+			if rt.outT != nil {
+				out = rt.outT
+			}
 		}
 		skipFiring(n, in, out)
 		return nil
@@ -620,6 +694,7 @@ func (e *Engine) fireSupervised(rt *nodeRT, inCh, outCh *channel) error {
 			rt.runner.setState(st)
 		}
 		e.sup.noteRestart(n.Name)
+		traceRecovery(e.rec, n.ID, n.Name, "restart")
 		if err = e.attemptFire(rt, inCh, outCh, faults.Fault{}, false); err != nil {
 			return fmt.Errorf("exec: restart did not recover: %w", err)
 		}

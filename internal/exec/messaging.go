@@ -105,6 +105,9 @@ func (e *Engine) deliverDue(n *ir.Node, before bool) error {
 			due = before && nOB+pushB > m.target
 		}
 		if due {
+			if e.rec != nil {
+				e.rec.Instant(n.ID, "deliver "+m.handler, "teleport", n.Name)
+			}
 			if err := e.invokeHandler(n, m); err != nil {
 				return err
 			}

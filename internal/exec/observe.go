@@ -1,0 +1,186 @@
+package exec
+
+import (
+	"streamit/internal/ir"
+	"streamit/internal/obs"
+	"streamit/internal/wfunc"
+)
+
+// This file is the engines' glue to internal/obs. Observability is opt-in:
+// when disabled every engine holds nil profiler/recorder pointers and the
+// hot paths pay one nil check; when enabled, filter tapes are wrapped in
+// counting adapters and firings are timed.
+
+// nodeNames lists node names indexed by node ID (the profiler's indexing).
+func nodeNames(g *ir.Graph) []string {
+	names := make([]string, len(g.Nodes))
+	for _, n := range g.Nodes {
+		names[n.ID] = n.Name
+	}
+	return names
+}
+
+// sjCounts returns the items one firing of a splitter or joiner pops and
+// pushes, mirroring exactly what the fire loops do (nil ports consume but
+// do not produce on splitters, and are skipped entirely on joiners).
+func sjCounts(n *ir.Node) (pops, pushes int64) {
+	switch n.Kind {
+	case ir.NodeSplitter:
+		if n.SJ.Kind == ir.SJDuplicate {
+			pops = 1
+			for _, e := range n.Out {
+				if e != nil {
+					pushes++
+				}
+			}
+			return
+		}
+		for p, e := range n.Out {
+			w := int64(n.SJ.Weights[p])
+			pops += w
+			if e != nil {
+				pushes += w
+			}
+		}
+	case ir.NodeJoiner:
+		for p, e := range n.In {
+			if e == nil {
+				continue
+			}
+			w := int64(n.SJ.Weights[p])
+			pops += w
+			pushes += w
+		}
+	}
+	return
+}
+
+// profileSJ credits one splitter/joiner firing's tape traffic. Filters are
+// counted per-operation through wrapped tapes instead; splitters and
+// joiners have static per-firing traffic, so arithmetic is cheaper and
+// identical across engines.
+func profileSJ(st *obs.FilterStats, n *ir.Node) {
+	pops, pushes := sjCounts(n)
+	st.AddPops(pops)
+	st.AddPushes(pushes)
+}
+
+// obsTape wraps a stable tape (parallel SliceQueue, dynamic dynIn/dynOut)
+// with per-operation counting. lenFn, when set, samples output occupancy
+// after each push for the high-water mark.
+type obsTape struct {
+	inner wfunc.Tape
+	st    *obs.FilterStats
+	lenFn func() int
+}
+
+func (t *obsTape) Peek(i int) float64 {
+	t.st.AddPeek()
+	return t.inner.Peek(i)
+}
+
+func (t *obsTape) Pop() float64 {
+	t.st.AddPop()
+	return t.inner.Pop()
+}
+
+func (t *obsTape) Push(v float64) {
+	t.st.AddPush()
+	t.inner.Push(v)
+	if t.lenFn != nil {
+		t.st.NoteOccupancy(int64(t.lenFn()))
+	}
+}
+
+// seqObsTape is the sequential engine's counting tape. It resolves the
+// channel through the engine on every operation because Restore replaces
+// channel objects wholesale; a direct pointer would go stale.
+type seqObsTape struct {
+	e    *Engine
+	edge int
+	st   *obs.FilterStats
+	out  bool
+}
+
+func (t *seqObsTape) Peek(i int) float64 {
+	t.st.AddPeek()
+	return t.e.chans[t.edge].Peek(i)
+}
+
+func (t *seqObsTape) Pop() float64 {
+	t.st.AddPop()
+	return t.e.chans[t.edge].Pop()
+}
+
+func (t *seqObsTape) Push(v float64) {
+	t.st.AddPush()
+	ch := t.e.chans[t.edge]
+	ch.Push(v)
+	if t.out {
+		t.st.NoteOccupancy(int64(ch.Len()))
+	}
+}
+
+// adoptObs attaches a profiler and/or trace recorder to the engine,
+// wrapping filter tapes in counting adapters. The parallel engine calls it
+// on its scratch init engine so the init transient lands in the same
+// counters as the steady state.
+func (e *Engine) adoptObs(prof *obs.Profiler, rec *obs.Recorder) {
+	e.prof, e.rec = prof, rec
+	if rec != nil {
+		for _, n := range e.G.Nodes {
+			if n.Kind == ir.NodeFilter {
+				rec.Lane(n.ID, n.Name)
+			}
+		}
+		e.laneSched = len(e.G.Nodes)
+		rec.Lane(e.laneSched, "steady iterations")
+	}
+	if prof == nil {
+		return
+	}
+	for _, rt := range e.nodes {
+		n := rt.node
+		if n.Kind != ir.NodeFilter {
+			continue
+		}
+		if edge := n.InEdge(); edge != nil {
+			rt.inT = &seqObsTape{e: e, edge: edge.ID, st: prof.At(n.ID)}
+		}
+		if edge := n.OutEdge(); edge != nil {
+			rt.outT = &seqObsTape{e: e, edge: edge.ID, st: prof.At(n.ID), out: true}
+		}
+	}
+}
+
+// Profile returns the engine's profiler (nil unless Options.Profile).
+func (e *Engine) Profile() *obs.Profiler { return e.prof }
+
+// TraceRecorder returns the engine's trace recorder (nil unless attached).
+func (e *Engine) TraceRecorder() *obs.Recorder { return e.rec }
+
+// Profile returns the engine's profiler (nil unless Options.Profile).
+func (pe *ParallelEngine) Profile() *obs.Profiler { return pe.prof }
+
+// TraceRecorder returns the engine's trace recorder (nil unless attached).
+func (pe *ParallelEngine) TraceRecorder() *obs.Recorder { return pe.rec }
+
+// Profile returns the engine's profiler (nil unless Options.Profile).
+func (d *DynamicEngine) Profile() *obs.Profiler { return d.prof }
+
+// TraceRecorder returns the engine's trace recorder (nil unless attached).
+func (d *DynamicEngine) TraceRecorder() *obs.Recorder { return d.rec }
+
+// traceFault records a fault-injection instant on the node's lane.
+func traceFault(rec *obs.Recorder, tid int, name, kind string) {
+	if rec != nil {
+		rec.Instant(tid, "fault: "+kind, "fault", name)
+	}
+}
+
+// traceRecovery records a recovery-action instant on the node's lane.
+func traceRecovery(rec *obs.Recorder, tid int, name, action string) {
+	if rec != nil {
+		rec.Instant(tid, "recover: "+action, "recovery", name)
+	}
+}

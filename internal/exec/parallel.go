@@ -9,6 +9,7 @@ import (
 
 	"streamit/internal/faults"
 	"streamit/internal/ir"
+	"streamit/internal/obs"
 	"streamit/internal/sched"
 	"streamit/internal/wfunc"
 )
@@ -51,6 +52,10 @@ type ParallelEngine struct {
 	Watchdog time.Duration
 
 	sup *supervisor
+
+	// prof and rec are the observability hooks; nil when disabled.
+	prof *obs.Profiler
+	rec  *obs.Recorder
 
 	// Per-run supervision state.
 	stopCh   chan struct{}
@@ -99,7 +104,10 @@ func NewParallelOpts(g *ir.Graph, s *sched.Schedule, opts Options) (*ParallelEng
 			return nil, fmt.Errorf("exec: filter %s sends messages; use the sequential Engine", n.Name)
 		}
 	}
-	pe := &ParallelEngine{G: g, Sch: s, Backend: opts.Backend, Depth: 2, Watchdog: opts.Watchdog}
+	pe := &ParallelEngine{G: g, Sch: s, Backend: opts.Backend, Depth: 2, Watchdog: opts.Watchdog, rec: opts.Trace}
+	if opts.Profile {
+		pe.prof = obs.NewProfiler(nodeNames(g))
+	}
 	sup, err := newSupervisor(g, opts)
 	if err != nil {
 		return nil, err
@@ -149,10 +157,12 @@ func (pe *ParallelEngine) Run(iters int) error {
 		return err
 	}
 	// Adopt the sequential engine's freshly-initialized states so field
-	// tables computed by init functions are shared.
+	// tables computed by init functions are shared, and share our profiler
+	// and trace recorder so the init transient lands in the same counters.
 	for _, n := range pe.G.Nodes {
 		pe.nodes[n.ID].state = seq.nodes[n.ID].state
 	}
+	seq.adoptObs(pe.prof, pe.rec)
 	if err := seq.RunInit(); err != nil {
 		return err
 	}
@@ -244,6 +254,10 @@ func (pe *ParallelEngine) recvBatch(n *ir.Node, e *ir.Edge, q *SliceQueue, st *n
 	}
 	st.set(stWaitRecv, e.String(), q.Len(), e.Src.ID)
 	defer st.set(stRunning, "", 0, -1)
+	if pe.prof != nil {
+		t0 := time.Now()
+		defer func() { pe.prof.At(n.ID).AddStall(time.Since(t0)) }()
+	}
 	select {
 	case batch, ok := <-ch:
 		if !ok {
@@ -276,6 +290,10 @@ func (pe *ParallelEngine) sendBatch(e *ir.Edge, batch []float64, st *nodeStatus)
 	}
 	st.set(stWaitSend, e.String(), len(batch), e.Dst.ID)
 	defer st.set(stRunning, "", 0, -1)
+	if pe.prof != nil {
+		t0 := time.Now()
+		defer func() { pe.prof.At(e.Src.ID).AddStall(time.Since(t0)) }()
+	}
 	select {
 	case ch <- batch:
 		atomic.AddInt64(&pe.progress, 1)
@@ -324,6 +342,27 @@ func (pe *ParallelEngine) runNode(rt *pnodeRT, iters int) error {
 		out[p] = &SliceQueue{}
 	}
 
+	// Filter tapes, wrapped in counting adapters when profiling.
+	var pst *obs.FilterStats
+	if pe.prof != nil {
+		pst = pe.prof.At(n.ID)
+	}
+	var tIn, tOut wfunc.Tape
+	if n.Kind == ir.NodeFilter {
+		if len(n.In) > 0 && n.In[0] != nil {
+			tIn = in[0]
+			if pst != nil {
+				tIn = &obsTape{inner: in[0], st: pst}
+			}
+		}
+		if len(n.Out) > 0 && n.Out[0] != nil {
+			tOut = out[0]
+			if pst != nil {
+				tOut = &obsTape{inner: out[0], st: pst, lenFn: out[0].Len}
+			}
+		}
+	}
+
 	for it := 0; it < iters; it++ {
 		// Receive one batch per input port.
 		for p, e := range n.In {
@@ -338,8 +377,31 @@ func (pe *ParallelEngine) runNode(rt *pnodeRT, iters int) error {
 		}
 		// Fire reps times.
 		for r := 0; r < reps; r++ {
-			if err := pe.fireOnce(rt, runner, in, out, st); err != nil {
-				return err
+			if pst == nil && pe.rec == nil {
+				if err := pe.fireOnce(rt, runner, in, out, tIn, tOut, st); err != nil {
+					return err
+				}
+			} else {
+				start := time.Now()
+				err := pe.fireOnce(rt, runner, in, out, tIn, tOut, st)
+				d := time.Since(start)
+				if pst != nil {
+					if n.Kind == ir.NodeFilter {
+						pst.AddWork(d)
+					} else {
+						profileSJ(pst, n)
+					}
+				}
+				if pe.rec != nil && n.Kind == ir.NodeFilter {
+					end := pe.rec.Stamp()
+					pe.rec.Slice(n.ID, n.Name, "firing", end-d, end)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			if pst != nil {
+				pst.AddFiring()
 			}
 			rt.fired++
 			atomic.AddInt64(&pe.progress, 1)
@@ -358,19 +420,12 @@ func (pe *ParallelEngine) runNode(rt *pnodeRT, iters int) error {
 	return nil
 }
 
-func (pe *ParallelEngine) fireOnce(rt *pnodeRT, runner *workRunner, in, out []*SliceQueue, st *nodeStatus) error {
+func (pe *ParallelEngine) fireOnce(rt *pnodeRT, runner *workRunner, in, out []*SliceQueue, tIn, tOut wfunc.Tape, st *nodeStatus) error {
 	n := rt.node
 	switch n.Kind {
 	case ir.NodeFilter:
 		if pe.sup != nil {
-			return pe.fireFilterSupervised(rt, runner, in, out, st)
-		}
-		var tIn, tOut wfunc.Tape
-		if len(in) > 0 && n.In[0] != nil {
-			tIn = in[0]
-		}
-		if len(out) > 0 && n.Out[0] != nil {
-			tOut = out[0]
+			return pe.fireFilterSupervised(rt, runner, in, out, tIn, tOut, st)
 		}
 		if n.Filter.WorkFn != nil {
 			n.Filter.WorkFn(tIn, tOut, rt.state)
@@ -416,7 +471,7 @@ func (pe *ParallelEngine) fireOnce(rt *pnodeRT, runner *workRunner, in, out []*S
 // fireFilterSupervised wraps one filter firing in the fault injector and
 // the filter's recovery policy, mirroring the sequential engine's
 // semantics on the batch queues.
-func (pe *ParallelEngine) fireFilterSupervised(rt *pnodeRT, runner *workRunner, in, out []*SliceQueue, st *nodeStatus) error {
+func (pe *ParallelEngine) fireFilterSupervised(rt *pnodeRT, runner *workRunner, in, out []*SliceQueue, tIn, tOut wfunc.Tape, st *nodeStatus) error {
 	n := rt.node
 	name := n.Name
 	pol := pe.sup.pol.For(name)
@@ -472,26 +527,23 @@ func (pe *ParallelEngine) fireFilterSupervised(rt *pnodeRT, runner *workRunner, 
 				return errStopped
 			}
 		}
-		var tIn, tOut wfunc.Tape
-		if qIn != nil {
-			tIn = qIn
-		}
-		if qOut != nil {
-			tOut = qOut
-		}
+		wOut := tOut
 		if injected && fault.Kind == faults.Corrupt {
-			tOut = corruptOut(tOut)
+			wOut = corruptOut(wOut)
 		}
 		if n.Filter.WorkFn != nil {
-			n.Filter.WorkFn(tIn, tOut, rt.state)
+			n.Filter.WorkFn(tIn, wOut, rt.state)
 			return nil
 		}
-		if err := runner.run(tIn, tOut, nil, nil); err != nil {
+		if err := runner.run(tIn, wOut, nil, nil); err != nil {
 			return &ExecError{Filter: name, Op: "work", Iteration: rt.fired, Err: err}
 		}
 		return nil
 	}
 	fault, injected := pe.sup.take(name, rt.fired)
+	if injected {
+		traceFault(pe.rec, n.ID, name, fault.Kind.String())
+	}
 	err := attempt(fault, injected)
 	if err == nil || err == errStopped {
 		return err
@@ -500,6 +552,7 @@ func (pe *ParallelEngine) fireFilterSupervised(rt *pnodeRT, runner *workRunner, 
 	case faults.Retry:
 		for a := 1; a <= pol.Retries; a++ {
 			pe.sup.noteRetry(name)
+			traceRecovery(pe.rec, n.ID, name, "retry")
 			if pol.Backoff > 0 {
 				time.Sleep(time.Duration(a) * pol.Backoff)
 			}
@@ -512,13 +565,7 @@ func (pe *ParallelEngine) fireFilterSupervised(rt *pnodeRT, runner *workRunner, 
 	case faults.Skip:
 		restore()
 		pe.sup.noteSkip(name)
-		var tIn, tOut wfunc.Tape
-		if qIn != nil {
-			tIn = qIn
-		}
-		if qOut != nil {
-			tOut = qOut
-		}
+		traceRecovery(pe.rec, n.ID, name, "skip")
 		skipFiring(n, tIn, tOut)
 		return nil
 	case faults.Restart:
@@ -532,6 +579,7 @@ func (pe *ParallelEngine) fireFilterSupervised(rt *pnodeRT, runner *workRunner, 
 			runner.setState(stFresh)
 		}
 		pe.sup.noteRestart(name)
+		traceRecovery(pe.rec, n.ID, name, "restart")
 		if err = attempt(faults.Fault{}, false); err != nil && err != errStopped {
 			return fmt.Errorf("exec: restart did not recover: %w", err)
 		}

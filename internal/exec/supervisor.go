@@ -9,6 +9,7 @@ import (
 
 	"streamit/internal/faults"
 	"streamit/internal/ir"
+	"streamit/internal/obs"
 	"streamit/internal/wfunc"
 )
 
@@ -28,6 +29,14 @@ type Options struct {
 	// 0 selects DefaultWatchdogInterval; negative disables the watchdog.
 	// The sequential engine is single-threaded and has no watchdog.
 	Watchdog time.Duration
+	// Profile enables the per-filter profiler (internal/obs): firings,
+	// tape traffic, work/stall time, and buffer high-water marks,
+	// retrievable via the engine's Profile method.
+	Profile bool
+	// Trace attaches a trace recorder (internal/obs): firings, steady
+	// iterations, teleport deliveries, and fault/recovery events stream
+	// into it as Chrome trace_event records.
+	Trace *obs.Recorder
 }
 
 // DefaultWatchdogInterval is the no-progress window after which the

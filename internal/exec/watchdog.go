@@ -110,12 +110,38 @@ func (w *watchdog) run() {
 		if time.Since(lastChange) < w.interval {
 			continue
 		}
+		// A frozen counter alone is not proof of a wedge: a node can
+		// legitimately compute for longer than the interval without moving
+		// an item. Declare deadlock at the interval only when every live
+		// node is blocked on a tape; while something still reports running,
+		// hold off until a generous multiple has passed (a truly wedged
+		// kernel never moves the counter again, so it is still caught).
+		if w.anyRunning() && time.Since(lastChange) < 4*w.interval {
+			continue
+		}
 		w.mu.Lock()
 		w.err = w.report()
 		w.mu.Unlock()
 		w.stop()
 		return
 	}
+}
+
+// anyRunning reports whether any node claims to be computing (rather than
+// blocked on a tape, stalled, or done).
+func (w *watchdog) anyRunning() bool {
+	for _, st := range w.statuses {
+		if st == nil {
+			continue
+		}
+		st.mu.Lock()
+		s := st.state
+		st.mu.Unlock()
+		if s == stRunning || s == stInWork {
+			return true
+		}
+	}
+	return false
 }
 
 // close stops the monitor and waits for it; the run finished (or aborted).

@@ -1,9 +1,11 @@
 package machine
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
+
+	"streamit/internal/obs"
 )
 
 // TraceEvent records one node execution interval during simulation, in
@@ -32,31 +34,35 @@ func SimulateTrace(g *WGraph, m *Mapping, cfg Config, iters int) (*Result, []Tra
 
 // WriteChromeTrace renders events in the Chrome tracing JSON array format
 // (load in chrome://tracing or Perfetto): one row per tile, one slice per
-// node execution.
+// node execution. Simulator events convert onto the shared internal/obs
+// event stream, so NoC traces and runtime-engine traces use one encoder
+// and one file format.
 func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
-	type chromeEvent struct {
-		Name string  `json:"name"`
-		Cat  string  `json:"cat"`
-		Ph   string  `json:"ph"`
-		Ts   float64 `json:"ts"`
-		Dur  float64 `json:"dur"`
-		Pid  int     `json:"pid"`
-		Tid  int     `json:"tid"`
-	}
-	out := make([]chromeEvent, 0, len(events))
+	tiles := map[int]bool{}
 	for _, ev := range events {
-		out = append(out, chromeEvent{
-			Name: fmt.Sprintf("%s (iter %d)", ev.Node, ev.Iter),
-			Cat:  "compute",
-			Ph:   "X",
+		tiles[ev.Tile] = true
+	}
+	ids := make([]int, 0, len(tiles))
+	for t := range tiles {
+		ids = append(ids, t)
+	}
+	sort.Ints(ids)
+	out := make([]obs.Event, 0, len(events)+len(ids))
+	for _, t := range ids {
+		out = append(out, obs.Event{Name: "thread_name", Phase: obs.PhaseMeta,
+			Tid: t, Detail: fmt.Sprintf("tile %d", t)})
+	}
+	for _, ev := range events {
+		out = append(out, obs.Event{
+			Name:  fmt.Sprintf("%s (iter %d)", ev.Node, ev.Iter),
+			Cat:   "compute",
+			Phase: obs.PhaseSlice,
 			// One simulated cycle = one microsecond of trace time keeps
 			// viewers happy.
-			Ts:  float64(ev.Start),
+			TS:  float64(ev.Start),
 			Dur: float64(ev.End - ev.Start),
-			Pid: 0,
 			Tid: ev.Tile,
 		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return obs.WriteChromeTrace(w, out)
 }

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// BenchSchema identifies the benchmark snapshot format. Bump the suffix on
+// incompatible changes; BENCH_*.json files carry it so downstream tooling
+// (and the CI smoke job) can reject snapshots it does not understand.
+const BenchSchema = "streamit-bench/v1"
+
+// Metric is one named measurement inside a benchmark snapshot.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// BenchSnapshot is the stable on-disk form of one app's benchmark run,
+// written as BENCH_<app>.json. It seeds the repo's perf trajectory: each
+// CI run can emit snapshots and diff them against history.
+type BenchSnapshot struct {
+	Schema  string   `json:"schema"`
+	App     string   `json:"app"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// NewBench starts a snapshot for one app.
+func NewBench(app string) *BenchSnapshot {
+	return &BenchSnapshot{Schema: BenchSchema, App: app}
+}
+
+// Set appends or replaces a metric by name.
+func (b *BenchSnapshot) Set(name string, value float64, unit string) {
+	for i := range b.Metrics {
+		if b.Metrics[i].Name == name {
+			b.Metrics[i] = Metric{Name: name, Value: value, Unit: unit}
+			return
+		}
+	}
+	b.Metrics = append(b.Metrics, Metric{Name: name, Value: value, Unit: unit})
+}
+
+// Encode renders the snapshot as indented JSON after validating it.
+func (b *BenchSnapshot) Encode() ([]byte, error) {
+	if err := b.check(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// check enforces the schema invariants shared by Encode and ValidateBench.
+func (b *BenchSnapshot) check() error {
+	if b.Schema != BenchSchema {
+		return fmt.Errorf("bench snapshot: schema %q, want %q", b.Schema, BenchSchema)
+	}
+	if !validAppName(b.App) {
+		return fmt.Errorf("bench snapshot: invalid app name %q", b.App)
+	}
+	if len(b.Metrics) == 0 {
+		return fmt.Errorf("bench snapshot %s: no metrics", b.App)
+	}
+	seen := map[string]bool{}
+	for _, m := range b.Metrics {
+		if m.Name == "" {
+			return fmt.Errorf("bench snapshot %s: metric with empty name", b.App)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("bench snapshot %s: duplicate metric %q", b.App, m.Name)
+		}
+		seen[m.Name] = true
+		if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+			return fmt.Errorf("bench snapshot %s: metric %q is not finite", b.App, m.Name)
+		}
+	}
+	return nil
+}
+
+// validAppName accepts names safe to embed in a BENCH_<app>.json filename.
+func validAppName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateBench checks that data is a well-formed benchmark snapshot:
+// current schema, filename-safe app name, and a non-empty set of uniquely
+// named finite metrics. Unknown fields are rejected so schema drift is
+// caught rather than silently ignored.
+func ValidateBench(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var b BenchSnapshot
+	if err := dec.Decode(&b); err != nil {
+		return fmt.Errorf("bench snapshot: %w", err)
+	}
+	return b.check()
+}
+
+// BenchPath returns the conventional file path for an app's snapshot.
+func BenchPath(dir, app string) string {
+	return filepath.Join(dir, "BENCH_"+app+".json")
+}
+
+// WriteFile validates and writes the snapshot to dir/BENCH_<app>.json,
+// creating dir if needed, and returns the written path.
+func (b *BenchSnapshot) WriteFile(dir string) (string, error) {
+	data, err := b.Encode()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := BenchPath(dir, b.App)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleBench() *BenchSnapshot {
+	b := NewBench("FMRadio")
+	b.Set("interp_items_per_sec", 1.25e6, "items/s")
+	b.Set("vm_items_per_sec", 4.5e6, "items/s")
+	b.Set("vm_speedup_x", 3.6, "x")
+	return b
+}
+
+func TestBenchGolden(t *testing.T) {
+	data, err := sampleBench().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "bench_golden.json", data)
+	if err := ValidateBench(data); err != nil {
+		t.Errorf("golden snapshot does not validate: %v", err)
+	}
+}
+
+func TestBenchSetReplaces(t *testing.T) {
+	b := sampleBench()
+	b.Set("vm_speedup_x", 4.0, "x")
+	if len(b.Metrics) != 3 {
+		t.Fatalf("Set appended instead of replacing: %d metrics", len(b.Metrics))
+	}
+	if b.Metrics[2].Value != 4.0 {
+		t.Errorf("metric not replaced: %+v", b.Metrics[2])
+	}
+}
+
+func TestBenchEncodeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*BenchSnapshot)
+		want string
+	}{
+		{"wrong schema", func(b *BenchSnapshot) { b.Schema = "streamit-bench/v0" }, "schema"},
+		{"bad app name", func(b *BenchSnapshot) { b.App = "FM Radio" }, "app name"},
+		{"empty app name", func(b *BenchSnapshot) { b.App = "" }, "app name"},
+		{"no metrics", func(b *BenchSnapshot) { b.Metrics = nil }, "no metrics"},
+		{"empty metric name", func(b *BenchSnapshot) { b.Metrics[0].Name = "" }, "empty name"},
+		{"duplicate metric", func(b *BenchSnapshot) { b.Metrics[1].Name = b.Metrics[0].Name }, "duplicate"},
+		{"nan metric", func(b *BenchSnapshot) { b.Metrics[0].Value = math.NaN() }, "not finite"},
+		{"inf metric", func(b *BenchSnapshot) { b.Metrics[0].Value = math.Inf(1) }, "not finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := sampleBench()
+			tc.mod(b)
+			_, err := b.Encode()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Encode() error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateBenchRejectsUnknownFields(t *testing.T) {
+	data := []byte(`{"schema":"streamit-bench/v1","app":"X","metrics":[{"name":"m","value":1,"unit":"x"}],"extra":true}`)
+	if err := ValidateBench(data); err == nil {
+		t.Error("unknown top-level field accepted")
+	}
+	data = []byte(`{"schema":"streamit-bench/v1","app":"X","metrics":[{"name":"m","value":1,"unit":"x","nested":{}}]}`)
+	if err := ValidateBench(data); err == nil {
+		t.Error("unknown metric field accepted")
+	}
+	if err := ValidateBench([]byte(`not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestBenchWriteFile(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	path, err := sampleBench().WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_FMRadio.json"); path != want {
+		t.Errorf("path = %q, want %q", path, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBench(data); err != nil {
+		t.Errorf("written file does not validate: %v", err)
+	}
+}
+
+func TestBenchPath(t *testing.T) {
+	if got := BenchPath("out", "DCT"); got != filepath.Join("out", "BENCH_DCT.json") {
+		t.Errorf("BenchPath = %q", got)
+	}
+}

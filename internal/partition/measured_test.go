@@ -1,0 +1,148 @@
+package partition
+
+import (
+	"testing"
+
+	"streamit/internal/ir"
+	"streamit/internal/sched"
+)
+
+// measuredPipe builds src -> a -> b -> snk where a and b have identical
+// static work, then returns graph + schedule for measured-work overrides.
+func measuredPipe(t *testing.T) (*ir.Graph, *sched.Schedule) {
+	t.Helper()
+	g, err := ir.FlattenStream("mw", ir.Pipe("p",
+		heavyFilter("src", 100, 0, 0, 1),
+		heavyFilter("a", 200, 0, 1, 1),
+		heavyFilter("b", 200, 0, 1, 1),
+		heavyFilter("snk", 100, 0, 1, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s
+}
+
+// nodeWork indexes per-node work by name.
+func nodeWork(p *PGraph) map[string]int64 {
+	out := map[string]int64{}
+	for _, pn := range p.nodes {
+		out[pn.name] = pn.work
+	}
+	return out
+}
+
+// TestMeasuredWorkReshapesProportions: profiled timings that say filter a
+// is 3x filter b must shift the work split to 3:1 while keeping the
+// covered filters' combined cycle total on the static scale, so the
+// machine model's compute/communication calibration is not disturbed.
+func TestMeasuredWorkReshapesProportions(t *testing.T) {
+	g, s := measuredPipe(t)
+	static, err := Build(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := nodeWork(static)
+	if sw["a"] != sw["b"] {
+		t.Fatalf("static baseline skewed: a=%d b=%d", sw["a"], sw["b"])
+	}
+
+	measured, err := BuildOpts(g, s, BuildOptions{
+		MeasuredWorkNS: map[string]int64{"a": 3000, "b": 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := nodeWork(measured)
+	ratio := float64(mw["a"]) / float64(mw["b"])
+	if ratio < 2.9 || ratio > 3.1 {
+		t.Errorf("a/b work ratio = %.2f, want ~3.0", ratio)
+	}
+	// Covered total preserved (integer truncation allows tiny slack).
+	staticSum := sw["a"] + sw["b"]
+	measSum := mw["a"] + mw["b"]
+	if diff := staticSum - measSum; diff < -2 || diff > 2 {
+		t.Errorf("covered work total drifted: static %d, measured %d", staticSum, measSum)
+	}
+}
+
+// TestMeasuredWorkPartialCoverage: filters without a measurement keep the
+// static estimate, and IO endpoints stay at zero work.
+func TestMeasuredWorkPartialCoverage(t *testing.T) {
+	g, s := measuredPipe(t)
+	static, err := Build(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := nodeWork(static)
+
+	p, err := BuildOpts(g, s, BuildOptions{
+		MeasuredWorkNS: map[string]int64{"a": 5000, "src": 9999, "snk": 9999},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw := nodeWork(p)
+	if mw["b"] != sw["b"] {
+		t.Errorf("unmeasured filter b changed: %d -> %d", sw["b"], mw["b"])
+	}
+	if mw["src"] != 0 || mw["snk"] != 0 {
+		t.Errorf("io endpoints gained work: src=%d snk=%d", mw["src"], mw["snk"])
+	}
+	// a is the only covered filter, so rescaling maps it back onto its own
+	// static total.
+	if mw["a"] != sw["a"] {
+		t.Errorf("sole covered filter a should keep its static total: %d -> %d", sw["a"], mw["a"])
+	}
+}
+
+// TestMeasuredWorkIgnoredWhenUseless: empty maps, zero values, and names
+// that match nothing leave the static estimates untouched.
+func TestMeasuredWorkIgnoredWhenUseless(t *testing.T) {
+	g, s := measuredPipe(t)
+	static, err := Build(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := nodeWork(static)
+	for _, m := range []map[string]int64{
+		nil,
+		{},
+		{"a": 0, "b": -5},
+		{"no-such-node": 123},
+	} {
+		p, err := BuildOpts(g, s, BuildOptions{MeasuredWorkNS: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mw := nodeWork(p)
+		for name, w := range sw {
+			if mw[name] != w {
+				t.Errorf("measured %v: node %s work %d, want static %d", m, name, mw[name], w)
+			}
+		}
+	}
+}
+
+// TestMeasuredWorkTotalStable: the graph-wide TotalWork must not move when
+// measurements only redistribute filter weights (routers keep their static
+// charge, so total work stays comparable across Build variants).
+func TestMeasuredWorkTotalStable(t *testing.T) {
+	g, s := measuredPipe(t)
+	static, err := Build(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildOpts(g, s, BuildOptions{
+		MeasuredWorkNS: map[string]int64{"a": 7000, "b": 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := static.TotalWork() - p.TotalWork(); d < -2 || d > 2 {
+		t.Errorf("TotalWork drifted by %d (static %d, measured %d)", d, static.TotalWork(), p.TotalWork())
+	}
+}

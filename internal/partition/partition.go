@@ -28,6 +28,46 @@ import (
 // routed (address bookkeeping plus a word copy).
 const routerCost = 3
 
+// applyMeasuredWork swaps static filter work estimates for profiled ones.
+// Measured nanoseconds are rescaled so that the covered filters' total
+// work in cycles is unchanged — only the distribution between filters
+// shifts to the measured proportions. IO endpoints keep zero work and
+// unmeasured filters keep their static estimate.
+func applyMeasuredWork(p *PGraph, g *ir.Graph, s *sched.Schedule, measured map[string]int64) {
+	var sumStatic, sumNS int64
+	for _, n := range g.Nodes {
+		pn := p.nodes[n.ID]
+		if n.Kind != ir.NodeFilter || pn.io {
+			continue
+		}
+		ns, ok := measured[n.Name]
+		if !ok || ns <= 0 {
+			continue
+		}
+		sumStatic += pn.work
+		sumNS += ns * int64(s.Reps[n.ID])
+	}
+	if sumStatic <= 0 || sumNS <= 0 {
+		return
+	}
+	scale := float64(sumStatic) / float64(sumNS)
+	for _, n := range g.Nodes {
+		pn := p.nodes[n.ID]
+		if n.Kind != ir.NodeFilter || pn.io {
+			continue
+		}
+		ns, ok := measured[n.Name]
+		if !ok || ns <= 0 {
+			continue
+		}
+		w := int64(float64(ns*int64(s.Reps[n.ID])) * scale)
+		if w < 1 {
+			w = 1
+		}
+		pn.work = w
+	}
+}
+
 // pnode is a mutable partitioning node: one or more original flat-graph
 // nodes (fusion) or a replica slice of one (fission).
 type pnode struct {
@@ -50,11 +90,29 @@ type PGraph struct {
 	nextID int
 }
 
+// BuildOptions tune how the weighted steady-state graph is derived.
+type BuildOptions struct {
+	// MeasuredWorkNS maps flat node names to profiled work per firing in
+	// nanoseconds (from obs.Profiler.WorkNSPerFiring). When non-empty,
+	// measured values replace the static IL estimate for the filters they
+	// cover, rescaled so the total filter work stays on the static
+	// estimator's cycle scale — the machine model's compute/communication
+	// calibration is preserved while relative filter weights become
+	// measured rather than estimated. Filters without a measurement keep
+	// their static estimate; flops always stay static.
+	MeasuredWorkNS map[string]int64
+}
+
 // Build derives the weighted steady-state graph from a scheduled flat
 // graph. Work estimates come from the IL work estimator scaled by the
 // steady repetition counts; splitters and joiners are charged per item
 // routed.
 func Build(g *ir.Graph, s *sched.Schedule) (*PGraph, error) {
+	return BuildOpts(g, s, BuildOptions{})
+}
+
+// BuildOpts is Build with explicit options.
+func BuildOpts(g *ir.Graph, s *sched.Schedule, opts BuildOptions) (*PGraph, error) {
 	p := &PGraph{nodes: map[int]*pnode{}, edges: map[[2]int]int64{}}
 	for _, n := range g.Nodes {
 		pn := &pnode{id: n.ID, name: n.Name, count: 1}
@@ -85,6 +143,9 @@ func Build(g *ir.Graph, s *sched.Schedule) (*PGraph, error) {
 		if n.ID >= p.nextID {
 			p.nextID = n.ID + 1
 		}
+	}
+	if len(opts.MeasuredWorkNS) > 0 {
+		applyMeasuredWork(p, g, s, opts.MeasuredWorkNS)
 	}
 	for _, e := range g.Edges {
 		items := int64(s.ItemsPerSteady(e))

@@ -8,6 +8,7 @@ import (
 	"streamit/internal/ir"
 	"streamit/internal/linear"
 	"streamit/internal/machine"
+	"streamit/internal/obs"
 	"streamit/internal/partition"
 )
 
@@ -61,6 +62,18 @@ type (
 	DeadlockError = exec.DeadlockError
 	// MachineFaultPlan schedules tile and link failures in the simulator.
 	MachineFaultPlan = machine.FaultPlan
+
+	// Profiler holds per-filter runtime counters (enable with
+	// RunOptions.Profile, read with the engine's Profile method).
+	Profiler = obs.Profiler
+	// FilterProfile is one node's profiler snapshot.
+	FilterProfile = obs.FilterProfile
+	// TraceRecorder collects Chrome trace_event records from a run
+	// (attach via RunOptions.TracePath or exec.Options.Trace).
+	TraceRecorder = obs.Recorder
+	// BenchSnapshot is the BENCH_<app>.json metrics schema written by
+	// streamit-bench.
+	BenchSnapshot = obs.BenchSnapshot
 )
 
 // Constructors and helpers.
@@ -102,6 +115,11 @@ var (
 	// SimulateFaults runs the machine simulator under a tile/link fault
 	// plan.
 	SimulateFaults = machine.SimulateFaults
+
+	// NewTraceRecorder starts a trace recorder (epoch = now).
+	NewTraceRecorder = obs.NewRecorder
+	// ValidateBench checks a BENCH_<app>.json snapshot against the schema.
+	ValidateBench = obs.ValidateBench
 )
 
 // Work-function execution backends.
