@@ -10,6 +10,8 @@ package streamit_test
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"testing"
 
 	"streamit/internal/bench"
@@ -198,4 +200,40 @@ func BenchmarkAblationFreqBlocks(b *testing.B) {
 	for _, r := range rows {
 		b.ReportMetric(r.Speedup, fmt.Sprintf("x-block%d", r.Block))
 	}
+}
+
+// BenchmarkMappedSpeedup measures the host-mapped engine (the coarsen+fiss
+// plans run on real cores by exec.MappedEngine) against the
+// goroutine-per-filter ParallelEngine across the parallelization suite,
+// in sink items per second. GOMAXPROCS is raised to at least 8 so the
+// measurement exercises a real multi-worker mapping even on small hosts.
+// With STREAMIT_BENCH_JSON=dir, streamit-bench/v1 snapshots land in dir
+// (BENCH_<app>.json per app plus BENCH_mapped_suite.json).
+func BenchmarkMappedSpeedup(b *testing.B) {
+	workers := runtime.NumCPU()
+	if workers < 8 {
+		workers = 8
+	}
+	prevProcs := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prevProcs)
+	prevDir := bench.JSONDir
+	bench.JSONDir = os.Getenv("STREAMIT_BENCH_JSON")
+	defer func() { bench.JSONDir = prevDir }()
+
+	var rows []bench.MappedRow
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, mean, err = bench.MappedBench(workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bench.WriteMappedSnapshots(rows, mean, workers); err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup, "x-"+r.Name)
+	}
+	b.ReportMetric(mean, "x-geomean-mapped")
 }

@@ -13,6 +13,14 @@
 // machine with the chosen strategy (sequential, task, task+data, task+swp,
 // task+data+swp, space) and the simulated throughput is reported.
 //
+// With -map, the program runs on the host-mapped parallel engine: the
+// graph is rewritten by fusion and executable fission with the chosen
+// strategy (task, "fine-grained data", task+data) and the partitions run
+// one goroutine per worker core (-workers, default all cores). Output is
+// bit-identical to the sequential engine; programs the concurrent engines
+// cannot run (feedback loops, teleport messaging) fall back to the
+// sequential engine with a note. -parallel takes the same fallback path.
+//
 // Robustness controls:
 //
 //	-faults "panic:Filter@100;rand:3@42"   inject deterministic faults
@@ -40,6 +48,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"streamit/internal/core"
@@ -78,6 +87,8 @@ func main() {
 	doLinear := flag.Bool("linear", false, "apply the linear optimizer first")
 	strategy := flag.String("strategy", "", "map onto the simulated multicore with this strategy instead of running sequentially")
 	parallel := flag.Bool("parallel", false, "run on the goroutine-per-filter parallel backend")
+	mapStrat := flag.String("map", "", "run on the host-mapped engine with this rewrite strategy: task, 'fine-grained data', or task+data")
+	workers := flag.Int("workers", 0, "worker cores for -map (0 = all cores)")
 	dynamic := flag.Bool("dynamic", false, "run on the demand-driven dynamic-rate backend (-iters counts sink items)")
 	traceOut := flag.String("trace", "", "write a Chrome trace JSON of the execution to this file (runtime engines or, with -strategy, the simulated machine)")
 	profile := flag.Bool("profile", false, "print the per-filter profile table after the run")
@@ -118,7 +129,7 @@ func main() {
 		runOpts.OnError = pols
 	}
 	useCkpt := *ckptPath != "" || *resumePath != ""
-	if useCkpt && (*parallel || *dynamic || *strategy != "") {
+	if useCkpt && (*parallel || *dynamic || *strategy != "" || *mapStrat != "") {
 		fatal(fmt.Errorf("-checkpoint/-resume require the sequential engine"))
 	}
 	if *ckptPath != "" && *ckptAfter <= 0 {
@@ -175,21 +186,32 @@ func main() {
 		return
 	}
 
-	if *parallel {
-		pe, err := c.ParallelEngineOpts(runOpts)
+	if *parallel || *mapStrat != "" {
+		kind := core.EngineParallel
+		label := "parallel"
+		if *mapStrat != "" {
+			kind = core.EngineMapped
+			label = fmt.Sprintf("mapped (%s, %d workers)", *mapStrat, runtime.GOMAXPROCS(0))
+			if *workers > 0 {
+				label = fmt.Sprintf("mapped (%s, %d workers)", *mapStrat, *workers)
+			}
+			runOpts.MapStrategy = partition.Strategy(*mapStrat)
+			runOpts.Workers = *workers
+		}
+		r, err := c.Runner(kind, runOpts)
 		if err != nil {
 			fatal(err)
 		}
 		start := time.Now()
-		if err := pe.Run(*iters); err != nil {
-			report(pe.SupervisionReport(), len(pe.Degraded()) > 0)
+		if err := r.Run(*iters); err != nil {
+			report(r.SupervisionReport(), len(r.Degraded()) > 0)
 			fatal(err)
 		}
 		dur := time.Since(start)
-		fmt.Printf("ran %d steady-state iterations on the parallel backend in %v\n", *iters, dur.Round(time.Microsecond))
+		fmt.Printf("ran %d steady-state iterations on the %s backend in %v\n", *iters, label, dur.Round(time.Microsecond))
 		fmt.Printf("%.0f iterations/sec\n", float64(*iters)/dur.Seconds())
-		report(pe.SupervisionReport(), len(pe.Degraded()) > 0)
-		finishObs(pe, runOpts.TracePath)
+		report(r.SupervisionReport(), len(r.Degraded()) > 0)
+		finishObs(r, runOpts.TracePath)
 		return
 	}
 	e, err := c.EngineOpts(runOpts)

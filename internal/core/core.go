@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"sort"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"streamit/internal/partition"
 	"streamit/internal/sched"
 	"streamit/internal/sdep"
+	"streamit/internal/wfunc"
 )
 
 // Options configure compilation.
@@ -63,6 +65,29 @@ type RunOptions struct {
 	// the Chrome trace with engine.TraceRecorder().WriteFile(TracePath)
 	// (cmd/streamit-run does this for its -trace flag).
 	TracePath string
+	// Workers is the mapped engine's worker-core count (0 selects
+	// runtime.GOMAXPROCS).
+	Workers int
+	// MapStrategy selects the mapped engine's graph rewrite: task (no
+	// rewrite), fine-grained data (replicate every stateless filter), or
+	// task+data (fuse stateless regions, then judicious fission). The zero
+	// value is task+data.
+	MapStrategy partition.Strategy
+	// MeasuredWorkNS feeds profiled per-firing work (see ProfileWork) back
+	// into the mapped rewrite and worker assignment in place of the static
+	// IL estimates.
+	MeasuredWorkNS map[string]int64
+	// Log receives driver notes (engine fallbacks and the like). Nil logs
+	// through the standard logger.
+	Log func(format string, args ...any)
+}
+
+func (o RunOptions) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // execOptions lowers driver-level run options to the engine layer.
@@ -161,6 +186,123 @@ func (c *Compiled) ParallelEngine() (*exec.ParallelEngine, error) {
 // ParallelEngineOpts is ParallelEngine with explicit run options.
 func (c *Compiled) ParallelEngineOpts(opts RunOptions) (*exec.ParallelEngine, error) {
 	return exec.NewParallelOpts(c.Graph, c.Schedule, opts.execOptions())
+}
+
+// MappedEngine builds the host-mapped engine with default options: the
+// graph is rewritten by fusion and executable fission (task+data) and the
+// partitions run one goroutine per worker core.
+func (c *Compiled) MappedEngine() (*exec.MappedEngine, error) {
+	return c.MappedEngineOpts(RunOptions{})
+}
+
+// MappedEngineOpts rewrites the compiled graph with the configured
+// strategy (RunOptions.MapStrategy), assigns the result to worker cores,
+// and builds the mapped engine. The rewrite is bit-identical: the mapped
+// engine produces exactly the sequential engine's output streams.
+func (c *Compiled) MappedEngineOpts(opts RunOptions) (*exec.MappedEngine, error) {
+	strat := opts.MapStrategy
+	if strat == "" {
+		strat = partition.StratCoarseData
+	}
+	plan, err := partition.BuildExecPlan(c.Program, c.Graph, c.Schedule, partition.ExecPlanOptions{
+		Strategy:       strat,
+		Workers:        opts.Workers,
+		MeasuredWorkNS: opts.MeasuredWorkNS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g2, err := ir.Flatten(plan.Program)
+	if err != nil {
+		return nil, fmt.Errorf("core: flattening mapped rewrite: %w", err)
+	}
+	s2, err := sched.Compute(g2)
+	if err != nil {
+		return nil, fmt.Errorf("core: scheduling mapped rewrite: %w", err)
+	}
+	return exec.NewMappedOpts(g2, s2, plan.Assign(g2, s2), plan.Workers, opts.execOptions())
+}
+
+// EngineKind names an execution engine family for Runner.
+type EngineKind string
+
+const (
+	EngineSequential EngineKind = "sequential"
+	EngineParallel   EngineKind = "parallel"
+	EngineMapped     EngineKind = "mapped"
+)
+
+// ParseEngine maps user-facing engine names onto EngineKind values.
+func ParseEngine(s string) (EngineKind, error) {
+	switch EngineKind(s) {
+	case EngineSequential, EngineParallel, EngineMapped:
+		return EngineKind(s), nil
+	}
+	return "", fmt.Errorf("core: unknown engine %q (want sequential, parallel, or mapped)", s)
+}
+
+// Runner is the execution surface shared by the sequential, parallel, and
+// mapped engines: run a number of steady-state iterations and expose the
+// observability hooks.
+type Runner interface {
+	Run(iters int) error
+	Profile() *obs.Profiler
+	TraceRecorder() *obs.Recorder
+	SupervisionReport() string
+	Degraded() map[string]exec.DegradedStats
+}
+
+// concurrencyBlocker reports why the compiled program cannot run on the
+// concurrent engines, or "" when it can: feedback loops and teleport
+// messaging both need the sequential runtime's global firing order.
+func (c *Compiled) concurrencyBlocker() string {
+	for _, e := range c.Graph.Edges {
+		if e.Back {
+			return "feedback loop"
+		}
+	}
+	if len(c.Graph.Portals) > 0 || len(c.Graph.Constraints) > 0 {
+		return "teleport messaging"
+	}
+	for _, n := range c.Graph.Nodes {
+		if n.Kind == ir.NodeFilter && n.Filter.WorkFn == nil && wfunc.SendsMessages(n.Filter.Kernel.Work) {
+			return "message-sending filter " + n.Name
+		}
+	}
+	return ""
+}
+
+// Runner builds the requested engine. Programs whose features the
+// concurrent engines cannot execute (feedback loops, teleport messaging)
+// are detected up front and fall back to the sequential engine with a
+// logged note instead of failing engine construction.
+func (c *Compiled) Runner(kind EngineKind, opts RunOptions) (Runner, error) {
+	if kind != EngineSequential {
+		if why := c.concurrencyBlocker(); why != "" {
+			opts.logf("core: %s engine unavailable for %s (%s); falling back to sequential", kind, c.Program.Name, why)
+			kind = EngineSequential
+		}
+	}
+	switch kind {
+	case EngineSequential:
+		return c.EngineOpts(opts)
+	case EngineParallel:
+		return c.ParallelEngineOpts(opts)
+	case EngineMapped:
+		return c.MappedEngineOpts(opts)
+	}
+	return nil, fmt.Errorf("core: unknown engine kind %q", kind)
+}
+
+// Run builds the requested engine (falling back to sequential when the
+// program demands it, see Runner) and runs iters steady-state iterations,
+// returning the engine for inspection of profiles and reports.
+func (c *Compiled) Run(kind EngineKind, iters int, opts RunOptions) (Runner, error) {
+	r, err := c.Runner(kind, opts)
+	if err != nil {
+		return nil, err
+	}
+	return r, r.Run(iters)
 }
 
 // CompileDynamic parses and flattens a program with dynamic-rate filters

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+
 	"errors"
+	"streamit/internal/ir"
 	"strings"
 	"testing"
 
@@ -229,4 +232,111 @@ func TestRunOptionsWatchdogDisabled(t *testing.T) {
 	if faults.BaseName(ee.Filter) != "Smooth" {
 		t.Fatalf("error names %q, want Smooth", ee.Filter)
 	}
+}
+
+// TestRunnerFeedbackFallback: programs with feedback loops cannot run on
+// the concurrent engines; Runner must detect that up front and fall back
+// to the sequential engine with a logged note, never a hard failure.
+func TestRunnerFeedbackFallback(t *testing.T) {
+	prog := &ir.Program{Name: "loop", Top: ir.Pipe("main",
+		apps.Source("s"),
+		&ir.FeedbackLoop{
+			Name: "fl", Join: ir.RoundRobin(1, 1),
+			Body:  apps.Adder("add", 2),
+			Split: ir.Duplicate(), Delay: 1,
+		},
+		apps.Sink("k", 1),
+	)}
+	c, err := Compile(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []EngineKind{EngineParallel, EngineMapped} {
+		var notes []string
+		opts := RunOptions{Log: func(format string, args ...any) {
+			notes = append(notes, fmt.Sprintf(format, args...))
+		}}
+		r, err := c.Run(kind, 8, opts)
+		if err != nil {
+			t.Fatalf("%s: fallback run failed: %v", kind, err)
+		}
+		if _, ok := r.(*exec.Engine); !ok {
+			t.Fatalf("%s: runner is %T, want the sequential *exec.Engine", kind, r)
+		}
+		if len(notes) != 1 || !strings.Contains(notes[0], "feedback loop") {
+			t.Fatalf("%s: fallback note not logged: %v", kind, notes)
+		}
+	}
+}
+
+// TestRunnerKinds: each engine kind constructs its own engine type when the
+// program supports it, and runs produce no error.
+func TestRunnerKinds(t *testing.T) {
+	c, err := CompileSource(firSrc, "Main", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		kind EngineKind
+		want string
+	}{
+		{EngineSequential, "*exec.Engine"},
+		{EngineParallel, "*exec.ParallelEngine"},
+		{EngineMapped, "*exec.MappedEngine"},
+	}
+	for _, tc := range cases {
+		r, err := c.Run(tc.kind, 8, RunOptions{Workers: 2, Log: func(string, ...any) {
+			t.Errorf("%s: unexpected fallback note", tc.kind)
+		}})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		if got := fmt.Sprintf("%T", r); got != tc.want {
+			t.Fatalf("kind %s built %s, want %s", tc.kind, got, tc.want)
+		}
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Fatal("ParseEngine accepted an unknown engine")
+	}
+}
+
+// TestMappedEngineRuns: the driver-level mapped construction rewrites the
+// graph (task+data by default), runs it, and delivers the sink a whole
+// multiple of the sequential engine's items per iteration count. (Exact
+// value conformance across all apps and strategies is asserted by the
+// exec package's TestMappedConformance.)
+func TestMappedEngineRuns(t *testing.T) {
+	build := func() *ir.Program { return apps.FMRadio(4, 16) }
+	iters := 4
+
+	cSeq, err := Compile(build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := sinkPopped(t, cSeq, EngineSequential, iters)
+	cMap, err := Compile(build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := sinkPopped(t, cMap, EngineMapped, iters)
+	if seq <= 0 || mapped < seq || mapped%seq != 0 {
+		t.Fatalf("mapped sink saw %d items, want a positive whole multiple of the sequential %d", mapped, seq)
+	}
+}
+
+// sinkPopped runs iters iterations on the given engine kind with profiling
+// enabled and returns the items popped by the program's sink.
+func sinkPopped(t *testing.T, c *Compiled, kind EngineKind, iters int) int64 {
+	t.Helper()
+	r, err := c.Run(kind, iters, RunOptions{Workers: 2, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var popped int64
+	for _, st := range r.Profile().Snapshot() {
+		if strings.HasPrefix(st.Name, "speaker") {
+			popped += st.Popped
+		}
+	}
+	return popped
 }

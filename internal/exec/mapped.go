@@ -1,0 +1,662 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamit/internal/faults"
+	"streamit/internal/ir"
+	"streamit/internal/obs"
+	"streamit/internal/sched"
+	"streamit/internal/wfunc"
+)
+
+// MappedEngine executes a flattened stream graph on a fixed set of worker
+// goroutines — one per fused partition, default GOMAXPROCS — instead of
+// one per filter. Each worker fires its assigned nodes in global
+// topological order once per steady iteration; edges between nodes on the
+// same worker are plain in-memory queues, edges crossing workers are
+// batched SPSC channels carrying one steady iteration's items per batch.
+//
+// This is the host-execution form of the partitioner's coarse-grained
+// plans: the ExecPlan rewrite (fusion + executable fission) shrinks the
+// graph, and the worker assignment packs it onto cores, so synchronization
+// cost scales with the partition count, not the filter count. Results are
+// bit-identical to the sequential Engine.
+//
+// Deadlock-freedom: every worker visits its nodes in a common linear
+// extension of the dataflow order and every edge carries exactly one batch
+// per iteration, so the worker holding the globally earliest incomplete
+// firing always has its inputs available and its output channel short of
+// capacity — it can always progress. A watchdog still supervises the run
+// (fault injection can wedge it deliberately).
+type MappedEngine struct {
+	G   *ir.Graph
+	Sch *sched.Schedule
+	// Backend is the work-function execution substrate.
+	Backend Backend
+	// Workers is the worker-goroutine count; Assign[n.ID] names each
+	// node's worker.
+	Workers int
+	Assign  []int
+
+	// Depth is the cross-worker channel buffering in batches (default 2).
+	Depth int
+
+	// Watchdog is the stall-detection interval: 0 selects
+	// DefaultWatchdogInterval, negative disables detection.
+	Watchdog time.Duration
+
+	sup *supervisor
+
+	nodes []*pnodeRT
+	order [][]*ir.Node // per-worker node lists in topological order
+
+	// prof and rec are the observability hooks; nil when disabled.
+	prof *obs.Profiler
+	rec  *obs.Recorder
+
+	// Per-run supervision state.
+	stopCh   chan struct{}
+	progress int64
+	statuses []*nodeStatus
+}
+
+// NewMapped prepares a mapped engine on the default backend with every
+// node assigned by the caller; workers <= 0 selects GOMAXPROCS.
+func NewMapped(g *ir.Graph, s *sched.Schedule, assign []int, workers int) (*MappedEngine, error) {
+	return NewMappedOpts(g, s, assign, workers, Options{Backend: BackendVM})
+}
+
+// NewMappedOpts is the full-option constructor. The graph restrictions
+// match the parallel engine's: no teleport messaging, no feedback loops.
+func NewMappedOpts(g *ir.Graph, s *sched.Schedule, assign []int, workers int, opts Options) (*MappedEngine, error) {
+	if len(g.Portals) > 0 || len(g.Constraints) > 0 {
+		return nil, fmt.Errorf("exec: the mapped backend does not support teleport messaging; use the sequential Engine")
+	}
+	for _, e := range g.Edges {
+		if e.Back {
+			return nil, fmt.Errorf("exec: feedback loops need finer-than-batch interleaving; use the sequential Engine")
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == ir.NodeFilter && wfunc.SendsMessages(n.Filter.Kernel.Work) {
+			return nil, fmt.Errorf("exec: filter %s sends messages; use the sequential Engine", n.Name)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(assign) != len(g.Nodes) {
+		return nil, fmt.Errorf("exec: assignment covers %d of %d nodes", len(assign), len(g.Nodes))
+	}
+	for id, w := range assign {
+		if w < 0 || w >= workers {
+			return nil, fmt.Errorf("exec: node %d assigned to worker %d of %d", id, w, workers)
+		}
+	}
+	me := &MappedEngine{G: g, Sch: s, Backend: opts.Backend, Workers: workers,
+		Assign: append([]int(nil), assign...), Depth: 2, Watchdog: opts.Watchdog, rec: opts.Trace}
+	if opts.Profile {
+		me.prof = obs.NewProfiler(nodeNames(g))
+	}
+	sup, err := newSupervisor(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	me.sup = sup
+
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	me.order = make([][]*ir.Node, workers)
+	for _, n := range topo {
+		w := me.Assign[n.ID]
+		me.order[w] = append(me.order[w], n)
+	}
+
+	me.nodes = make([]*pnodeRT, len(g.Nodes))
+	for _, n := range g.Nodes {
+		rt := &pnodeRT{node: n, carry: make([][]float64, len(n.In))}
+		if n.Kind == ir.NodeFilter {
+			k := n.Filter.Kernel
+			rt.state = k.NewState()
+			if k.Init != nil {
+				env := wfunc.NewEnv(k.Init)
+				env.State = rt.state
+				if err := wfunc.Exec(k.Init, env); err != nil {
+					return nil, fmt.Errorf("init of %s: %w", n.Name, err)
+				}
+			}
+		}
+		me.nodes[n.ID] = rt
+	}
+	return me, nil
+}
+
+// SupervisionReport renders per-filter recovery counters.
+func (me *MappedEngine) SupervisionReport() string { return me.sup.Report() }
+
+// Degraded returns per-filter recovery counters (nil when unsupervised).
+func (me *MappedEngine) Degraded() map[string]DegradedStats {
+	if me.sup == nil {
+		return nil
+	}
+	return me.sup.Stats()
+}
+
+// Profile returns the per-filter profiler (nil when profiling is off).
+func (me *MappedEngine) Profile() *obs.Profiler { return me.prof }
+
+// TraceRecorder returns the trace recorder (nil when tracing is off).
+func (me *MappedEngine) TraceRecorder() *obs.Recorder { return me.rec }
+
+// mnodeCtx is the per-node execution context a worker prepares once per
+// run: the node's tapes over the shared edge queues and its runner.
+type mnodeCtx struct {
+	rt      *pnodeRT
+	runner  *workRunner
+	in, out []*SliceQueue
+	// local[p] reports that out[p] is a same-worker queue written in
+	// place; others are staging queues drained into channel batches.
+	localOut  []bool
+	tIn, tOut wfunc.Tape
+	produce   []int
+	reps      int
+	pst       *obs.FilterStats
+}
+
+// Run executes the initialization phase sequentially and then iters
+// steady-state iterations across the worker set.
+func (me *MappedEngine) Run(iters int) error {
+	// Initialization runs on a scratch sequential engine sharing our node
+	// states (the same scheme as the parallel engine).
+	seq, err := NewFromGraph(me.G, me.Sch)
+	if err != nil {
+		return err
+	}
+	for _, n := range me.G.Nodes {
+		me.nodes[n.ID].state = seq.nodes[n.ID].state
+	}
+	seq.adoptObs(me.prof, me.rec)
+	if err := seq.RunInit(); err != nil {
+		return err
+	}
+
+	// Per-edge queues: consumer-side buffers seeded with the init residue
+	// (peek margins). Cross-worker edges additionally get a channel and a
+	// producer-side staging queue.
+	queues := make([]*SliceQueue, len(me.G.Edges))
+	stage := make([]*SliceQueue, len(me.G.Edges))
+	chans := make([]chan []float64, len(me.G.Edges))
+	for _, e := range me.G.Edges {
+		ch := seq.chans[e.ID]
+		buf := make([]float64, ch.Len())
+		for i := range buf {
+			buf[i] = ch.Pop()
+		}
+		queues[e.ID] = &SliceQueue{buf: buf}
+		if me.Assign[e.Src.ID] != me.Assign[e.Dst.ID] {
+			stage[e.ID] = &SliceQueue{}
+			chans[e.ID] = make(chan []float64, me.Depth)
+		}
+	}
+
+	me.stopCh = make(chan struct{})
+	var stopOnce sync.Once
+	stopAll := func() { stopOnce.Do(func() { close(me.stopCh) }) }
+	atomic.StoreInt64(&me.progress, 0)
+	me.statuses = make([]*nodeStatus, len(me.G.Nodes))
+	for _, n := range me.G.Nodes {
+		me.statuses[n.ID] = newNodeStatus(n.Name)
+	}
+	var wd *watchdog
+	if me.Watchdog >= 0 {
+		interval := me.Watchdog
+		if interval == 0 {
+			interval = DefaultWatchdogInterval
+		}
+		wd = newWatchdog("mapped", interval, &me.progress, me.statuses, stopAll)
+	}
+
+	// Worker trace lanes sit above the node and schedule lanes.
+	laneBase := len(me.G.Nodes) + 1
+	if me.rec != nil {
+		for w := 0; w < me.Workers; w++ {
+			if len(me.order[w]) > 0 {
+				me.rec.Lane(laneBase+w, fmt.Sprintf("worker %d (%d nodes)", w, len(me.order[w])))
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, me.Workers)
+	for w := 0; w < me.Workers; w++ {
+		if len(me.order[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := me.runWorker(w, laneBase+w, iters, queues, stage, chans); err != nil {
+				if err != errStopped {
+					errs <- err
+				}
+				stopAll()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if wd != nil {
+		wd.close()
+		if derr := wd.error(); derr != nil {
+			return derr
+		}
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runWorker drives one worker's node list through iters steady iterations.
+func (me *MappedEngine) runWorker(w, lane, iters int, queues, stage []*SliceQueue, chans []chan []float64) error {
+	ctxs := make([]*mnodeCtx, 0, len(me.order[w]))
+	// compact lists this worker's purely-local queues: only their owner
+	// touches them, and their per-item Push/Pop traffic never passes
+	// through Append's compaction.
+	var compact []*SliceQueue
+	for _, n := range me.order[w] {
+		ctxs = append(ctxs, me.prepareNode(n, queues, stage, chans))
+	}
+	for _, e := range me.G.Edges {
+		if me.Assign[e.Src.ID] == w && me.Assign[e.Dst.ID] == w {
+			compact = append(compact, queues[e.ID])
+		}
+	}
+
+	var cur *mnodeCtx // the node currently firing, for fault attribution
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				name, fired := fmt.Sprintf("worker %d", w), int64(0)
+				if cur != nil {
+					name, fired = cur.rt.node.Name, cur.rt.fired
+				}
+				err = asExecError(name, fired, r)
+			}
+		}()
+		for it := 0; it < iters; it++ {
+			var t0 time.Duration
+			if me.rec != nil {
+				t0 = me.rec.Stamp()
+			}
+			for _, c := range ctxs {
+				cur = c
+				if err := me.stepNode(c, queues, stage, chans); err != nil {
+					return err
+				}
+			}
+			cur = nil
+			for _, q := range compact {
+				q.Compact()
+			}
+			if me.rec != nil {
+				end := me.rec.Stamp()
+				me.rec.Slice(lane, fmt.Sprintf("worker %d", w), "iteration", t0, end)
+			}
+		}
+		return nil
+	}()
+	for _, c := range ctxs {
+		me.statuses[c.rt.node.ID].set(stDone, "", 0, -1)
+	}
+	return err
+}
+
+// prepareNode builds one node's tapes over the shared per-edge queues.
+func (me *MappedEngine) prepareNode(n *ir.Node, queues, stage []*SliceQueue, chans []chan []float64) *mnodeCtx {
+	rt := me.nodes[n.ID]
+	c := &mnodeCtx{rt: rt, reps: me.Sch.Reps[n.ID]}
+	if n.Kind == ir.NodeFilter && n.Filter.WorkFn == nil {
+		c.runner = newWorkRunner(n.Filter.Kernel, rt.state, me.Backend)
+	}
+	c.in = make([]*SliceQueue, len(n.In))
+	for p, e := range n.In {
+		if e != nil {
+			c.in[p] = queues[e.ID]
+		}
+	}
+	c.out = make([]*SliceQueue, len(n.Out))
+	c.localOut = make([]bool, len(n.Out))
+	c.produce = make([]int, len(n.Out))
+	for p, e := range n.Out {
+		if e == nil {
+			continue
+		}
+		c.produce[p] = c.reps * n.PushPort(p)
+		if stage[e.ID] != nil {
+			c.out[p] = stage[e.ID]
+		} else {
+			c.out[p] = queues[e.ID]
+			c.localOut[p] = true
+		}
+	}
+	if me.prof != nil {
+		c.pst = me.prof.At(n.ID)
+	}
+	if n.Kind == ir.NodeFilter {
+		if len(n.In) > 0 && n.In[0] != nil {
+			c.tIn = c.in[0]
+			if c.pst != nil {
+				c.tIn = &obsTape{inner: c.in[0], st: c.pst}
+			}
+		}
+		if len(n.Out) > 0 && n.Out[0] != nil {
+			c.tOut = c.out[0]
+			if c.pst != nil {
+				c.tOut = &obsTape{inner: c.out[0], st: c.pst, lenFn: c.out[0].Len}
+			}
+		}
+	}
+	return c
+}
+
+// stepNode advances one node by one steady iteration: receive cross-worker
+// input batches, fire reps times, ship cross-worker output batches.
+func (me *MappedEngine) stepNode(c *mnodeCtx, queues, stage []*SliceQueue, chans []chan []float64) error {
+	n := c.rt.node
+	st := me.statuses[n.ID]
+	for p, e := range n.In {
+		if e == nil || chans[e.ID] == nil {
+			continue
+		}
+		batch, err := me.recvBatch(n, e, chans[e.ID], c.in[p], st)
+		if err != nil {
+			return err
+		}
+		c.in[p].Append(batch)
+	}
+	for r := 0; r < c.reps; r++ {
+		if c.pst == nil && me.rec == nil {
+			if err := me.fireOnce(c, st); err != nil {
+				return err
+			}
+		} else {
+			start := time.Now()
+			err := me.fireOnce(c, st)
+			d := time.Since(start)
+			if c.pst != nil {
+				if n.Kind == ir.NodeFilter {
+					c.pst.AddWork(d)
+				} else {
+					profileSJ(c.pst, n)
+				}
+			}
+			if me.rec != nil && n.Kind == ir.NodeFilter {
+				end := me.rec.Stamp()
+				me.rec.Slice(n.ID, n.Name, "firing", end-d, end)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if c.pst != nil {
+			c.pst.AddFiring()
+		}
+		c.rt.fired++
+		atomic.AddInt64(&me.progress, 1)
+	}
+	for p, e := range n.Out {
+		if e == nil || c.localOut[p] {
+			continue
+		}
+		batch := c.out[p].Take(c.produce[p])
+		if err := me.sendBatch(e, chans[e.ID], batch, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvBatch mirrors the parallel engine's: record the wait state while
+// blocked so the watchdog can trace who waits on whom, and unwind when the
+// run aborts.
+func (me *MappedEngine) recvBatch(n *ir.Node, e *ir.Edge, ch chan []float64, q *SliceQueue, st *nodeStatus) ([]float64, error) {
+	select {
+	case batch := <-ch:
+		atomic.AddInt64(&me.progress, 1)
+		return batch, nil
+	default:
+	}
+	st.set(stWaitRecv, e.String(), q.Len(), e.Src.ID)
+	defer st.set(stRunning, "", 0, -1)
+	if me.prof != nil {
+		t0 := time.Now()
+		defer func() { me.prof.At(n.ID).AddStall(time.Since(t0)) }()
+	}
+	select {
+	case batch := <-ch:
+		atomic.AddInt64(&me.progress, 1)
+		return batch, nil
+	case <-me.stopCh:
+		return nil, errStopped
+	}
+}
+
+// sendBatch ships one batch, recording the wait state while blocked.
+func (me *MappedEngine) sendBatch(e *ir.Edge, ch chan []float64, batch []float64, st *nodeStatus) error {
+	select {
+	case ch <- batch:
+		atomic.AddInt64(&me.progress, 1)
+		return nil
+	default:
+	}
+	st.set(stWaitSend, e.String(), len(batch), e.Dst.ID)
+	defer st.set(stRunning, "", 0, -1)
+	if me.prof != nil {
+		t0 := time.Now()
+		defer func() { me.prof.At(e.Src.ID).AddStall(time.Since(t0)) }()
+	}
+	select {
+	case ch <- batch:
+		atomic.AddInt64(&me.progress, 1)
+		return nil
+	case <-me.stopCh:
+		return errStopped
+	}
+}
+
+// fireOnce executes one firing of the node on its queues (mirroring the
+// parallel engine's firing semantics, including supervision).
+func (me *MappedEngine) fireOnce(c *mnodeCtx, st *nodeStatus) error {
+	n := c.rt.node
+	switch n.Kind {
+	case ir.NodeFilter:
+		if me.sup != nil {
+			return me.fireFilterSupervised(c, st)
+		}
+		if n.Filter.WorkFn != nil {
+			n.Filter.WorkFn(c.tIn, c.tOut, c.rt.state)
+			return nil
+		}
+		if err := c.runner.run(c.tIn, c.tOut, nil, nil); err != nil {
+			return &ExecError{Filter: n.Name, Op: "work", Iteration: c.rt.fired, Err: err}
+		}
+		return nil
+	case ir.NodeSplitter:
+		if n.SJ.Kind == ir.SJDuplicate {
+			v := c.in[0].Pop()
+			for p, e := range n.Out {
+				if e != nil {
+					c.out[p].Push(v)
+				}
+			}
+			return nil
+		}
+		for p, e := range n.Out {
+			for k := 0; k < n.SJ.Weights[p]; k++ {
+				v := c.in[0].Pop()
+				if e != nil {
+					c.out[p].Push(v)
+				}
+			}
+		}
+		return nil
+	case ir.NodeJoiner:
+		for p, e := range n.In {
+			if e == nil {
+				continue
+			}
+			for k := 0; k < n.SJ.Weights[p]; k++ {
+				c.out[0].Push(c.in[p].Pop())
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("exec: unknown node kind")
+}
+
+// fireFilterSupervised wraps one filter firing in the fault injector and
+// the filter's recovery policy (the parallel engine's semantics on the
+// shared queues).
+func (me *MappedEngine) fireFilterSupervised(c *mnodeCtx, st *nodeStatus) error {
+	rt := c.rt
+	n := rt.node
+	name := n.Name
+	pol := me.sup.pol.For(name)
+	rollback := pol.Action != faults.Fail
+	var qIn, qOut *SliceQueue
+	if len(c.in) > 0 && n.In[0] != nil {
+		qIn = c.in[0]
+	}
+	if len(c.out) > 0 && n.Out[0] != nil {
+		qOut = c.out[0]
+	}
+	var inHead, outLen int
+	var stateSave *wfunc.State
+	if rollback {
+		if qIn != nil {
+			inHead = qIn.head
+		}
+		if qOut != nil {
+			outLen = len(qOut.buf)
+		}
+		if rt.state != nil {
+			stateSave = rt.state.Clone()
+		}
+	}
+	restore := func() {
+		if qIn != nil {
+			qIn.head = inHead
+		}
+		if qOut != nil {
+			qOut.buf = qOut.buf[:outLen]
+		}
+		if stateSave != nil {
+			rt.state = stateSave.Clone()
+			if c.runner != nil {
+				c.runner.setState(rt.state)
+			}
+		}
+	}
+	attempt := func(fault faults.Fault, injected bool) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = asExecError(name, rt.fired, r)
+			}
+		}()
+		if injected {
+			switch fault.Kind {
+			case faults.Panic:
+				return &ExecError{Filter: name, Op: "injected panic", Iteration: rt.fired}
+			case faults.Stall:
+				st.set(stStalled, "", 0, -1)
+				<-me.stopCh
+				return errStopped
+			}
+		}
+		wOut := c.tOut
+		if injected && fault.Kind == faults.Corrupt {
+			wOut = corruptOut(wOut)
+		}
+		if n.Filter.WorkFn != nil {
+			n.Filter.WorkFn(c.tIn, wOut, rt.state)
+			return nil
+		}
+		if err := c.runner.run(c.tIn, wOut, nil, nil); err != nil {
+			return &ExecError{Filter: name, Op: "work", Iteration: rt.fired, Err: err}
+		}
+		return nil
+	}
+	fault, injected := me.sup.take(name, rt.fired)
+	if injected {
+		traceFault(me.rec, n.ID, name, fault.Kind.String())
+	}
+	err := attempt(fault, injected)
+	if err == nil || err == errStopped {
+		return err
+	}
+	switch pol.Action {
+	case faults.Retry:
+		for a := 1; a <= pol.Retries; a++ {
+			me.sup.noteRetry(name)
+			traceRecovery(me.rec, n.ID, name, "retry")
+			if pol.Backoff > 0 {
+				time.Sleep(time.Duration(a) * pol.Backoff)
+			}
+			restore()
+			if err = attempt(faults.Fault{}, false); err == nil || err == errStopped {
+				return err
+			}
+		}
+		return fmt.Errorf("exec: %d retries exhausted: %w", pol.Retries, err)
+	case faults.Skip:
+		restore()
+		me.sup.noteSkip(name)
+		traceRecovery(me.rec, n.ID, name, "skip")
+		skipFiring(n, c.tIn, c.tOut)
+		return nil
+	case faults.Restart:
+		restore()
+		stFresh, serr := freshState(n)
+		if serr != nil {
+			return serr
+		}
+		rt.state = stFresh
+		if c.runner != nil {
+			c.runner.setState(stFresh)
+		}
+		me.sup.noteRestart(name)
+		traceRecovery(me.rec, n.ID, name, "restart")
+		if err = attempt(faults.Fault{}, false); err != nil && err != errStopped {
+			return fmt.Errorf("exec: restart did not recover: %w", err)
+		}
+		return err
+	}
+	return err
+}
+
+// WorkerOf reports the worker a node runs on (diagnostics).
+func (me *MappedEngine) WorkerOf(id int) int { return me.Assign[id] }
+
+// PartitionSizes returns per-worker node counts, sorted descending
+// (diagnostics and tests).
+func (me *MappedEngine) PartitionSizes() []int {
+	sizes := make([]int, 0, me.Workers)
+	for w := 0; w < me.Workers; w++ {
+		if len(me.order[w]) > 0 {
+			sizes = append(sizes, len(me.order[w]))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}

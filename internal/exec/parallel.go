@@ -607,6 +607,9 @@ func (q *SliceQueue) Append(batch []float64) {
 
 // Take removes exactly n items from the read end.
 func (q *SliceQueue) Take(n int) []float64 {
+	if n < 0 || n > q.Len() {
+		panic(tapeFault{op: "take", detail: fmt.Sprintf("take(%d) with %d items buffered", n, q.Len())})
+	}
 	out := make([]float64, n)
 	copy(out, q.buf[q.head:q.head+n])
 	q.head += n
@@ -615,6 +618,19 @@ func (q *SliceQueue) Take(n int) []float64 {
 		q.head = 0
 	}
 	return out
+}
+
+// Compact drops consumed items from the front of the backing array. The
+// mapped engine calls it at iteration boundaries on its worker-local
+// queues, where per-item Push/Pop traffic never passes through Append's
+// occasional compaction.
+func (q *SliceQueue) Compact() {
+	if q.head == 0 {
+		return
+	}
+	n := copy(q.buf, q.buf[q.head:])
+	q.buf = q.buf[:n]
+	q.head = 0
 }
 
 // Peek implements wfunc.Tape.

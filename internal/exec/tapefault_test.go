@@ -1,0 +1,179 @@
+package exec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"streamit/internal/fuse"
+	"streamit/internal/ir"
+	"streamit/internal/sched"
+	"streamit/internal/wfunc"
+)
+
+// lyingFilter declares the given push rate but emits only `actual` items
+// per firing from its native body, so downstream batch accounting
+// underflows at runtime.
+func lyingFilter(name string, declaredPush, actual int) *ir.Filter {
+	b := wfunc.NewKernel(name, 1, 1, declaredPush)
+	body := []wfunc.Stmt{wfunc.Pop1()}
+	for i := 0; i < declaredPush; i++ {
+		body = append(body, wfunc.Push1(wfunc.C(0)))
+	}
+	b.WorkBody(body...)
+	return &ir.Filter{
+		Kernel: b.Build(),
+		In:     ir.TypeFloat,
+		Out:    ir.TypeFloat,
+		WorkFn: func(in, out wfunc.Tape, state *wfunc.State) {
+			v := in.Pop()
+			for i := 0; i < actual; i++ {
+				out.Push(v)
+			}
+		},
+	}
+}
+
+// TestTakeUnderflowIsExecError: a filter that pushes fewer items than its
+// declared rate makes the parallel engine's batch Take underflow; that must
+// surface as a structured ExecError (op "take"), not a raw slice panic.
+func TestTakeUnderflowIsExecError(t *testing.T) {
+	prog := &ir.Program{Name: "liar", Top: ir.Pipe("main",
+		RampSource("src"),
+		lyingFilter("liar", 2, 1),
+		NullSink("snk", 2),
+	)}
+	g, err := ir.Flatten(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := NewParallel(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = pe.Run(2)
+	if err == nil {
+		t.Fatal("expected a take underflow error")
+	}
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("want *ExecError, got %T: %v", err, err)
+	}
+	if ee.Op != "take" {
+		t.Fatalf("want op %q, got %q (%v)", "take", ee.Op, ee)
+	}
+	if !strings.Contains(ee.Filter, "liar") {
+		t.Fatalf("fault attributed to %q, want the lying filter (%v)", ee.Filter, ee)
+	}
+}
+
+// TestSliceQueueTakeGuard: the direct panic payload of an underflowing
+// Take converts into the same ExecError shape the engines report.
+func TestSliceQueueTakeGuard(t *testing.T) {
+	q := &SliceQueue{}
+	q.Append([]float64{1, 2})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Take(5) on 2 items did not panic")
+		}
+		ee := asExecError("f", 7, r)
+		if ee.Op != "take" || ee.Filter != "f" || ee.Iteration != 7 {
+			t.Fatalf("unexpected error shape: %v", ee)
+		}
+	}()
+	q.Take(5)
+}
+
+// TestSliceQueueCompact: compaction preserves content while resetting the
+// consumed prefix.
+func TestSliceQueueCompact(t *testing.T) {
+	q := &SliceQueue{}
+	q.Append([]float64{1, 2, 3, 4})
+	q.Pop()
+	q.Pop()
+	q.Compact()
+	if q.head != 0 || q.Len() != 2 {
+		t.Fatalf("after compact: head=%d len=%d", q.head, q.Len())
+	}
+	if q.Peek(0) != 3 || q.Peek(1) != 4 {
+		t.Fatalf("compact corrupted content: %v", q.buf)
+	}
+}
+
+// fusedFaultProgram builds src -> fuse(a, b) -> sink and returns the error
+// from running it sequentially.
+func fusedFaultProgram(t *testing.T, a, b *ir.Filter, sinkPop int) error {
+	t.Helper()
+	fused, err := fuse.Pipeline("fault", a, b)
+	if err != nil {
+		t.Fatalf("fusion itself failed: %v", err)
+	}
+	prog := &ir.Program{Name: "ff", Top: ir.Pipe("main",
+		RampSource("src"), fused, NullSink("snk", sinkPop),
+	)}
+	e, err := New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Run(2)
+}
+
+// TestFusedInterTapeUnderflowIsExecError: a pure native producer that
+// pushes fewer items than declared starves the fused intermediate buffer;
+// the consumer's pop must surface as an ExecError naming the fuse tape.
+func TestFusedInterTapeUnderflowIsExecError(t *testing.T) {
+	a := lyingFilter("alie", 2, 1)
+	a.Pure = true
+	kb := wfunc.NewKernel("b", 2, 2, 1)
+	kb.WorkBody(wfunc.Push1(wfunc.AddX(wfunc.PopE(), wfunc.PopE())))
+	b := &ir.Filter{Kernel: kb.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+
+	err := fusedFaultProgram(t, a, b, 1)
+	if err == nil {
+		t.Fatal("expected an intermediate-tape underflow error")
+	}
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("want *ExecError, got %T: %v", err, err)
+	}
+	if !strings.Contains(ee.Err.Error(), "fuse: intermediate") {
+		t.Fatalf("want a fuse intermediate-tape fault, got %v", ee)
+	}
+}
+
+// TestFusedWindowOverreadIsExecError: a pure native producer peeking past
+// its declared window trips the window-tape bound instead of reading
+// items the schedule never guaranteed.
+func TestFusedWindowOverreadIsExecError(t *testing.T) {
+	ka := wfunc.NewKernel("wlie", 1, 1, 1)
+	ka.WorkBody(wfunc.Pop1(), wfunc.Push1(wfunc.C(0)))
+	a := &ir.Filter{
+		Kernel: ka.Build(),
+		In:     ir.TypeFloat,
+		Out:    ir.TypeFloat,
+		Pure:   true,
+		WorkFn: func(in, out wfunc.Tape, state *wfunc.State) {
+			out.Push(in.Peek(10)) // far past the declared 1-item window
+		},
+	}
+	kb := wfunc.NewKernel("b", 1, 1, 1)
+	kb.WorkBody(wfunc.Push1(wfunc.PopE()))
+	b := &ir.Filter{Kernel: kb.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+
+	err := fusedFaultProgram(t, a, b, 1)
+	if err == nil {
+		t.Fatal("expected a window over-read error")
+	}
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("want *ExecError, got %T: %v", err, err)
+	}
+	if !strings.Contains(ee.Err.Error(), "fuse: window") {
+		t.Fatalf("want a fuse window-tape fault, got %v", ee)
+	}
+}

@@ -29,7 +29,7 @@ import (
 // static rates and IL bodies.
 func Pipeline(name string, a, b *ir.Filter) (*ir.Filter, error) {
 	ka, kb := a.Kernel, b.Kernel
-	if b.WorkFn != nil && !pure[b] {
+	if b.WorkFn != nil && !b.Pure {
 		return nil, fmt.Errorf("fuse: native consumers cannot be fused")
 	}
 	if ka.Dynamic || kb.Dynamic {
@@ -125,6 +125,7 @@ func Pipeline(name string, a, b *ir.Filter) (*ir.Filter, error) {
 		// window (no real pops), collecting intermediates.
 		inter.reset()
 		reader.under = in
+		reader.limit = peek
 		for k := 0; k < mF; k++ {
 			reader.base = k * ka.Pop
 			reader.cursor = 0
@@ -141,20 +142,17 @@ func Pipeline(name string, a, b *ir.Filter) (*ir.Filter, error) {
 	}
 
 	fused := &ir.Filter{Kernel: kern, In: a.In, Out: b.Out, WorkFn: workFn}
-	if b.WorkFn != nil && pure[b] || b.WorkFn == nil && !wfunc.WritesFields(kb.Work) {
-		pure[fused] = true
-	}
+	// A fused filter is a pure function of its peek window when every
+	// constituent is stateless; the flag makes it a legal producer (or
+	// native consumer) for further fusion. Stored on the filter itself so
+	// concurrent compiles share nothing and dropped filters are collectable.
+	fused.Pure = b.WorkFn != nil && b.Pure || b.WorkFn == nil && !wfunc.WritesFields(kb.Work)
 	return fused, nil
 }
 
-// pure records fused filters whose behaviour is a pure function of their
-// peek window (every constituent stateless), making them legal producers
-// for further fusion.
-var pure = map[*ir.Filter]bool{}
-
 func pureProducer(f *ir.Filter) bool {
 	if f.WorkFn != nil {
-		return pure[f]
+		return f.Pure
 	}
 	return !wfunc.WritesFields(f.Kernel.Work) && !wfunc.SendsMessages(f.Kernel.Work)
 }
@@ -194,19 +192,32 @@ func lcm(a, b int) int { return a / gcd(a, b) * b }
 
 // windowTape presents a sliding sub-window of an underlying tape: peeks
 // are offset by base+cursor and pops only advance the cursor, never
-// consuming from the underlying tape.
+// consuming from the underlying tape. Reads past limit (the fused peek
+// rate) panic with an error value so the engines' recover path wraps the
+// fault as a structured ExecError instead of a raw index panic.
 type windowTape struct {
 	under  wfunc.Tape
 	base   int
 	cursor int
+	limit  int
 }
 
 // Peek implements wfunc.Tape.
-func (t *windowTape) Peek(i int) float64 { return t.under.Peek(t.base + t.cursor + i) }
+func (t *windowTape) Peek(i int) float64 {
+	idx := t.base + t.cursor + i
+	if i < 0 || idx >= t.limit {
+		panic(fmt.Errorf("fuse: window peek(%d) at offset %d reads past the %d-item peek window", i, idx, t.limit))
+	}
+	return t.under.Peek(idx)
+}
 
 // Pop implements wfunc.Tape.
 func (t *windowTape) Pop() float64 {
-	v := t.under.Peek(t.base + t.cursor)
+	idx := t.base + t.cursor
+	if idx >= t.limit {
+		panic(fmt.Errorf("fuse: window pop at offset %d reads past the %d-item peek window", idx, t.limit))
+	}
+	v := t.under.Peek(idx)
 	t.cursor++
 	return v
 }
@@ -223,10 +234,18 @@ type interTape struct {
 func (t *interTape) reset() { t.buf = t.buf[:0]; t.head = 0 }
 
 // Peek implements wfunc.Tape.
-func (t *interTape) Peek(i int) float64 { return t.buf[t.head+i] }
+func (t *interTape) Peek(i int) float64 {
+	if i < 0 || t.head+i >= len(t.buf) {
+		panic(fmt.Errorf("fuse: intermediate peek(%d) underflows the %d buffered items", i, len(t.buf)-t.head))
+	}
+	return t.buf[t.head+i]
+}
 
 // Pop implements wfunc.Tape.
 func (t *interTape) Pop() float64 {
+	if t.head >= len(t.buf) {
+		panic(fmt.Errorf("fuse: intermediate pop underflows an empty buffer"))
+	}
 	v := t.buf[t.head]
 	t.head++
 	return v

@@ -3,6 +3,7 @@ package fuse
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"streamit/internal/exec"
@@ -58,6 +59,43 @@ func ramp(name string) *ir.Filter {
 		wfunc.SetF(n, wfunc.AddX(n, wfunc.C(1))),
 	)
 	return &ir.Filter{Kernel: b.Build(), In: ir.TypeVoid, Out: ir.TypeFloat}
+}
+
+// TestConcurrentFusion fuses independent pipelines from concurrent
+// goroutines: purity now lives on the fused filters themselves, so
+// parallel compiles must share no mutable state (run under -race).
+func TestConcurrentFusion(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				a := mkStateless("a", 2, 1, 2, 0.5)
+				b := mkStateless("b", 2, 2, 1, 2)
+				c := mkStateful("c", 1, 1, 1)
+				ab, err := Pipeline("ab", a, b)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if !ab.Pure {
+					t.Errorf("worker %d: fused stateless pair not marked pure", w)
+					return
+				}
+				abc, err := Pipeline("abc", ab, c)
+				if err != nil {
+					t.Errorf("worker %d: refusing pure fused producer: %v", w, err)
+					return
+				}
+				if abc.Pure {
+					t.Errorf("worker %d: stateful-consumer fusion marked pure", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 func outputsOf(t *testing.T, mid []ir.Stream, iters int) []float64 {

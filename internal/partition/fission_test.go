@@ -1,0 +1,145 @@
+package partition
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// chainPG builds a synthetic linear PGraph with the given per-node works,
+// bypassing the IR so the fission heuristics can be probed directly.
+func chainPG(works ...int64) *PGraph {
+	p := &PGraph{nodes: map[int]*pnode{}, edges: map[[2]int]int64{}}
+	for i, w := range works {
+		p.nodes[i] = &pnode{id: i, name: fmt.Sprintf("n%d", i), work: w, count: 1}
+		if i > 0 {
+			p.edges[[2]int{i - 1, i}] = 16
+		}
+	}
+	p.nextID = len(works)
+	return p
+}
+
+// replicas counts the fission replicas ("base/fN") of a node.
+func replicas(p *PGraph, base string) int {
+	c := 0
+	for _, n := range p.nodes {
+		if strings.HasPrefix(n.name, base+"/f") {
+			c++
+		}
+	}
+	return c
+}
+
+func TestFissAllOneTileIsIdentity(t *testing.T) {
+	p := chainPG(100000, 100000, 100000)
+	if err := p.fissAll(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.nodes) != 3 {
+		t.Fatalf("fissAll(1) changed the node count: %d", len(p.nodes))
+	}
+	for _, n := range p.nodes {
+		if strings.Contains(n.name, "/f") {
+			t.Fatalf("fissAll(1) created replica %s", n.name)
+		}
+	}
+}
+
+func TestFissAllSkipsZeroAndLightWork(t *testing.T) {
+	// total = 100100; the light node (100) is below the total/(4*tiles)
+	// threshold and the zero-work node is not fissable at all.
+	p := chainPG(0, 100, 100000)
+	if err := p.fissAll(4); err != nil {
+		t.Fatal(err)
+	}
+	if p.nodes[0] == nil || p.nodes[1] == nil {
+		t.Fatal("zero/light-work nodes should survive fissAll unchanged")
+	}
+	if p.nodes[2] != nil {
+		t.Fatal("heavy node should have been replaced by replicas")
+	}
+	if got := replicas(p, "n2"); got != 4 {
+		t.Fatalf("heavy node replicas = %d, want tiles = 4", got)
+	}
+}
+
+func TestFissAllHalvesReplicationForModestWork(t *testing.T) {
+	// 1100 cycles over 8 tiles is 137/replica — under the 256-cycle floor.
+	// The heuristic halves k until each replica carries meaningful work:
+	// k=4 gives 275 >= 256.
+	p := chainPG(1100)
+	if err := p.fissAll(8); err != nil {
+		t.Fatal(err)
+	}
+	if got := replicas(p, "n0"); got != 4 {
+		t.Fatalf("replicas = %d, want k halved 8 -> 4", got)
+	}
+	for _, n := range p.nodes {
+		if n.work != 1100/4 {
+			t.Fatalf("replica %s work = %d, want %d", n.name, n.work, 1100/4)
+		}
+	}
+}
+
+func TestFissAllKeepsTinyWorkWhole(t *testing.T) {
+	// 300 cycles passes the share threshold (it is the whole graph) but
+	// halving lands at k=1 (300/2 = 150 < 256): no fission at all.
+	p := chainPG(300)
+	if err := p.fissAll(8); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.nodes) != 1 || p.nodes[0] == nil {
+		t.Fatalf("tiny node should stay whole, nodes = %d", len(p.nodes))
+	}
+}
+
+func TestFissionPlanScaleMatchesReplicas(t *testing.T) {
+	const tiles = 4
+	p := statelessChain(t)
+	for _, strat := range []Strategy{StratFineData, StratCoarseData} {
+		plan, err := p.Map(strat, tiles)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if plan.Scale != 8*tiles {
+			t.Fatalf("%s: Scale = %d, want %d", strat, plan.Scale, 8*tiles)
+		}
+		// Every fission group in the emitted graph holds at most tiles
+		// replicas, and replica indices never reach the tile count.
+		groups := map[string]int{}
+		for _, n := range plan.Graph.Nodes {
+			base, idx, ok := strings.Cut(n.Name, "/f")
+			if !ok {
+				continue
+			}
+			groups[base]++
+			var r int
+			fmt.Sscanf(idx, "%d", &r)
+			if r >= tiles {
+				t.Fatalf("%s: replica index %s out of range", strat, n.Name)
+			}
+		}
+		if len(groups) == 0 {
+			t.Fatalf("%s: no fission replicas emitted for stateless chain", strat)
+		}
+		for base, k := range groups {
+			if k > tiles {
+				t.Fatalf("%s: %s has %d replicas, more than %d tiles", strat, base, k, tiles)
+			}
+		}
+	}
+	// Task parallelism never fisses and therefore reports no scaling.
+	plan, err := p.Map(StratTask, tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Scale != 0 {
+		t.Fatalf("task plan Scale = %d, want 0", plan.Scale)
+	}
+	for _, n := range plan.Graph.Nodes {
+		if strings.Contains(n.Name, "/f") {
+			t.Fatalf("task plan emitted replica %s", n.Name)
+		}
+	}
+}
