@@ -237,3 +237,36 @@ func BenchmarkMappedSpeedup(b *testing.B) {
 	}
 	b.ReportMetric(mean, "x-geomean-mapped")
 }
+
+// BenchmarkMappedRecovery measures the fault-tolerance costs of the mapped
+// engine: steady-state throughput with and without per-iteration
+// coordinated checkpoints, the checkpoint image size, and the wall time of
+// a run that crashes a worker mid-way and recovers onto the survivors.
+// With STREAMIT_BENCH_JSON=dir, a streamit-bench/v1 snapshot lands in
+// dir/BENCH_mapped_recovery.json.
+func BenchmarkMappedRecovery(b *testing.B) {
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	prevProcs := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prevProcs)
+	prevDir := bench.JSONDir
+	bench.JSONDir = os.Getenv("STREAMIT_BENCH_JSON")
+	defer func() { bench.JSONDir = prevDir }()
+
+	var res *bench.RecoveryResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.RecoveryBench(workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bench.WriteRecoverySnapshot(res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.OverheadPct, "%ckpt-overhead")
+	b.ReportMetric(float64(res.ImageBytes), "ckpt-bytes")
+	b.ReportMetric(res.RecoveryMS, "ms-crash-recover")
+}

@@ -53,7 +53,7 @@ func validate(glob string) error {
 }
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, benchchar, main, finegrain, softpipe, thruput, vsspace, linear, teleport, scaling, commablation, freqblocks, vm, mapped")
+	table := flag.String("table", "all", "table to print: all, benchchar, main, finegrain, softpipe, thruput, vsspace, linear, teleport, scaling, commablation, freqblocks, vm, mapped, recovery")
 	dur := flag.Duration("dur", 150*time.Millisecond, "measurement window per configuration for the execution benchmarks")
 	jsonDir := flag.String("json", ".", "directory for BENCH_<app>.json snapshots (empty: do not write snapshots)")
 	check := flag.String("validate", "", "validate BENCH_*.json files matching this glob and exit")
@@ -99,6 +99,8 @@ func main() {
 		err = bench.PrintVM(os.Stdout)
 	case "mapped":
 		err = bench.PrintMapped(os.Stdout)
+	case "recovery":
+		err = bench.PrintRecovery(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)

@@ -24,13 +24,23 @@
 // Robustness controls:
 //
 //	-faults "panic:Filter@100;rand:3@42"   inject deterministic faults
+//	-faults "crash:worker1@200"            crash a mapped worker mid-run (also stall:workerN, slow:workerN)
 //	-on-error "retry;Filter=skip"          per-filter recovery policies
 //	-watchdog 2s                           stall-detection interval (-1s disables)
 //	-checkpoint st.ckpt -checkpoint-after 500   stop at iteration 500, save state
 //	-resume st.ckpt                        restore and finish the remaining iterations
+//	-checkpoint-every 100                  with -map: coordinated checkpoint cadence
+//	-queue-depth 2                         with -map: cross-worker channel capacity (batches)
 //
 // Checkpoints are engine-state images taken at iteration boundaries; a
 // resumed run is bit-identical to an uninterrupted one, on either backend.
+// They work on the sequential engine and the host-mapped engine (-map) —
+// the two share one image format over the same graph, so a mapped
+// checkpoint even restores into a sequential run of the mapped graph. On
+// -map, a worker crash (injected with crash:workerN@iter) rolls back to
+// the last coordinated checkpoint, re-plans the partitions onto the
+// surviving workers, and resumes — degradation shows in the supervision
+// report.
 //
 // Observability (internal/obs):
 //
@@ -46,13 +56,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"time"
 
 	"streamit/internal/core"
-	"streamit/internal/exec"
 	"streamit/internal/faults"
 	"streamit/internal/linear"
 	"streamit/internal/machine"
@@ -93,12 +103,14 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace JSON of the execution to this file (runtime engines or, with -strategy, the simulated machine)")
 	profile := flag.Bool("profile", false, "print the per-filter profile table after the run")
 	backendName := flag.String("backend", "vm", "work-function backend: vm (bytecode) or interp (tree-walking)")
-	faultSpec := flag.String("faults", "", "inject faults: 'kind:filter@firing' (kind: panic, stall, corrupt) or 'rand:N@seed', ';'-separated")
+	faultSpec := flag.String("faults", "", "inject faults: 'kind:filter@firing' (kind: panic, stall, corrupt), 'kind:workerN@iter' (kind: crash, stall, slow; -map only), or 'rand:N@seed', ';'-separated")
 	onError := flag.String("on-error", "", "recovery policies: 'policy' or 'filter=policy' (fail, retry[:n[:backoff]], skip, restart), ','-separated")
 	watchdog := flag.Duration("watchdog", 0, "no-progress window before the parallel/dynamic engines abort with a deadlock report (0 = default, negative = off)")
-	ckptPath := flag.String("checkpoint", "", "write an engine checkpoint to this file (sequential engine only)")
+	ckptPath := flag.String("checkpoint", "", "write an engine checkpoint to this file (sequential and -map engines)")
 	ckptAfter := flag.Int("checkpoint-after", 0, "with -checkpoint: stop and save after this many steady iterations")
-	resumePath := flag.String("resume", "", "restore a checkpoint written by -checkpoint and run the remaining iterations (sequential engine only)")
+	resumePath := flag.String("resume", "", "restore a checkpoint written by -checkpoint and run the remaining iterations (sequential and -map engines)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "with -map: take a coordinated checkpoint every N steady iterations (0 = only when worker faults are scheduled)")
+	queueDepth := flag.Int("queue-depth", 0, "with -map: cross-worker channel capacity in batches (0 = default)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -129,8 +141,8 @@ func main() {
 		runOpts.OnError = pols
 	}
 	useCkpt := *ckptPath != "" || *resumePath != ""
-	if useCkpt && (*parallel || *dynamic || *strategy != "" || *mapStrat != "") {
-		fatal(fmt.Errorf("-checkpoint/-resume require the sequential engine"))
+	if useCkpt && (*parallel || *dynamic || *strategy != "") {
+		fatal(fmt.Errorf("-checkpoint/-resume support the sequential and -map engines"))
 	}
 	if *ckptPath != "" && *ckptAfter <= 0 {
 		fatal(fmt.Errorf("-checkpoint needs -checkpoint-after N (N > 0)"))
@@ -197,15 +209,46 @@ func main() {
 			}
 			runOpts.MapStrategy = partition.Strategy(*mapStrat)
 			runOpts.Workers = *workers
+			runOpts.QueueDepth = *queueDepth
+			runOpts.CheckpointEvery = *ckptEvery
 		}
 		r, err := c.Runner(kind, runOpts)
 		if err != nil {
 			fatal(err)
 		}
 		start := time.Now()
-		if err := r.Run(*iters); err != nil {
+		switch {
+		case *resumePath != "":
+			img, err := os.ReadFile(*resumePath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := asCheckpointer(r).RunFromCheckpoint(img, *iters); err != nil {
+				report(r.SupervisionReport(), len(r.Degraded()) > 0)
+				fatal(err)
+			}
+			fmt.Printf("resumed from %s and finished at iteration %d\n", *resumePath, *iters)
+		case *ckptPath != "":
+			if *ckptAfter > *iters {
+				fatal(fmt.Errorf("-checkpoint-after %d exceeds -iters %d", *ckptAfter, *iters))
+			}
+			if err := r.Run(*ckptAfter); err != nil {
+				report(r.SupervisionReport(), len(r.Degraded()) > 0)
+				fatal(err)
+			}
+			if err := writeCheckpoint(asCheckpointer(r), *ckptPath, int64(*ckptAfter)); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("checkpoint written to %s at iteration %d (resume with -resume %s -iters %d)\n",
+				*ckptPath, *ckptAfter, *ckptPath, *iters)
 			report(r.SupervisionReport(), len(r.Degraded()) > 0)
-			fatal(err)
+			finishObs(r, runOpts.TracePath)
+			return
+		default:
+			if err := r.Run(*iters); err != nil {
+				report(r.SupervisionReport(), len(r.Degraded()) > 0)
+				fatal(err)
+			}
 		}
 		dur := time.Since(start)
 		fmt.Printf("ran %d steady-state iterations on the %s backend in %v\n", *iters, label, dur.Round(time.Microsecond))
@@ -260,9 +303,27 @@ func main() {
 	finishObs(e, runOpts.TracePath)
 }
 
+// checkpointer is the checkpoint surface the sequential and mapped
+// engines share: one image format, interchangeable over the same graph.
+type checkpointer interface {
+	WriteCheckpoint(w io.Writer, iteration int64) error
+	RunFromCheckpoint(data []byte, total int) error
+}
+
+// asCheckpointer narrows a Runner to its checkpoint surface. The mapped
+// engine and the sequential engine (including the feedback/teleport
+// fallback path) both implement it; the others are rejected before this.
+func asCheckpointer(r core.Runner) checkpointer {
+	ck, ok := r.(checkpointer)
+	if !ok {
+		fatal(fmt.Errorf("engine %T does not support checkpoints", r))
+	}
+	return ck
+}
+
 // writeCheckpoint saves the engine image atomically enough for a CLI: a
 // temp file in the same directory, then rename.
-func writeCheckpoint(e *exec.Engine, path string, iteration int64) error {
+func writeCheckpoint(e checkpointer, path string, iteration int64) error {
 	f, err := os.CreateTemp(filepath.Dir(path), ".streamit-ckpt-*")
 	if err != nil {
 		return err

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"streamit/internal/apps"
+	"streamit/internal/exec"
+	"streamit/internal/faults"
+	"streamit/internal/ir"
+	"streamit/internal/obs"
+	"streamit/internal/partition"
+	"streamit/internal/sched"
+)
+
+// RecoveryResult reports the fault-tolerance costs of the mapped engine on
+// one app: clean throughput, throughput with a coordinated checkpoint
+// every steady iteration (the steady-state overhead crash recovery pays
+// for), the checkpoint image size, and the wall time of a run that
+// crashes a worker mid-way, rolls back, re-plans onto the survivors, and
+// finishes.
+type RecoveryResult struct {
+	App            string
+	Workers        int
+	CleanRate      float64 // sink items/sec, no supervision
+	CheckpointRate float64 // sink items/sec with CheckpointEvery=1
+	OverheadPct    float64 // (clean - checkpoint) / clean * 100
+	ImageBytes     int     // coordinated checkpoint image size
+	RecoveryMS     float64 // wall ms of the crash-and-recover run
+	RecoveryIters  int     // iterations of that run
+}
+
+// recoveryTopology builds the fixed app the recovery benchmark measures
+// (FMRadio under the task+data rewrite — a mid-sized pipeline whose
+// rewritten graph spans every worker).
+func recoveryTopology(workers int) (*ir.Graph, *sched.Schedule, []int, int, error) {
+	prog := apps.FMRadio(4, 16)
+	g, err := ir.Flatten(prog)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	s, err := sched.Compute(g)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	plan, err := partition.BuildExecPlan(prog, g, s, partition.ExecPlanOptions{Strategy: partition.StratCoarseData, Workers: workers})
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	g2, err := ir.Flatten(plan.Program)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	s2, err := sched.Compute(g2)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	return g2, s2, plan.Assign(g2, s2), plan.Workers, nil
+}
+
+// RecoveryBench measures checkpoint overhead and crash-recovery cost of
+// the mapped engine with workers worker cores (minimum 2, so a crash
+// leaves survivors; 0 selects GOMAXPROCS).
+func RecoveryBench(workers int) (*RecoveryResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 2 {
+		workers = 2
+	}
+	g2, s2, assign, planned, err := recoveryTopology(workers)
+	if err != nil {
+		return nil, err
+	}
+	r := &RecoveryResult{App: "FMRadio", Workers: planned}
+	per := sinkItems(g2, s2)
+
+	clean, err := exec.NewMappedOpts(g2, s2, assign, planned, exec.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if r.CleanRate, err = sinkRate(clean.Run, per, MeasureDur); err != nil {
+		return nil, err
+	}
+
+	ckpt, err := exec.NewMappedOpts(g2, s2, assign, planned, exec.Options{CheckpointEvery: 1})
+	if err != nil {
+		return nil, err
+	}
+	if r.CheckpointRate, err = sinkRate(ckpt.Run, per, MeasureDur); err != nil {
+		return nil, err
+	}
+	if r.CleanRate > 0 {
+		r.OverheadPct = (r.CleanRate - r.CheckpointRate) / r.CleanRate * 100
+	}
+	var buf bytes.Buffer
+	if err := ckpt.WriteCheckpoint(&buf, 0); err != nil {
+		return nil, err
+	}
+	r.ImageBytes = buf.Len()
+
+	// Crash-and-recover wall time: a worker dies at the run's midpoint, the
+	// engine rolls back to the last per-iteration checkpoint, re-plans onto
+	// the survivors, and finishes degraded.
+	const iters = 64
+	plan, err := faults.ParsePlan(fmt.Sprintf("crash:worker1@%d", iters/2))
+	if err != nil {
+		return nil, err
+	}
+	crashed, err := exec.NewMappedOpts(g2, s2, assign, planned, exec.Options{Faults: plan, CheckpointEvery: 1})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := crashed.Run(iters); err != nil {
+		return nil, fmt.Errorf("crash-recovery run: %w", err)
+	}
+	r.RecoveryMS = float64(time.Since(start).Microseconds()) / 1000
+	r.RecoveryIters = iters
+	return r, nil
+}
+
+// WriteRecoverySnapshot persists the measurements as
+// BENCH_mapped_recovery.json (streamit-bench/v1).
+func WriteRecoverySnapshot(r *RecoveryResult) error {
+	if JSONDir == "" {
+		return nil
+	}
+	b := obs.NewBench("mapped_recovery")
+	b.Set("workers", float64(r.Workers), "cores")
+	b.Set("clean_items_per_sec", r.CleanRate, "items/s")
+	b.Set("checkpoint_items_per_sec", r.CheckpointRate, "items/s")
+	b.Set("checkpoint_overhead_pct", r.OverheadPct, "%")
+	b.Set("checkpoint_bytes", float64(r.ImageBytes), "bytes")
+	b.Set("crash_recovery_run_ms", r.RecoveryMS, "ms")
+	_, err := b.WriteFile(JSONDir)
+	return err
+}
+
+// PrintRecovery renders the fault-tolerance cost table: checkpoint
+// overhead and crash-recovery wall time of the mapped engine.
+func PrintRecovery(w io.Writer) error {
+	r, err := RecoveryBench(runtime.GOMAXPROCS(0))
+	if err != nil {
+		return err
+	}
+	if err := WriteRecoverySnapshot(r); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table recovery: mapped-engine fault tolerance (%s, %d workers)\n", r.App, r.Workers)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Metric\tValue")
+	fmt.Fprintf(tw, "clean throughput\t%.0f items/s\n", r.CleanRate)
+	fmt.Fprintf(tw, "with per-iteration checkpoints\t%.0f items/s\n", r.CheckpointRate)
+	fmt.Fprintf(tw, "checkpoint overhead\t%.1f%%\n", r.OverheadPct)
+	fmt.Fprintf(tw, "checkpoint image\t%d bytes\n", r.ImageBytes)
+	fmt.Fprintf(tw, "crash-and-recover run (%d iters)\t%.1f ms\n", r.RecoveryIters, r.RecoveryMS)
+	return tw.Flush()
+}

@@ -77,6 +77,15 @@ type RunOptions struct {
 	// into the mapped rewrite and worker assignment in place of the static
 	// IL estimates.
 	MeasuredWorkNS map[string]int64
+	// QueueDepth bounds the mapped engine's cross-worker channels, in
+	// batches (0 selects exec.DefaultQueueDepth). The backpressure bound:
+	// a producer runs at most QueueDepth iterations ahead of a consumer.
+	QueueDepth int
+	// CheckpointEvery makes the mapped engine take a coordinated
+	// checkpoint every N steady iterations — the rollback target for
+	// worker-crash recovery. 0 checkpoints only when a worker fault is
+	// scheduled (then every iteration).
+	CheckpointEvery int
 	// Log receives driver notes (engine fallbacks and the like). Nil logs
 	// through the standard logger.
 	Log func(format string, args ...any)
@@ -93,11 +102,13 @@ func (o RunOptions) logf(format string, args ...any) {
 // execOptions lowers driver-level run options to the engine layer.
 func (o RunOptions) execOptions() exec.Options {
 	opts := exec.Options{
-		Backend:  o.Backend,
-		Faults:   o.Faults,
-		OnError:  o.OnError,
-		Watchdog: o.Watchdog,
-		Profile:  o.Profile,
+		Backend:         o.Backend,
+		Faults:          o.Faults,
+		OnError:         o.OnError,
+		Watchdog:        o.Watchdog,
+		Profile:         o.Profile,
+		QueueDepth:      o.QueueDepth,
+		CheckpointEvery: o.CheckpointEvery,
 	}
 	if o.TracePath != "" {
 		opts.Trace = obs.NewRecorder()
@@ -220,7 +231,16 @@ func (c *Compiled) MappedEngineOpts(opts RunOptions) (*exec.MappedEngine, error)
 	if err != nil {
 		return nil, fmt.Errorf("core: scheduling mapped rewrite: %w", err)
 	}
-	return exec.NewMappedOpts(g2, s2, plan.Assign(g2, s2), plan.Workers, opts.execOptions())
+	me, err := exec.NewMappedOpts(g2, s2, plan.Assign(g2, s2), plan.Workers, opts.execOptions())
+	if err != nil {
+		return nil, err
+	}
+	// Crash recovery re-packs the same rewritten graph onto the surviving
+	// workers; the rewrite itself is never redone (its fission factor — and
+	// with it the graph and checkpoint fingerprint — depends on the worker
+	// count, so recovery must only re-assign).
+	me.Replan = func(workers int) []int { return plan.AssignN(g2, s2, workers) }
+	return me, nil
 }
 
 // EngineKind names an execution engine family for Runner.

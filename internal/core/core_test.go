@@ -340,3 +340,43 @@ func sinkPopped(t *testing.T, c *Compiled, kind EngineKind, iters int) int64 {
 	}
 	return popped
 }
+
+// TestMappedCrashRecoveryDriver: a worker-crash fault plan threaded
+// through the driver completes on the surviving workers, with the crash
+// visible in the degradation stats and the supervision report. (Bit-exact
+// recovery is asserted at the exec layer; here we prove the driver wires
+// CheckpointEvery, worker faults, and the re-planning hook together.)
+func TestMappedCrashRecoveryDriver(t *testing.T) {
+	c, err := Compile(apps.FMRadio(4, 16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := faults.ParsePlan("crash:worker1@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run(EngineMapped, 6, RunOptions{
+		Workers: 3, MapStrategy: partition.StratCoarseData,
+		Faults: plan, CheckpointEvery: 1, QueueDepth: 2,
+	})
+	if err != nil {
+		t.Fatalf("mapped run did not recover from the worker crash: %v", err)
+	}
+	me, ok := r.(*exec.MappedEngine)
+	if !ok {
+		t.Fatalf("runner is %T, want *exec.MappedEngine", r)
+	}
+	if me.Workers != 2 {
+		t.Errorf("engine degraded to %d workers, want 2", me.Workers)
+	}
+	if me.Replan == nil {
+		t.Error("driver did not install the partition re-planning hook")
+	}
+	st := me.Degraded()["worker1"]
+	if st.Injected != 1 || st.Crashes != 1 {
+		t.Errorf("worker1 stats = %+v, want 1 injection and 1 crash", st)
+	}
+	if rep := me.SupervisionReport(); !strings.Contains(rep, "crashes=1") {
+		t.Errorf("supervision report does not count the crash:\n%s", rep)
+	}
+}

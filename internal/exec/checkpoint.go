@@ -6,15 +6,21 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+
+	"streamit/internal/ir"
+	"streamit/internal/sched"
+	"streamit/internal/wfunc"
 )
 
-// Checkpoint format: a self-describing binary image of the engine's
+// Checkpoint format: a self-describing binary image of an engine's
 // complete execution state, written at an iteration boundary and restored
 // into a freshly constructed engine over the same program. The image holds
 // only semantic state — tape contents and counters, filter fields, firing
-// counts, pending teleport messages — never backend artifacts, so a
-// checkpoint taken under the VM restores under the interpreter and vice
-// versa, bit-identically.
+// counts, pending teleport messages — never backend artifacts or worker
+// topology, so a checkpoint taken under the VM restores under the
+// interpreter and vice versa, and a mapped-engine image taken over a
+// rewritten graph restores into any engine over that same graph,
+// bit-identically.
 //
 // Layout (little-endian):
 //
@@ -27,19 +33,20 @@ import (
 //	    u32 handler len, bytes, u32 arg count, f64 args...,
 //	    i64 target, u8 upstream, u8 bestEffort
 //
-// Every count is validated against the engine's graph before allocation,
-// so corrupt or truncated images produce errors, never panics or huge
+// Every count is validated against the remaining data before allocation,
+// and shapes are re-validated against the engine's graph at apply time, so
+// corrupt or truncated images produce errors, never panics or huge
 // allocations.
 const (
 	checkpointMagic   = "STRMCKPT"
 	checkpointVersion = 1
 )
 
-// Fingerprint hashes the graph and schedule structure (FNV-1a). A
+// graphFingerprint hashes a graph and schedule structure (FNV-1a). A
 // checkpoint only restores into an engine whose fingerprint matches, which
-// catches restoring against a different program, different flattening, or
-// different schedule.
-func (e *Engine) Fingerprint() uint64 {
+// catches restoring against a different program, different flattening,
+// different mapped rewrite, or different schedule.
+func graphFingerprint(g *ir.Graph, s *sched.Schedule) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	wi := func(v int64) {
@@ -50,8 +57,8 @@ func (e *Engine) Fingerprint() uint64 {
 		wi(int64(len(s)))
 		io.WriteString(h, s)
 	}
-	wi(int64(len(e.G.Nodes)))
-	for _, n := range e.G.Nodes {
+	wi(int64(len(g.Nodes)))
+	for _, n := range g.Nodes {
 		ws(n.Name)
 		wi(int64(n.Kind))
 		wi(int64(len(n.In)))
@@ -59,16 +66,39 @@ func (e *Engine) Fingerprint() uint64 {
 		for _, w := range n.SJ.Weights {
 			wi(int64(w))
 		}
-		wi(int64(e.Sch.Reps[n.ID]))
+		wi(int64(s.Reps[n.ID]))
 	}
-	wi(int64(len(e.G.Edges)))
-	for _, edge := range e.G.Edges {
+	wi(int64(len(g.Edges)))
+	for _, edge := range g.Edges {
 		wi(int64(edge.Src.ID))
 		wi(int64(edge.SrcPort))
 		wi(int64(edge.Dst.ID))
 		wi(int64(edge.DstPort))
 	}
 	return h.Sum64()
+}
+
+// Fingerprint hashes the engine's graph and schedule structure.
+func (e *Engine) Fingerprint() uint64 { return graphFingerprint(e.G, e.Sch) }
+
+// ckptImage is the engine-neutral decoded form of a checkpoint: what any
+// engine over the fingerprinted graph needs to resume.
+type ckptImage struct {
+	iteration int64
+	firings   int64
+	nodes     []ckptNode
+	edges     []ckptEdge
+	pending   [][]*message // per node; empty for engines without messaging
+}
+
+type ckptNode struct {
+	fired int64
+	state *wfunc.State // nil for stateless nodes
+}
+
+type ckptEdge struct {
+	pushed, popped int64
+	items          []float64
 }
 
 // ckptWriter accumulates the image, latching the first write error.
@@ -112,40 +142,35 @@ func (c *ckptWriter) str(s string) {
 	c.bytes([]byte(s))
 }
 
-// WriteCheckpoint serializes the engine's execution state. iteration is
-// the caller's steady-state position (how many iterations have run), so a
-// resuming process knows how many remain.
-func (e *Engine) WriteCheckpoint(w io.Writer, iteration int64) error {
+// writeImage serializes an image under the given graph fingerprint.
+func writeImage(w io.Writer, fp uint64, img *ckptImage) error {
 	c := &ckptWriter{w: w}
 	c.bytes([]byte(checkpointMagic))
 	c.u32(checkpointVersion)
-	c.u64(e.Fingerprint())
-	c.i64(iteration)
-	c.i64(e.Firings)
-	c.u32(uint32(len(e.nodes)))
-	for _, rt := range e.nodes {
-		c.i64(rt.fired)
-		if rt.state == nil {
+	c.u64(fp)
+	c.i64(img.iteration)
+	c.i64(img.firings)
+	c.u32(uint32(len(img.nodes)))
+	for _, n := range img.nodes {
+		c.i64(n.fired)
+		if n.state == nil {
 			c.u8(0)
 			continue
 		}
 		c.u8(1)
-		c.floats(rt.state.Scalars)
-		c.u32(uint32(len(rt.state.Arrays)))
-		for _, a := range rt.state.Arrays {
+		c.floats(n.state.Scalars)
+		c.u32(uint32(len(n.state.Arrays)))
+		for _, a := range n.state.Arrays {
 			c.floats(a)
 		}
 	}
-	c.u32(uint32(len(e.chans)))
-	for _, ch := range e.chans {
-		c.i64(ch.pushed)
-		c.i64(ch.popped)
-		c.u32(uint32(ch.Len()))
-		for i := 0; i < ch.Len(); i++ {
-			c.f64(ch.Peek(i))
-		}
+	c.u32(uint32(len(img.edges)))
+	for _, e := range img.edges {
+		c.i64(e.pushed)
+		c.i64(e.popped)
+		c.floats(e.items)
 	}
-	for _, msgs := range e.pending {
+	for _, msgs := range img.pending {
 		c.u32(uint32(len(msgs)))
 		for _, m := range msgs {
 			c.str(m.handler)
@@ -247,171 +272,221 @@ func (c *ckptReader) floats(what string) ([]float64, error) {
 	return out, nil
 }
 
-// RestoreCheckpoint loads a checkpoint image into an engine constructed
-// over the same program and schedule, replacing its entire execution
-// state. It returns the iteration recorded at checkpoint time. The engine
-// must be freshly constructed or otherwise disposable: on error the
-// engine's state is unspecified and it must not be run.
-func (e *Engine) RestoreCheckpoint(data []byte) (int64, error) {
+// readImage decodes and validates a checkpoint against the expected graph
+// fingerprint. Structural invariants (edge counters vs. buffered items,
+// flag ranges, no trailing bytes) are enforced here; graph-shape checks
+// (node/edge counts, state field sizes) happen when an engine applies the
+// image, since only the engine knows its graph.
+func readImage(data []byte, wantFP uint64) (*ckptImage, error) {
 	c := &ckptReader{data: data}
 	magic, err := c.take(len(checkpointMagic))
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if string(magic) != checkpointMagic {
-		return 0, fmt.Errorf("exec: not a checkpoint image (bad magic)")
+		return nil, fmt.Errorf("exec: not a checkpoint image (bad magic)")
 	}
 	version, err := c.u32()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if version != checkpointVersion {
-		return 0, fmt.Errorf("exec: checkpoint version %d not supported (want %d)", version, checkpointVersion)
+		return nil, fmt.Errorf("exec: checkpoint version %d not supported (want %d)", version, checkpointVersion)
 	}
 	fp, err := c.u64()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	if want := e.Fingerprint(); fp != want {
-		return 0, fmt.Errorf("exec: checkpoint fingerprint %016x does not match this program (%016x); was it taken from a different graph or schedule?", fp, want)
+	if fp != wantFP {
+		return nil, fmt.Errorf("exec: checkpoint fingerprint %016x does not match this program (%016x); was it taken from a different graph or schedule?", fp, wantFP)
 	}
-	iteration, err := c.i64()
+	img := &ckptImage{}
+	if img.iteration, err = c.i64(); err != nil {
+		return nil, err
+	}
+	if img.firings, err = c.i64(); err != nil {
+		return nil, err
+	}
+	numNodes, err := c.count(9, "node") // i64 fired + u8 hasState minimum
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	firings, err := c.i64()
-	if err != nil {
-		return 0, err
-	}
-	numNodes, err := c.u32()
-	if err != nil {
-		return 0, err
-	}
-	if int(numNodes) != len(e.nodes) {
-		return 0, fmt.Errorf("exec: checkpoint has %d nodes, engine has %d", numNodes, len(e.nodes))
-	}
-	for _, rt := range e.nodes {
-		if rt.fired, err = c.i64(); err != nil {
-			return 0, err
+	img.nodes = make([]ckptNode, numNodes)
+	for i := range img.nodes {
+		n := &img.nodes[i]
+		if n.fired, err = c.i64(); err != nil {
+			return nil, err
 		}
 		hasState, err := c.u8()
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		if hasState > 1 {
-			return 0, fmt.Errorf("exec: checkpoint state flag %d out of range on node %s", hasState, rt.node.Name)
-		}
-		if (hasState == 1) != (rt.state != nil) {
-			return 0, fmt.Errorf("exec: checkpoint state presence mismatch on node %s", rt.node.Name)
+			return nil, fmt.Errorf("exec: checkpoint state flag %d out of range on node %d", hasState, i)
 		}
 		if hasState == 0 {
 			continue
 		}
 		scalars, err := c.floats("scalar")
 		if err != nil {
-			return 0, err
-		}
-		if len(scalars) != len(rt.state.Scalars) {
-			return 0, fmt.Errorf("exec: node %s has %d scalar fields, checkpoint has %d", rt.node.Name, len(rt.state.Scalars), len(scalars))
+			return nil, err
 		}
 		numArrays, err := c.count(4, "array")
 		if err != nil {
-			return 0, err
-		}
-		if numArrays != len(rt.state.Arrays) {
-			return 0, fmt.Errorf("exec: node %s has %d array fields, checkpoint has %d", rt.node.Name, len(rt.state.Arrays), numArrays)
+			return nil, err
 		}
 		arrays := make([][]float64, numArrays)
-		for i := range arrays {
-			if arrays[i], err = c.floats("array data"); err != nil {
-				return 0, err
-			}
-			if len(arrays[i]) != len(rt.state.Arrays[i]) {
-				return 0, fmt.Errorf("exec: node %s array field %d has size %d, checkpoint has %d", rt.node.Name, i, len(rt.state.Arrays[i]), len(arrays[i]))
+		for k := range arrays {
+			if arrays[k], err = c.floats("array data"); err != nil {
+				return nil, err
 			}
 		}
-		rt.state.Scalars = scalars
-		rt.state.Arrays = arrays
-		if rt.runner != nil {
-			rt.runner.setState(rt.state)
-		}
+		n.state = &wfunc.State{Scalars: scalars, Arrays: arrays}
 	}
-	numEdges, err := c.u32()
+	numEdges, err := c.count(20, "edge") // i64+i64+u32 minimum
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	if int(numEdges) != len(e.chans) {
-		return 0, fmt.Errorf("exec: checkpoint has %d edges, engine has %d", numEdges, len(e.chans))
+	img.edges = make([]ckptEdge, numEdges)
+	for i := range img.edges {
+		e := &img.edges[i]
+		if e.pushed, err = c.i64(); err != nil {
+			return nil, err
+		}
+		if e.popped, err = c.i64(); err != nil {
+			return nil, err
+		}
+		if e.items, err = c.floats("channel item"); err != nil {
+			return nil, err
+		}
+		if e.pushed-e.popped != int64(len(e.items)) {
+			return nil, fmt.Errorf("exec: checkpoint edge %d counters (pushed %d, popped %d) disagree with %d buffered items", i, e.pushed, e.popped, len(e.items))
+		}
 	}
-	for i := range e.chans {
-		pushed, err := c.i64()
-		if err != nil {
-			return 0, err
-		}
-		popped, err := c.i64()
-		if err != nil {
-			return 0, err
-		}
-		items, err := c.floats("channel item")
-		if err != nil {
-			return 0, err
-		}
-		if pushed-popped != int64(len(items)) {
-			return 0, fmt.Errorf("exec: checkpoint edge %d counters (pushed %d, popped %d) disagree with %d buffered items", i, pushed, popped, len(items))
-		}
-		ch := newChannel(len(items))
-		for _, v := range items {
-			ch.Push(v)
-		}
-		ch.pushed = pushed
-		ch.popped = popped
-		e.chans[i] = ch
-	}
-	for i := range e.pending {
+	img.pending = make([][]*message, numNodes)
+	for i := range img.pending {
 		numMsgs, err := c.count(1, "message")
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		e.pending[i] = nil
 		for k := 0; k < numMsgs; k++ {
 			nameLen, err := c.count(1, "handler name")
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			name, err := c.take(nameLen)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			args, err := c.floats("message arg")
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			target, err := c.i64()
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			up, err := c.u8()
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			be, err := c.u8()
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			if up > 1 || be > 1 {
-				return 0, fmt.Errorf("exec: checkpoint message flags out of range")
+				return nil, fmt.Errorf("exec: checkpoint message flags out of range")
 			}
-			e.pending[i] = append(e.pending[i], &message{
+			img.pending[i] = append(img.pending[i], &message{
 				handler: string(name), args: args, target: target,
 				upstream: up == 1, bestEffort: be == 1,
 			})
 		}
 	}
 	if c.remaining() != 0 {
-		return 0, fmt.Errorf("exec: %d trailing bytes after checkpoint image", c.remaining())
+		return nil, fmt.Errorf("exec: %d trailing bytes after checkpoint image", c.remaining())
 	}
-	e.Firings = firings
-	return iteration, nil
+	return img, nil
+}
+
+// WriteCheckpoint serializes the engine's execution state. iteration is
+// the caller's steady-state position (how many iterations have run), so a
+// resuming process knows how many remain.
+func (e *Engine) WriteCheckpoint(w io.Writer, iteration int64) error {
+	img := &ckptImage{
+		iteration: iteration,
+		firings:   e.Firings,
+		nodes:     make([]ckptNode, len(e.nodes)),
+		edges:     make([]ckptEdge, len(e.chans)),
+		pending:   e.pending,
+	}
+	for i, rt := range e.nodes {
+		img.nodes[i] = ckptNode{fired: rt.fired, state: rt.state}
+	}
+	for i, ch := range e.chans {
+		items := make([]float64, ch.Len())
+		for k := range items {
+			items[k] = ch.Peek(k)
+		}
+		img.edges[i] = ckptEdge{pushed: ch.pushed, popped: ch.popped, items: items}
+	}
+	return writeImage(w, e.Fingerprint(), img)
+}
+
+// RestoreCheckpoint loads a checkpoint image into an engine constructed
+// over the same program and schedule, replacing its entire execution
+// state. It returns the iteration recorded at checkpoint time. The engine
+// must be freshly constructed or otherwise disposable: on error the
+// engine's state is unspecified and it must not be run.
+func (e *Engine) RestoreCheckpoint(data []byte) (int64, error) {
+	img, err := readImage(data, e.Fingerprint())
+	if err != nil {
+		return 0, err
+	}
+	if len(img.nodes) != len(e.nodes) {
+		return 0, fmt.Errorf("exec: checkpoint has %d nodes, engine has %d", len(img.nodes), len(e.nodes))
+	}
+	if len(img.edges) != len(e.chans) {
+		return 0, fmt.Errorf("exec: checkpoint has %d edges, engine has %d", len(img.edges), len(e.chans))
+	}
+	for i, rt := range e.nodes {
+		in := img.nodes[i]
+		rt.fired = in.fired
+		if (in.state != nil) != (rt.state != nil) {
+			return 0, fmt.Errorf("exec: checkpoint state presence mismatch on node %s", rt.node.Name)
+		}
+		if in.state == nil {
+			continue
+		}
+		if len(in.state.Scalars) != len(rt.state.Scalars) {
+			return 0, fmt.Errorf("exec: node %s has %d scalar fields, checkpoint has %d", rt.node.Name, len(rt.state.Scalars), len(in.state.Scalars))
+		}
+		if len(in.state.Arrays) != len(rt.state.Arrays) {
+			return 0, fmt.Errorf("exec: node %s has %d array fields, checkpoint has %d", rt.node.Name, len(rt.state.Arrays), len(in.state.Arrays))
+		}
+		for k := range in.state.Arrays {
+			if len(in.state.Arrays[k]) != len(rt.state.Arrays[k]) {
+				return 0, fmt.Errorf("exec: node %s array field %d has size %d, checkpoint has %d", rt.node.Name, k, len(rt.state.Arrays[k]), len(in.state.Arrays[k]))
+			}
+		}
+		rt.state.Scalars = in.state.Scalars
+		rt.state.Arrays = in.state.Arrays
+		if rt.runner != nil {
+			rt.runner.setState(rt.state)
+		}
+	}
+	for i, ie := range img.edges {
+		ch := newChannel(len(ie.items))
+		for _, v := range ie.items {
+			ch.Push(v)
+		}
+		ch.pushed = ie.pushed
+		ch.popped = ie.popped
+		e.chans[i] = ch
+	}
+	copy(e.pending, img.pending)
+	e.Firings = img.firings
+	return img.iteration, nil
 }
 
 // RunFromCheckpoint restores data into the engine and runs the remaining

@@ -58,6 +58,7 @@ func asExecError(filter string, firing int64, r any) *ExecError {
 // last seen doing, on which tape, and for how long.
 type FilterStatus struct {
 	Name     string
+	Worker   int           // mapped-engine worker/partition running the node (-1 elsewhere)
 	State    string        // "waiting recv", "waiting send", "in work", "stalled (injected)"
 	Edge     string        // "Src->Dst" tape name, when blocked on one
 	Buffered int           // items visible to the node on that tape
@@ -65,7 +66,11 @@ type FilterStatus struct {
 }
 
 func (s FilterStatus) String() string {
-	b := s.Name + ": " + s.State
+	b := s.Name
+	if s.Worker >= 0 {
+		b += fmt.Sprintf(" (worker %d)", s.Worker)
+	}
+	b += ": " + s.State
 	if s.Edge != "" {
 		b += fmt.Sprintf(" on %s (%d items buffered)", s.Edge, s.Buffered)
 	}

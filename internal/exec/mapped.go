@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -28,43 +29,89 @@ import (
 // cost scales with the partition count, not the filter count. Results are
 // bit-identical to the sequential Engine.
 //
+// Fault tolerance: steady state runs in epochs. At every epoch boundary
+// all workers have completed the same iteration count, every cross-worker
+// channel has been drained (each edge carries exactly one batch per
+// iteration), and the engine state — filter states, firing counts, and
+// consumer-queue residue — is bit-identical to a sequential engine's at
+// the same iteration. That barrier is where coordinated checkpoints are
+// taken (WriteCheckpoint, sharing the sequential engine's image format)
+// and where worker-crash recovery rolls back to: an injected crash
+// (faults "crash:workerN@iter") unwinds the epoch, the supervisor
+// re-plans the assignment onto the surviving workers, restores the last
+// checkpoint, and resumes.
+//
 // Deadlock-freedom: every worker visits its nodes in a common linear
 // extension of the dataflow order and every edge carries exactly one batch
 // per iteration, so the worker holding the globally earliest incomplete
 // firing always has its inputs available and its output channel short of
 // capacity — it can always progress. A watchdog still supervises the run
-// (fault injection can wedge it deliberately).
+// (fault injection can wedge it deliberately) and attributes blocked
+// edges to workers in its DeadlockError.
 type MappedEngine struct {
 	G   *ir.Graph
 	Sch *sched.Schedule
 	// Backend is the work-function execution substrate.
 	Backend Backend
 	// Workers is the worker-goroutine count; Assign[n.ID] names each
-	// node's worker.
+	// node's worker. Both shrink when crash recovery degrades the engine
+	// onto the surviving workers.
 	Workers int
 	Assign  []int
 
-	// Depth is the cross-worker channel buffering in batches (default 2).
+	// Depth is the cross-worker channel capacity in batches (the
+	// backpressure bound; default DefaultQueueDepth).
 	Depth int
 
 	// Watchdog is the stall-detection interval: 0 selects
 	// DefaultWatchdogInterval, negative disables detection.
 	Watchdog time.Duration
 
+	// CheckpointEvery snapshots a coordinated checkpoint every N steady
+	// iterations. 0 checkpoints only when worker faults are scheduled
+	// (then every iteration, the rollback target for crash recovery).
+	CheckpointEvery int
+
+	// Replan recomputes a node→worker assignment for a reduced worker
+	// count during crash recovery (typically partition.ExecPlan.AssignN).
+	// nil, or an invalid result, falls back to redistributing the dead
+	// worker's nodes onto the least-loaded survivors.
+	Replan func(workers int) []int
+
 	sup *supervisor
 
 	nodes []*pnodeRT
 	order [][]*ir.Node // per-worker node lists in topological order
 
+	// Steady-state topology, rebuilt by setup and by crash recovery:
+	// per-edge consumer queues, and for cross-worker edges a producer
+	// staging queue plus the batch channel.
+	queues []*SliceQueue
+	stage  []*SliceQueue
+	chans  []chan []float64
+
+	// Checkpoint bookkeeping: ready marks a completed setup or restore,
+	// iter counts completed steady iterations, initFired/initPushed are
+	// the schedule-derived post-initialization counters the image's edge
+	// counters are reconstructed from, lastImg is the rollback target.
+	ready      bool
+	iter       int64
+	initFired  []int64
+	initPushed []int64
+	lastImg    []byte
+
 	// prof and rec are the observability hooks; nil when disabled.
 	prof *obs.Profiler
 	rec  *obs.Recorder
 
-	// Per-run supervision state.
+	// Per-epoch supervision state.
 	stopCh   chan struct{}
 	progress int64
 	statuses []*nodeStatus
 }
+
+// DefaultQueueDepth is the cross-worker channel capacity in batches.
+const DefaultQueueDepth = 2
 
 // NewMapped prepares a mapped engine on the default backend with every
 // node assigned by the caller; workers <= 0 selects GOMAXPROCS.
@@ -99,8 +146,19 @@ func NewMappedOpts(g *ir.Graph, s *sched.Schedule, assign []int, workers int, op
 			return nil, fmt.Errorf("exec: node %d assigned to worker %d of %d", id, w, workers)
 		}
 	}
+	depth := opts.QueueDepth
+	if depth == 0 {
+		depth = DefaultQueueDepth
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("exec: queue depth %d out of range (want >= 1 batches)", opts.QueueDepth)
+	}
+	if opts.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("exec: checkpoint interval %d out of range (want >= 0 iterations)", opts.CheckpointEvery)
+	}
 	me := &MappedEngine{G: g, Sch: s, Backend: opts.Backend, Workers: workers,
-		Assign: append([]int(nil), assign...), Depth: 2, Watchdog: opts.Watchdog, rec: opts.Trace}
+		Assign: append([]int(nil), assign...), Depth: depth,
+		Watchdog: opts.Watchdog, CheckpointEvery: opts.CheckpointEvery, rec: opts.Trace}
 	if opts.Profile {
 		me.prof = obs.NewProfiler(nodeNames(g))
 	}
@@ -109,16 +167,6 @@ func NewMappedOpts(g *ir.Graph, s *sched.Schedule, assign []int, workers int, op
 		return nil, err
 	}
 	me.sup = sup
-
-	topo, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
-	me.order = make([][]*ir.Node, workers)
-	for _, n := range topo {
-		w := me.Assign[n.ID]
-		me.order[w] = append(me.order[w], n)
-	}
 
 	me.nodes = make([]*pnodeRT, len(g.Nodes))
 	for _, n := range g.Nodes {
@@ -135,6 +183,9 @@ func NewMappedOpts(g *ir.Graph, s *sched.Schedule, assign []int, workers int, op
 			}
 		}
 		me.nodes[n.ID] = rt
+	}
+	if err := me.buildTopology(); err != nil {
+		return nil, err
 	}
 	return me, nil
 }
@@ -157,7 +208,7 @@ func (me *MappedEngine) Profile() *obs.Profiler { return me.prof }
 func (me *MappedEngine) TraceRecorder() *obs.Recorder { return me.rec }
 
 // mnodeCtx is the per-node execution context a worker prepares once per
-// run: the node's tapes over the shared edge queues and its runner.
+// epoch: the node's tapes over the shared edge queues and its runner.
 type mnodeCtx struct {
 	rt      *pnodeRT
 	runner  *workRunner
@@ -171,11 +222,35 @@ type mnodeCtx struct {
 	pst       *obs.FilterStats
 }
 
+// workerCrash is the panic payload of an injected worker crash. The
+// worker's deferred recover catches it and hands it to the epoch driver,
+// which rolls back to the last coordinated checkpoint and re-plans onto
+// the surviving workers.
+type workerCrash struct {
+	worker int
+	iter   int64
+}
+
+func (c *workerCrash) Error() string {
+	return fmt.Sprintf("exec: worker %d crashed at iteration %d", c.worker, c.iter)
+}
+
 // Run executes the initialization phase sequentially and then iters
-// steady-state iterations across the worker set.
+// steady-state iterations across the worker set. Every call re-runs
+// initialization from scratch (restarting the stream); use
+// RunFromCheckpoint to resume a prior position instead.
 func (me *MappedEngine) Run(iters int) error {
-	// Initialization runs on a scratch sequential engine sharing our node
-	// states (the same scheme as the parallel engine).
+	if err := me.setup(); err != nil {
+		return err
+	}
+	return me.runSteady(iters)
+}
+
+// setup re-initializes the engine: initialization runs on a scratch
+// sequential engine sharing our node states (the same scheme as the
+// parallel engine), the steady topology is rebuilt, and the consumer
+// queues are seeded with the init residue (peek margins).
+func (me *MappedEngine) setup() error {
 	seq, err := NewFromGraph(me.G, me.Sch)
 	if err != nil {
 		return err
@@ -187,33 +262,136 @@ func (me *MappedEngine) Run(iters int) error {
 	if err := seq.RunInit(); err != nil {
 		return err
 	}
-
-	// Per-edge queues: consumer-side buffers seeded with the init residue
-	// (peek margins). Cross-worker edges additionally get a channel and a
-	// producer-side staging queue.
-	queues := make([]*SliceQueue, len(me.G.Edges))
-	stage := make([]*SliceQueue, len(me.G.Edges))
-	chans := make([]chan []float64, len(me.G.Edges))
+	me.initCounters()
+	for _, n := range me.G.Nodes {
+		rt := me.nodes[n.ID]
+		rt.fired = seq.nodes[n.ID].fired
+		if rt.fired != me.initFired[n.ID] {
+			return fmt.Errorf("exec: internal: %s fired %d times during init, schedule says %d", n.Name, rt.fired, me.initFired[n.ID])
+		}
+	}
+	if err := me.buildTopology(); err != nil {
+		return err
+	}
 	for _, e := range me.G.Edges {
 		ch := seq.chans[e.ID]
 		buf := make([]float64, ch.Len())
 		for i := range buf {
 			buf[i] = ch.Pop()
 		}
-		queues[e.ID] = &SliceQueue{buf: buf}
+		q := me.queues[e.ID]
+		q.buf, q.head = buf, 0
+	}
+	me.iter = 0
+	me.lastImg = nil
+	me.ready = true
+	return nil
+}
+
+// buildTopology derives the per-worker node lists, edge queues, and
+// status table from the current Workers/Assign (initially and again after
+// crash recovery shrinks the worker set).
+func (me *MappedEngine) buildTopology() error {
+	topo, err := me.G.TopoOrder()
+	if err != nil {
+		return err
+	}
+	me.order = make([][]*ir.Node, me.Workers)
+	for _, n := range topo {
+		w := me.Assign[n.ID]
+		me.order[w] = append(me.order[w], n)
+	}
+	me.queues = make([]*SliceQueue, len(me.G.Edges))
+	me.stage = make([]*SliceQueue, len(me.G.Edges))
+	me.chans = make([]chan []float64, len(me.G.Edges))
+	for _, e := range me.G.Edges {
+		me.queues[e.ID] = &SliceQueue{}
 		if me.Assign[e.Src.ID] != me.Assign[e.Dst.ID] {
-			stage[e.ID] = &SliceQueue{}
-			chans[e.ID] = make(chan []float64, me.Depth)
+			me.stage[e.ID] = &SliceQueue{}
+			me.chans[e.ID] = make(chan []float64, me.Depth)
 		}
 	}
+	me.statuses = make([]*nodeStatus, len(me.G.Nodes))
+	for _, n := range me.G.Nodes {
+		st := newNodeStatus(n.Name)
+		st.worker = me.Assign[n.ID]
+		me.statuses[n.ID] = st
+	}
+	return nil
+}
 
+// runSteady drives iters steady iterations from the current position in
+// checkpointed epochs, recovering from injected worker crashes.
+func (me *MappedEngine) runSteady(iters int) error {
+	every := me.CheckpointEvery
+	if every <= 0 && me.sup.hasWorkerFaults() {
+		// Crash recovery needs a rollback target; default to the finest
+		// granularity so a crash replays at most one iteration.
+		every = 1
+	}
+	if every > 0 {
+		if err := me.snapshot(); err != nil {
+			return err
+		}
+	}
+	end := me.iter + int64(iters)
+	for me.iter < end {
+		n := int(end - me.iter)
+		if every > 0 && n > every {
+			n = every
+		}
+		if err := me.runEpoch(n); err != nil {
+			var wc *workerCrash
+			if errors.As(err, &wc) && me.lastImg != nil {
+				if rerr := me.recoverFromCrash(wc); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			return err
+		}
+		me.iter += int64(n)
+		if every > 0 {
+			if err := me.snapshot(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// snapshot records the coordinated checkpoint at the current barrier.
+func (me *MappedEngine) snapshot() error {
+	var buf sliceBuffer
+	if err := me.WriteCheckpoint(&buf, me.iter); err != nil {
+		return err
+	}
+	me.lastImg = buf
+	if me.rec != nil {
+		me.rec.Instant(len(me.G.Nodes), "checkpoint", "checkpoint",
+			fmt.Sprintf("iteration %d (%d bytes)", me.iter, len(buf)))
+	}
+	return nil
+}
+
+// sliceBuffer is a minimal io.Writer over an owned byte slice.
+type sliceBuffer []byte
+
+func (b *sliceBuffer) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+// runEpoch runs iters steady iterations across the worker set and waits
+// for the barrier. On return without error every channel is drained and
+// the engine state is at a consistent iteration boundary.
+func (me *MappedEngine) runEpoch(iters int) error {
 	me.stopCh = make(chan struct{})
 	var stopOnce sync.Once
 	stopAll := func() { stopOnce.Do(func() { close(me.stopCh) }) }
 	atomic.StoreInt64(&me.progress, 0)
-	me.statuses = make([]*nodeStatus, len(me.G.Nodes))
-	for _, n := range me.G.Nodes {
-		me.statuses[n.ID] = newNodeStatus(n.Name)
+	for _, st := range me.statuses {
+		st.set(stRunning, "", 0, -1)
 	}
 	var wd *watchdog
 	if me.Watchdog >= 0 {
@@ -243,7 +421,7 @@ func (me *MappedEngine) Run(iters int) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			if err := me.runWorker(w, laneBase+w, iters, queues, stage, chans); err != nil {
+			if err := me.runWorker(w, laneBase+w, iters); err != nil {
 				if err != errStopped {
 					errs <- err
 				}
@@ -259,27 +437,123 @@ func (me *MappedEngine) Run(iters int) error {
 		}
 	}
 	close(errs)
+	// A crash is recoverable; any other failure wins over it.
+	var crash *workerCrash
 	for err := range errs {
+		var wc *workerCrash
+		if errors.As(err, &wc) {
+			if crash == nil {
+				crash = wc
+			}
+			continue
+		}
 		if err != nil {
 			return err
 		}
 	}
+	if crash != nil {
+		return crash
+	}
 	return nil
 }
 
-// runWorker drives one worker's node list through iters steady iterations.
-func (me *MappedEngine) runWorker(w, lane, iters int, queues, stage []*SliceQueue, chans []chan []float64) error {
+// recoverFromCrash degrades the engine onto the surviving workers: count
+// the crash, re-plan the assignment, rebuild the topology, and roll back
+// to the last coordinated checkpoint.
+func (me *MappedEngine) recoverFromCrash(wc *workerCrash) error {
+	if me.Workers <= 1 {
+		return &ExecError{Filter: fmt.Sprintf("worker %d", wc.worker), Op: "crash",
+			Iteration: wc.iter, Err: fmt.Errorf("no surviving workers to recover onto")}
+	}
+	name := fmt.Sprintf("worker%d", wc.worker)
+	me.sup.noteCrash(name)
+	traceRecovery(me.rec, len(me.G.Nodes)+1+wc.worker, name, "replan")
+	survivors := me.Workers - 1
+	var assign []int
+	if me.Replan != nil {
+		assign = me.Replan(survivors)
+	}
+	if !validAssign(assign, len(me.G.Nodes), survivors) {
+		assign = me.reassignWithout(wc.worker)
+	}
+	me.Workers = survivors
+	me.Assign = assign
+	if err := me.buildTopology(); err != nil {
+		return err
+	}
+	if err := me.applyImage(me.lastImg); err != nil {
+		return fmt.Errorf("exec: rollback after worker %d crash: %w", wc.worker, err)
+	}
+	return nil
+}
+
+// validAssign checks a replanned assignment covers every node within the
+// worker range.
+func validAssign(assign []int, nodes, workers int) bool {
+	if len(assign) != nodes {
+		return false
+	}
+	for _, w := range assign {
+		if w < 0 || w >= workers {
+			return false
+		}
+	}
+	return true
+}
+
+// reassignWithout is the fallback re-plan: the dead worker's nodes move to
+// the least-loaded survivors (by node count) and the survivors renumber
+// densely to 0..Workers-2.
+func (me *MappedEngine) reassignWithout(dead int) []int {
+	load := make([]int, me.Workers)
+	for _, w := range me.Assign {
+		load[w]++
+	}
+	renum := make([]int, me.Workers)
+	next := 0
+	for w := range renum {
+		if w == dead {
+			renum[w] = -1
+			continue
+		}
+		renum[w] = next
+		next++
+	}
+	assign := make([]int, len(me.Assign))
+	for id, w := range me.Assign {
+		if w != dead {
+			assign[id] = renum[w]
+			continue
+		}
+		best := -1
+		for sw := 0; sw < me.Workers; sw++ {
+			if sw == dead {
+				continue
+			}
+			if best < 0 || load[sw] < load[best] {
+				best = sw
+			}
+		}
+		load[best]++
+		assign[id] = renum[best]
+	}
+	return assign
+}
+
+// runWorker drives one worker's node list through iters steady iterations
+// of the current epoch.
+func (me *MappedEngine) runWorker(w, lane, iters int) error {
 	ctxs := make([]*mnodeCtx, 0, len(me.order[w]))
 	// compact lists this worker's purely-local queues: only their owner
 	// touches them, and their per-item Push/Pop traffic never passes
 	// through Append's compaction.
 	var compact []*SliceQueue
 	for _, n := range me.order[w] {
-		ctxs = append(ctxs, me.prepareNode(n, queues, stage, chans))
+		ctxs = append(ctxs, me.prepareNode(n))
 	}
 	for _, e := range me.G.Edges {
 		if me.Assign[e.Src.ID] == w && me.Assign[e.Dst.ID] == w {
-			compact = append(compact, queues[e.ID])
+			compact = append(compact, me.queues[e.ID])
 		}
 	}
 
@@ -287,6 +561,10 @@ func (me *MappedEngine) runWorker(w, lane, iters int, queues, stage []*SliceQueu
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
+				if wc, ok := r.(*workerCrash); ok {
+					err = wc
+					return
+				}
 				name, fired := fmt.Sprintf("worker %d", w), int64(0)
 				if cur != nil {
 					name, fired = cur.rt.node.Name, cur.rt.fired
@@ -295,13 +573,21 @@ func (me *MappedEngine) runWorker(w, lane, iters int, queues, stage []*SliceQueu
 			}
 		}()
 		for it := 0; it < iters; it++ {
+			if me.sup != nil {
+				gi := me.iter + int64(it)
+				if wf, ok := me.sup.takeWorker(w, gi); ok {
+					if err := me.workerFault(w, lane, gi, wf, ctxs); err != nil {
+						return err
+					}
+				}
+			}
 			var t0 time.Duration
 			if me.rec != nil {
 				t0 = me.rec.Stamp()
 			}
 			for _, c := range ctxs {
 				cur = c
-				if err := me.stepNode(c, queues, stage, chans); err != nil {
+				if err := me.stepNode(c); err != nil {
 					return err
 				}
 			}
@@ -322,8 +608,31 @@ func (me *MappedEngine) runWorker(w, lane, iters int, queues, stage []*SliceQueu
 	return err
 }
 
+// workerFault applies one injected worker-level fault at the top of a
+// steady iteration, before the worker fires anything: Crash panics (the
+// recover in runWorker hands it to the epoch driver for rollback), Stall
+// wedges the worker for the watchdog to attribute, Slow sleeps briefly.
+func (me *MappedEngine) workerFault(w, lane int, iter int64, wf faults.WorkerFault, ctxs []*mnodeCtx) error {
+	name := fmt.Sprintf("worker%d", w)
+	traceFault(me.rec, lane, name, wf.Kind.String())
+	switch wf.Kind {
+	case faults.Crash:
+		panic(&workerCrash{worker: w, iter: iter})
+	case faults.Stall:
+		for _, c := range ctxs {
+			me.statuses[c.rt.node.ID].set(stStalled, "", 0, -1)
+		}
+		<-me.stopCh
+		return errStopped
+	case faults.Slow:
+		me.sup.noteSlow(name)
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
 // prepareNode builds one node's tapes over the shared per-edge queues.
-func (me *MappedEngine) prepareNode(n *ir.Node, queues, stage []*SliceQueue, chans []chan []float64) *mnodeCtx {
+func (me *MappedEngine) prepareNode(n *ir.Node) *mnodeCtx {
 	rt := me.nodes[n.ID]
 	c := &mnodeCtx{rt: rt, reps: me.Sch.Reps[n.ID]}
 	if n.Kind == ir.NodeFilter && n.Filter.WorkFn == nil {
@@ -332,7 +641,7 @@ func (me *MappedEngine) prepareNode(n *ir.Node, queues, stage []*SliceQueue, cha
 	c.in = make([]*SliceQueue, len(n.In))
 	for p, e := range n.In {
 		if e != nil {
-			c.in[p] = queues[e.ID]
+			c.in[p] = me.queues[e.ID]
 		}
 	}
 	c.out = make([]*SliceQueue, len(n.Out))
@@ -343,10 +652,10 @@ func (me *MappedEngine) prepareNode(n *ir.Node, queues, stage []*SliceQueue, cha
 			continue
 		}
 		c.produce[p] = c.reps * n.PushPort(p)
-		if stage[e.ID] != nil {
-			c.out[p] = stage[e.ID]
+		if me.stage[e.ID] != nil {
+			c.out[p] = me.stage[e.ID]
 		} else {
-			c.out[p] = queues[e.ID]
+			c.out[p] = me.queues[e.ID]
 			c.localOut[p] = true
 		}
 	}
@@ -372,14 +681,14 @@ func (me *MappedEngine) prepareNode(n *ir.Node, queues, stage []*SliceQueue, cha
 
 // stepNode advances one node by one steady iteration: receive cross-worker
 // input batches, fire reps times, ship cross-worker output batches.
-func (me *MappedEngine) stepNode(c *mnodeCtx, queues, stage []*SliceQueue, chans []chan []float64) error {
+func (me *MappedEngine) stepNode(c *mnodeCtx) error {
 	n := c.rt.node
 	st := me.statuses[n.ID]
 	for p, e := range n.In {
-		if e == nil || chans[e.ID] == nil {
+		if e == nil || me.chans[e.ID] == nil {
 			continue
 		}
-		batch, err := me.recvBatch(n, e, chans[e.ID], c.in[p], st)
+		batch, err := me.recvBatch(n, e, me.chans[e.ID], c.in[p], st)
 		if err != nil {
 			return err
 		}
@@ -420,7 +729,7 @@ func (me *MappedEngine) stepNode(c *mnodeCtx, queues, stage []*SliceQueue, chans
 			continue
 		}
 		batch := c.out[p].Take(c.produce[p])
-		if err := me.sendBatch(e, chans[e.ID], batch, st); err != nil {
+		if err := me.sendBatch(e, me.chans[e.ID], batch, st); err != nil {
 			return err
 		}
 	}
@@ -579,6 +888,14 @@ func (me *MappedEngine) fireFilterSupervised(c *mnodeCtx, st *nodeStatus) error 
 			case faults.Panic:
 				return &ExecError{Filter: name, Op: "injected panic", Iteration: rt.fired}
 			case faults.Stall:
+				if rollback {
+					// A recoverable policy turns the stall into a synchronous
+					// failure (the sequential engine's convention), so
+					// retry/skip/restart actually recover instead of wedging
+					// the worker until the watchdog aborts the run.
+					return &ExecError{Filter: name, Op: "injected stall", Iteration: rt.fired,
+						Err: fmt.Errorf("stall reported synchronously under a %s policy", pol.Action)}
+				}
 				st.set(stStalled, "", 0, -1)
 				<-me.stopCh
 				return errStopped

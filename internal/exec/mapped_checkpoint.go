@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+)
+
+// Mapped checkpoints reuse the sequential engine's image format over the
+// same (rewritten) graph and schedule, so the fingerprints and byte images
+// are interchangeable: a checkpoint written by a mapped run restores into
+// a sequential engine over the mapped graph and vice versa. The mapped
+// engine does not track per-edge pushed/popped counters at runtime (the
+// queues are drained batchwise); they are reconstructed from firing
+// counts, which is exact because every firing of an edge's source pushes a
+// static rate onto it:
+//
+//	pushed(e) = initPushed(e) + (fired(src) - initFired(src)) * rate(e)
+//	popped(e) = pushed(e) - buffered(e)
+//
+// where initFired/initPushed are the schedule's initialization totals.
+
+// Fingerprint hashes the engine's graph and schedule structure; it equals
+// the sequential engine's fingerprint over the same graph and schedule.
+func (me *MappedEngine) Fingerprint() uint64 { return graphFingerprint(me.G, me.Sch) }
+
+// initCounters derives the post-initialization firing and push totals from
+// the schedule. These let checkpoints be written and validated without
+// replaying initialization.
+func (me *MappedEngine) initCounters() {
+	me.initFired = make([]int64, len(me.G.Nodes))
+	for _, n := range me.G.Nodes {
+		me.initFired[n.ID] = int64(me.Sch.InitReps[n.ID])
+	}
+	me.initPushed = make([]int64, len(me.G.Edges))
+	for _, e := range me.G.Edges {
+		me.initPushed[e.ID] = me.initFired[e.Src.ID] * int64(e.Src.PushPort(e.SrcPort))
+	}
+}
+
+// image captures the engine-neutral checkpoint at the current barrier.
+func (me *MappedEngine) image(iteration int64) *ckptImage {
+	img := &ckptImage{
+		iteration: iteration,
+		nodes:     make([]ckptNode, len(me.nodes)),
+		edges:     make([]ckptEdge, len(me.G.Edges)),
+		pending:   make([][]*message, len(me.nodes)),
+	}
+	for i, rt := range me.nodes {
+		img.nodes[i] = ckptNode{fired: rt.fired, state: rt.state}
+		img.firings += rt.fired
+	}
+	for _, e := range me.G.Edges {
+		q := me.queues[e.ID]
+		items := make([]float64, q.Len())
+		for i := range items {
+			items[i] = q.Peek(i)
+		}
+		pushed := me.initPushed[e.ID] +
+			(me.nodes[e.Src.ID].fired-me.initFired[e.Src.ID])*int64(e.Src.PushPort(e.SrcPort))
+		img.edges[e.ID] = ckptEdge{pushed: pushed, popped: pushed - int64(len(items)), items: items}
+	}
+	return img
+}
+
+// WriteCheckpoint serializes the engine's execution state at an iteration
+// boundary. The engine must have completed a Run or a RestoreCheckpoint
+// (steady state quiesced: all workers joined, channels drained).
+func (me *MappedEngine) WriteCheckpoint(w io.Writer, iteration int64) error {
+	if !me.ready {
+		return fmt.Errorf("exec: mapped engine has no state to checkpoint; run it (or restore into it) first")
+	}
+	return writeImage(w, me.Fingerprint(), me.image(iteration))
+}
+
+// RestoreCheckpoint loads a checkpoint image taken over the same graph and
+// schedule (by a mapped or sequential engine), replacing the engine's
+// execution state. It returns the iteration recorded at checkpoint time.
+// On error the engine's state is unspecified and it must not be run.
+func (me *MappedEngine) RestoreCheckpoint(data []byte) (int64, error) {
+	if !me.ready {
+		// The constructor already initialized states and topology; the
+		// image supersedes initialization effects, so only the schedule
+		// counters are needed.
+		me.initCounters()
+		me.ready = true
+	}
+	if err := me.applyImage(data); err != nil {
+		return 0, err
+	}
+	me.lastImg = append([]byte(nil), data...)
+	return me.iter, nil
+}
+
+// applyImage decodes, validates, and installs a checkpoint image.
+func (me *MappedEngine) applyImage(data []byte) error {
+	img, err := readImage(data, me.Fingerprint())
+	if err != nil {
+		return err
+	}
+	if len(img.nodes) != len(me.nodes) {
+		return fmt.Errorf("exec: checkpoint has %d nodes, engine has %d", len(img.nodes), len(me.nodes))
+	}
+	if len(img.edges) != len(me.G.Edges) {
+		return fmt.Errorf("exec: checkpoint has %d edges, engine has %d", len(img.edges), len(me.G.Edges))
+	}
+	for _, msgs := range img.pending {
+		if len(msgs) > 0 {
+			return fmt.Errorf("exec: checkpoint carries pending teleport messages; the mapped engine does not support messaging")
+		}
+	}
+	// Validate shapes and invariants fully before mutating anything.
+	for i, rt := range me.nodes {
+		in := img.nodes[i]
+		if (in.state != nil) != (rt.state != nil) {
+			return fmt.Errorf("exec: checkpoint state presence mismatch on node %s", rt.node.Name)
+		}
+		if in.fired < me.initFired[i] {
+			return fmt.Errorf("exec: checkpoint fired count %d of node %s below its initialization count %d", in.fired, rt.node.Name, me.initFired[i])
+		}
+		if in.state == nil {
+			continue
+		}
+		if len(in.state.Scalars) != len(rt.state.Scalars) {
+			return fmt.Errorf("exec: node %s has %d scalar fields, checkpoint has %d", rt.node.Name, len(rt.state.Scalars), len(in.state.Scalars))
+		}
+		if len(in.state.Arrays) != len(rt.state.Arrays) {
+			return fmt.Errorf("exec: node %s has %d array fields, checkpoint has %d", rt.node.Name, len(rt.state.Arrays), len(in.state.Arrays))
+		}
+		for k := range in.state.Arrays {
+			if len(in.state.Arrays[k]) != len(rt.state.Arrays[k]) {
+				return fmt.Errorf("exec: node %s array field %d has size %d, checkpoint has %d", rt.node.Name, k, len(rt.state.Arrays[k]), len(in.state.Arrays[k]))
+			}
+		}
+	}
+	for _, e := range me.G.Edges {
+		ie := img.edges[e.ID]
+		want := me.initPushed[e.ID] +
+			(img.nodes[e.Src.ID].fired-me.initFired[e.Src.ID])*int64(e.Src.PushPort(e.SrcPort))
+		if ie.pushed != want {
+			return fmt.Errorf("exec: checkpoint edge %s pushed counter %d disagrees with its source's firing count (want %d)", e, ie.pushed, want)
+		}
+	}
+	for i, rt := range me.nodes {
+		in := img.nodes[i]
+		rt.fired = in.fired
+		if in.state != nil {
+			rt.state.Scalars = in.state.Scalars
+			rt.state.Arrays = in.state.Arrays
+		}
+	}
+	for _, e := range me.G.Edges {
+		ie := img.edges[e.ID]
+		q := me.queues[e.ID]
+		q.buf = append([]float64(nil), ie.items...)
+		q.head = 0
+		// Drop any cross-worker residue from an aborted epoch.
+		if st := me.stage[e.ID]; st != nil {
+			st.buf, st.head = nil, 0
+		}
+		if ch := me.chans[e.ID]; ch != nil {
+			for len(ch) > 0 {
+				<-ch
+			}
+		}
+	}
+	me.iter = img.iteration
+	return nil
+}
+
+// RunFromCheckpoint restores data into the engine and runs the remaining
+// steady-state iterations up to total (the run's original iteration
+// count). Initialization is not replayed — its effects are part of the
+// checkpointed state.
+func (me *MappedEngine) RunFromCheckpoint(data []byte, total int) error {
+	it, err := me.RestoreCheckpoint(data)
+	if err != nil {
+		return err
+	}
+	if int64(total) < it {
+		return fmt.Errorf("exec: checkpoint is at iteration %d, past the requested total %d", it, total)
+	}
+	return me.runSteady(total - int(it))
+}

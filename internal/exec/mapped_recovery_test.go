@@ -1,0 +1,597 @@
+package exec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streamit/internal/apps"
+	"streamit/internal/ir"
+	"streamit/internal/obs"
+	"streamit/internal/partition"
+	"streamit/internal/sched"
+)
+
+// mappedBuild is one rewritten application instance: the flat rewritten
+// graph and schedule a mapped engine runs, its worker assignment, and the
+// collector slices its sinks were swapped for. Engines built over the same
+// mappedBuild share the collectors, so an interrupted run plus its resumed
+// continuation append to the same output stream.
+type mappedBuild struct {
+	g2      *ir.Graph
+	s2      *sched.Schedule
+	assign  []int
+	workers int
+	outs    []*[]float64
+}
+
+func buildMapped(tb testing.TB, build func() *ir.Program, strat partition.Strategy) *mappedBuild {
+	tb.Helper()
+	prog := build()
+	var fs []*ir.Filter
+	var outs []*[]float64
+	prog.Top = swapSinks(prog.Top, &fs, &outs)
+	g, err := ir.Flatten(prog)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s, err := sched.Compute(g)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	plan, err := partition.BuildExecPlan(prog, g, s, partition.ExecPlanOptions{Strategy: strat, Workers: 4})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g2, err := ir.Flatten(plan.Program)
+	if err != nil {
+		tb.Fatalf("flattening rewritten program: %v", err)
+	}
+	s2, err := sched.Compute(g2)
+	if err != nil {
+		tb.Fatalf("scheduling rewritten program: %v", err)
+	}
+	return &mappedBuild{g2: g2, s2: s2, assign: plan.Assign(g2, s2), workers: plan.Workers, outs: outs}
+}
+
+func (mb *mappedBuild) engine(tb testing.TB, opts Options) *MappedEngine {
+	tb.Helper()
+	me, err := NewMappedOpts(mb.g2, mb.s2, mb.assign, mb.workers, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return me
+}
+
+func mappedCkptBytes(tb testing.TB, me *MappedEngine, iteration int64) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := me.WriteCheckpoint(&buf, iteration); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func compareOuts(t *testing.T, want, got []*[]float64, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: sink walks diverged: %d vs %d collectors", label, len(want), len(got))
+	}
+	for i := range want {
+		wv, gv := *want[i], *got[i]
+		if len(wv) != len(gv) {
+			t.Fatalf("%s: sink %d: %d items vs %d", label, i, len(wv), len(gv))
+		}
+		for j := range wv {
+			if wv[j] != gv[j] {
+				t.Fatalf("%s: sink %d item %d: %v vs %v", label, i, j, wv[j], gv[j])
+			}
+		}
+	}
+}
+
+// TestMappedCheckpointConformance: on every app, strategy, and backend, a
+// mapped run checkpointed at the coordinated barrier and resumed in a
+// fresh mapped engine reaches a final state byte-identical to an
+// uninterrupted run — and its sink output streams are bit-identical too.
+// Byte equality of the final image covers every queue's contents and
+// counters, every filter field, and every firing count.
+func TestMappedCheckpointConformance(t *testing.T) {
+	strategies := []partition.Strategy{partition.StratTask, partition.StratFineData, partition.StratCoarseData}
+	backends := []Backend{BackendVM, BackendInterp}
+	for _, app := range apps.Suite() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, strat := range strategies {
+				for _, backend := range backends {
+					t.Run(fmt.Sprintf("%s/%v", strat, backend), func(t *testing.T) {
+						runMappedCheckpointConformance(t, app, strat, backend)
+					})
+				}
+			}
+		})
+	}
+}
+
+func runMappedCheckpointConformance(t *testing.T, app apps.App, strat partition.Strategy, backend Backend) {
+	t.Helper()
+	const iters, k = 4, 2
+
+	// Uninterrupted reference run.
+	refB := buildMapped(t, app.Build, strat)
+	ref := refB.engine(t, Options{Backend: backend})
+	if err := ref.Run(iters); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want := mappedCkptBytes(t, ref, iters)
+
+	// Interrupted run: checkpoint at the barrier after k iterations, then
+	// resume the image in a fresh engine over the same build (so both
+	// halves append to the same collectors).
+	intB := buildMapped(t, app.Build, strat)
+	first := intB.engine(t, Options{Backend: backend})
+	if err := first.Run(k); err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	img := mappedCkptBytes(t, first, k)
+	resumed := intB.engine(t, Options{Backend: backend})
+	if err := resumed.RunFromCheckpoint(img, iters); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if got := mappedCkptBytes(t, resumed, iters); !bytes.Equal(want, got) {
+		t.Fatalf("resumed final state differs from uninterrupted run (%d vs %d bytes)", len(want), len(got))
+	}
+	compareOuts(t, refB.outs, intB.outs, "resumed output")
+}
+
+// TestMappedCheckpointCrossEngine: mapped and sequential checkpoints over
+// the same rewritten graph are byte-interchangeable — a mapped image
+// restores into a sequential engine (and vice versa), and both resumed
+// runs land bit-identical to an uninterrupted reference.
+func TestMappedCheckpointCrossEngine(t *testing.T) {
+	const iters, k = 4, 2
+	build := func() *ir.Program { return apps.FMRadio(4, 16) }
+	const strat = partition.StratCoarseData
+
+	// Uninterrupted sequential reference over the rewritten graph.
+	refB := buildMapped(t, build, strat)
+	ref, err := NewFromGraphBackend(refB.g2, refB.s2, BackendVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(iters); err != nil {
+		t.Fatal(err)
+	}
+	want := checkpointBytes(t, ref, iters)
+
+	// Mapped image -> sequential engine.
+	mb := buildMapped(t, build, strat)
+	me := mb.engine(t, Options{})
+	if err := me.Run(k); err != nil {
+		t.Fatal(err)
+	}
+	img := mappedCkptBytes(t, me, k)
+	sb := buildMapped(t, build, strat)
+	se, err := NewFromGraphBackend(sb.g2, sb.s2, BackendVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.RunFromCheckpoint(img, iters); err != nil {
+		t.Fatalf("sequential resume of mapped image: %v", err)
+	}
+	if got := checkpointBytes(t, se, iters); !bytes.Equal(want, got) {
+		t.Fatal("sequential resume of a mapped checkpoint diverged from the uninterrupted run")
+	}
+
+	// Sequential image -> mapped engine.
+	qb := buildMapped(t, build, strat)
+	qe, err := NewFromGraphBackend(qb.g2, qb.s2, BackendVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qe.RunInit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qe.RunSteady(k); err != nil {
+		t.Fatal(err)
+	}
+	simg := checkpointBytes(t, qe, k)
+	wb := buildMapped(t, build, strat)
+	we := wb.engine(t, Options{})
+	if err := we.RunFromCheckpoint(simg, iters); err != nil {
+		t.Fatalf("mapped resume of sequential image: %v", err)
+	}
+	if got := mappedCkptBytes(t, we, iters); !bytes.Equal(want, got) {
+		t.Fatal("mapped resume of a sequential checkpoint diverged from the uninterrupted run")
+	}
+}
+
+// midTarget picks the first mid-graph filter (one with both input and
+// output edges) of a rewritten graph and a firing index that lands in the
+// second steady iteration, so injected faults hit a filter whose failure
+// propagates both up- and downstream.
+func midTarget(t *testing.T, g *ir.Graph, s *sched.Schedule) (string, int64) {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Kind == ir.NodeFilter && len(n.In) > 0 && len(n.Out) > 0 {
+			return n.Name, int64(s.InitReps[n.ID] + s.Reps[n.ID])
+		}
+	}
+	t.Fatal("no mid-graph filter in rewritten graph")
+	return "", 0
+}
+
+// TestMappedFaultPolicyMatrix: every fault kind under every recovery
+// policy produces sink output bit-identical to the supervised sequential
+// engine over the same rewritten graph — the mapped engine's rollback,
+// skip-with-zeros, and state-reset semantics match the reference engine
+// exactly, worker parallelism notwithstanding.
+func TestMappedFaultPolicyMatrix(t *testing.T) {
+	kinds := []string{"panic", "stall", "corrupt"}
+	policies := []string{"retry", "skip", "restart"}
+	for _, app := range apps.Suite()[:3] {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, kind := range kinds {
+				for _, policy := range policies {
+					t.Run(kind+"/"+policy, func(t *testing.T) {
+						runMappedFaultPolicy(t, app, kind, policy)
+					})
+				}
+			}
+		})
+	}
+}
+
+func runMappedFaultPolicy(t *testing.T, app apps.App, kind, policy string) {
+	t.Helper()
+	const iters = 4
+	mb := buildMapped(t, app.Build, partition.StratTask)
+	target, firing := midTarget(t, mb.g2, mb.s2)
+	spec := fmt.Sprintf("%s:%s@%d", kind, target, firing)
+
+	me := mb.engine(t, Options{Faults: mustPlan(t, spec), OnError: mustPolicies(t, policy)})
+	if err := me.Run(iters); err != nil {
+		t.Fatalf("mapped run under %s: %v", spec, err)
+	}
+	var injected int64
+	for _, st := range me.Degraded() {
+		injected += st.Injected
+	}
+	if injected == 0 {
+		t.Fatalf("mapped run never injected %s", spec)
+	}
+
+	sb := buildMapped(t, app.Build, partition.StratTask)
+	se, err := NewFromGraphOpts(sb.g2, sb.s2, Options{Faults: mustPlan(t, spec), OnError: mustPolicies(t, policy)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Run(iters); err != nil {
+		t.Fatalf("sequential run under %s: %v", spec, err)
+	}
+	compareOuts(t, sb.outs, mb.outs, kind+"/"+policy)
+}
+
+// recoveryObserver buffers fault, recovery, and checkpoint instants so
+// tests assert on observed events instead of timing.
+func recoveryObserver() (*obs.Recorder, func() []obs.Event) {
+	rec := obs.NewRecorder()
+	var mu sync.Mutex
+	var events []obs.Event
+	rec.OnEvent(func(ev obs.Event) {
+		switch ev.Cat {
+		case "fault", "recovery", "checkpoint":
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		}
+	})
+	return rec, func() []obs.Event {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]obs.Event(nil), events...)
+	}
+}
+
+// TestMappedWorkerCrashRecovery: a worker crash mid-run rolls back to the
+// last coordinated checkpoint, re-plans the dead worker's partition onto
+// the survivors, and completes with output bit-identical to a clean
+// sequential run. The degradation is visible in the worker stats, the
+// supervision report, and the obs trace.
+func TestMappedWorkerCrashRecovery(t *testing.T) {
+	const iters = 8
+	clean, _, err := runSeqFault(t, gainFilter("Double", 2), iters, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, s, got := faultPipeline(t, gainFilter("Double", 2))
+	rec, snap := recoveryObserver()
+	assign := make([]int, len(g.Nodes))
+	for i := range assign {
+		assign[i] = i % 3
+	}
+	me, err := NewMappedOpts(g, s, assign, 3, Options{
+		Faults: mustPlan(t, "crash:worker1@2"),
+		Trace:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := me.Run(iters); err != nil {
+		t.Fatalf("crashed run did not recover: %v", err)
+	}
+
+	if len(*got) != len(clean) {
+		t.Fatalf("recovered run produced %d items, clean run %d", len(*got), len(clean))
+	}
+	for i := range clean {
+		if (*got)[i] != clean[i] {
+			t.Fatalf("item %d differs after recovery: %v vs %v", i, (*got)[i], clean[i])
+		}
+	}
+	if me.Workers != 2 {
+		t.Errorf("engine degraded to %d workers, want 2", me.Workers)
+	}
+	st := me.Degraded()["worker1"]
+	if st.Injected != 1 || st.Crashes != 1 {
+		t.Errorf("worker1 stats = %+v, want 1 injection and 1 crash", st)
+	}
+	rep := me.SupervisionReport()
+	if !strings.Contains(rep, "crashes=1") {
+		t.Errorf("supervision report does not count the crash:\n%s", rep)
+	}
+	var sawFault, sawRecovery, sawCheckpoint bool
+	for _, ev := range snap() {
+		switch {
+		case ev.Cat == "fault" && ev.Name == "fault: crash":
+			sawFault = true
+		case ev.Cat == "recovery":
+			sawRecovery = true
+		case ev.Cat == "checkpoint":
+			sawCheckpoint = true
+		}
+	}
+	if !sawFault || !sawRecovery || !sawCheckpoint {
+		t.Errorf("trace missing events: fault=%v recovery=%v checkpoint=%v", sawFault, sawRecovery, sawCheckpoint)
+	}
+}
+
+// TestMappedWorkerCrashReplanHook: crash recovery prefers the installed
+// Replan hook's assignment over the built-in least-loaded fallback.
+func TestMappedWorkerCrashReplanHook(t *testing.T) {
+	const iters = 6
+	clean, _, err := runSeqFault(t, gainFilter("Double", 2), iters, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, s, got := faultPipeline(t, gainFilter("Double", 2))
+	assign := make([]int, len(g.Nodes))
+	for i := range assign {
+		assign[i] = i % 3
+	}
+	me, err := NewMappedOpts(g, s, assign, 3, Options{Faults: mustPlan(t, "crash:worker2@1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replanned := 0
+	me.Replan = func(workers int) []int {
+		replanned++
+		out := make([]int, len(g.Nodes))
+		for i := range out {
+			out[i] = i % workers
+		}
+		return out
+	}
+	if err := me.Run(iters); err != nil {
+		t.Fatalf("crashed run did not recover: %v", err)
+	}
+	if replanned != 1 {
+		t.Errorf("Replan hook called %d times, want 1", replanned)
+	}
+	if len(*got) != len(clean) {
+		t.Fatalf("recovered run produced %d items, clean run %d", len(*got), len(clean))
+	}
+	for i := range clean {
+		if (*got)[i] != clean[i] {
+			t.Fatalf("item %d differs after replanned recovery: %v vs %v", i, (*got)[i], clean[i])
+		}
+	}
+}
+
+// TestMappedWorkerSlowFault: a slow fault completes the run with correct
+// output and shows up in the degradation stats — graceful degradation,
+// not failure.
+func TestMappedWorkerSlowFault(t *testing.T) {
+	const iters = 6
+	clean, _, err := runSeqFault(t, gainFilter("Double", 2), iters, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, s, got := faultPipeline(t, gainFilter("Double", 2))
+	assign := make([]int, len(g.Nodes))
+	for i := range assign {
+		assign[i] = i % 3
+	}
+	me, err := NewMappedOpts(g, s, assign, 3, Options{Faults: mustPlan(t, "slow:worker0@1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := me.Run(iters); err != nil {
+		t.Fatalf("slowed run failed: %v", err)
+	}
+	for i := range clean {
+		if (*got)[i] != clean[i] {
+			t.Fatalf("item %d differs under slow fault: %v vs %v", i, (*got)[i], clean[i])
+		}
+	}
+	st := me.Degraded()["worker0"]
+	if st.Injected != 1 || st.Slowed != 1 {
+		t.Errorf("worker0 stats = %+v, want 1 injection and 1 slowdown", st)
+	}
+	if rep := me.SupervisionReport(); !strings.Contains(rep, "slowed=1") {
+		t.Errorf("supervision report does not count the slowdown:\n%s", rep)
+	}
+}
+
+// TestMappedWorkerStallWatchdog: an injected worker stall under the
+// default fail policy wedges the engine; the watchdog aborts with a
+// *DeadlockError that attributes each blocked filter to its worker.
+func TestMappedWorkerStallWatchdog(t *testing.T) {
+	g, s, _ := faultPipeline(t, gainFilter("Double", 2))
+	assign := make([]int, len(g.Nodes))
+	for i := range assign {
+		assign[i] = i % 3
+	}
+	me, err := NewMappedOpts(g, s, assign, 3, Options{
+		Faults:   mustPlan(t, "stall:worker1@1"),
+		Watchdog: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = me.Run(64)
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want a *DeadlockError", err)
+	}
+	if de.Engine != "mapped" {
+		t.Errorf("deadlock engine = %q, want mapped", de.Engine)
+	}
+	if !strings.Contains(err.Error(), "worker 1") {
+		t.Errorf("deadlock report does not attribute the stall to worker 1:\n%v", err)
+	}
+}
+
+// TestMappedCrashNoSurvivors: crashing the only worker is not recoverable
+// and must surface a structured error, not hang or panic.
+func TestMappedCrashNoSurvivors(t *testing.T) {
+	g, s, _ := faultPipeline(t, gainFilter("Double", 2))
+	assign := make([]int, len(g.Nodes))
+	me, err := NewMappedOpts(g, s, assign, 1, Options{Faults: mustPlan(t, "crash:worker0@1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = me.Run(8)
+	if err == nil || !strings.Contains(err.Error(), "no surviving workers") {
+		t.Fatalf("err = %v, want a no-surviving-workers failure", err)
+	}
+}
+
+// TestMappedQueueDepth: a minimal queue depth of one batch still conforms
+// bit-exactly (backpressure changes scheduling, never values), and
+// negative depths are rejected at construction.
+func TestMappedQueueDepth(t *testing.T) {
+	const iters = 4
+	build := func() *ir.Program { return apps.FMRadio(4, 16) }
+	mb := buildMapped(t, build, partition.StratCoarseData)
+	me := mb.engine(t, Options{QueueDepth: 1})
+	if err := me.Run(iters); err != nil {
+		t.Fatalf("depth-1 run: %v", err)
+	}
+	sb := buildMapped(t, build, partition.StratCoarseData)
+	se, err := NewFromGraphBackend(sb.g2, sb.s2, BackendVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.Run(iters); err != nil {
+		t.Fatal(err)
+	}
+	compareOuts(t, sb.outs, mb.outs, "depth-1")
+
+	if _, err := NewMappedOpts(mb.g2, mb.s2, mb.assign, mb.workers, Options{QueueDepth: -1}); err == nil {
+		t.Fatal("negative queue depth accepted")
+	}
+	if _, err := NewMappedOpts(mb.g2, mb.s2, mb.assign, mb.workers, Options{CheckpointEvery: -1}); err == nil {
+		t.Fatal("negative checkpoint interval accepted")
+	}
+}
+
+// TestMappedCheckpointGolden pins the on-disk format: a mapped checkpoint
+// of a fixed app and strategy at iteration 2 must match the committed
+// golden image byte for byte, and the golden image must restore and run.
+// Regenerate (only on an intentional format change) with
+// STREAMIT_UPDATE_GOLDEN=1 go test ./internal/exec -run MappedCheckpointGolden.
+func TestMappedCheckpointGolden(t *testing.T) {
+	build := func() *ir.Program { return apps.FMRadio(2, 8) }
+	mb := buildMapped(t, build, partition.StratCoarseData)
+	me := mb.engine(t, Options{})
+	if err := me.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	img := mappedCkptBytes(t, me, 2)
+
+	path := filepath.Join("testdata", "mapped_fmradio_taskdata.ckpt")
+	if os.Getenv("STREAMIT_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(img))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden image (regenerate with STREAMIT_UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(want, img) {
+		t.Fatalf("mapped checkpoint format drifted from the golden image (%d vs %d bytes); this breaks saved checkpoints", len(img), len(want))
+	}
+	fresh := buildMapped(t, build, partition.StratCoarseData).engine(t, Options{})
+	if err := fresh.RunFromCheckpoint(want, 3); err != nil {
+		t.Fatalf("golden image does not restore: %v", err)
+	}
+}
+
+// TestMappedChaosSoak: randomized fault plans on mapped runs. Random
+// filter faults under a skip policy must keep the mapped engine
+// bit-identical to the supervised sequential engine (both inject the same
+// deterministic schedule); adding a worker crash must still complete on
+// the survivors with the crash accounted for.
+func TestMappedChaosSoak(t *testing.T) {
+	const iters = 6
+	app := apps.Suite()[0]
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			spec := fmt.Sprintf("rand:3@%d", seed)
+			mb := buildMapped(t, app.Build, partition.StratFineData)
+			me := mb.engine(t, Options{Faults: mustPlan(t, spec), OnError: mustPolicies(t, "skip")})
+			if err := me.Run(iters); err != nil {
+				t.Fatalf("chaos run %s: %v", spec, err)
+			}
+			sb := buildMapped(t, app.Build, partition.StratFineData)
+			se, err := NewFromGraphOpts(sb.g2, sb.s2, Options{Faults: mustPlan(t, spec), OnError: mustPolicies(t, "skip")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := se.Run(iters); err != nil {
+				t.Fatalf("sequential chaos run %s: %v", spec, err)
+			}
+			compareOuts(t, sb.outs, mb.outs, spec)
+
+			// Random faults plus a worker crash: recovery converges and the
+			// run completes on the surviving workers. (No bit-equality claim:
+			// filter faults consumed in the aborted epoch are one-shot and
+			// are not re-injected after rollback.)
+			crashSpec := fmt.Sprintf("rand:2@%d;crash:worker1@%d", seed, seed)
+			cb := buildMapped(t, app.Build, partition.StratFineData)
+			ce := cb.engine(t, Options{Faults: mustPlan(t, crashSpec), OnError: mustPolicies(t, "skip")})
+			if err := ce.Run(iters); err != nil {
+				t.Fatalf("chaos run %s: %v", crashSpec, err)
+			}
+			if st := ce.Degraded()["worker1"]; st.Crashes != 1 {
+				t.Errorf("worker1 stats = %+v, want 1 crash", st)
+			}
+		})
+	}
+}

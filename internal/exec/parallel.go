@@ -521,6 +521,14 @@ func (pe *ParallelEngine) fireFilterSupervised(rt *pnodeRT, runner *workRunner, 
 			case faults.Panic:
 				return &ExecError{Filter: name, Op: "injected panic", Iteration: rt.fired}
 			case faults.Stall:
+				if rollback {
+					// A recoverable policy turns the stall into a synchronous
+					// failure (the sequential engine's convention), so
+					// retry/skip/restart actually recover instead of wedging
+					// the filter until the watchdog aborts the run.
+					return &ExecError{Filter: name, Op: "injected stall", Iteration: rt.fired,
+						Err: fmt.Errorf("stall reported synchronously under a %s policy", pol.Action)}
+				}
 				// Block like a wedged kernel until the watchdog aborts the run.
 				st.set(stStalled, "", 0, -1)
 				<-pe.stopCh

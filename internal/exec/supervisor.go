@@ -29,6 +29,14 @@ type Options struct {
 	// 0 selects DefaultWatchdogInterval; negative disables the watchdog.
 	// The sequential engine is single-threaded and has no watchdog.
 	Watchdog time.Duration
+	// QueueDepth bounds the mapped engine's cross-worker channels, in
+	// batches. 0 selects DefaultQueueDepth; the other engines ignore it.
+	QueueDepth int
+	// CheckpointEvery makes the mapped engine snapshot a coordinated
+	// checkpoint image every N steady iterations (the rollback target for
+	// worker-crash recovery). 0 checkpoints only when a worker fault is
+	// scheduled; the other engines ignore it.
+	CheckpointEvery int
 	// Profile enables the per-filter profiler (internal/obs): firings,
 	// tape traffic, work/stall time, and buffer high-water marks,
 	// retrievable via the engine's Profile method.
@@ -69,13 +77,16 @@ func filterNames(g *ir.Graph) []string {
 	return out
 }
 
-// DegradedStats counts the recovery actions taken for one filter.
+// DegradedStats counts the recovery actions taken for one filter (or, for
+// the mapped engine's worker-level faults, one worker).
 type DegradedStats struct {
 	Injected  int64 // faults the injector delivered
 	Retries   int64 // rolled-back re-executions
 	Skips     int64 // firings replaced by rate-honoring zeros
 	Restarts  int64 // state resets
 	Corrupted int64 // firings whose pushes were replaced by the corrupt sentinel
+	Crashes   int64 // worker crashes recovered by replan + rollback
+	Slowed    int64 // injected worker slowdowns
 }
 
 // supervisor applies fault injection and recovery policies to filter
@@ -85,8 +96,9 @@ type supervisor struct {
 	inj *faults.Injector
 	pol faults.Policies
 
-	mu    sync.Mutex
-	stats map[string]*DegradedStats
+	mu           sync.Mutex
+	stats        map[string]*DegradedStats
+	workerFaults map[int][]faults.WorkerFault // per worker, sorted by Iter
 }
 
 // newSupervisor materializes the options against a graph. Returns nil when
@@ -99,7 +111,47 @@ func newSupervisor(g *ir.Graph, o Options) (*supervisor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &supervisor{inj: inj, pol: o.OnError, stats: map[string]*DegradedStats{}}, nil
+	s := &supervisor{inj: inj, pol: o.OnError, stats: map[string]*DegradedStats{}}
+	if o.Faults != nil && len(o.Faults.WorkerFaults) > 0 {
+		s.workerFaults = map[int][]faults.WorkerFault{}
+		for _, wf := range o.Faults.WorkerFaults {
+			s.workerFaults[wf.Worker] = append(s.workerFaults[wf.Worker], wf)
+		}
+		for _, fs := range s.workerFaults {
+			sort.Slice(fs, func(i, j int) bool { return fs[i].Iter < fs[j].Iter })
+		}
+	}
+	return s, nil
+}
+
+// hasWorkerFaults reports whether any worker-level faults are scheduled
+// (consumed or not) — the signal that the mapped engine must checkpoint.
+func (s *supervisor) hasWorkerFaults() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.workerFaults) > 0
+}
+
+// takeWorker consumes the first worker fault due at or before the given
+// steady iteration. One-shot: a consumed fault never re-fires, so a crash
+// rolled back to a checkpoint before its iteration does not crash again.
+func (s *supervisor) takeWorker(worker int, iter int64) (faults.WorkerFault, bool) {
+	if s == nil {
+		return faults.WorkerFault{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs := s.workerFaults[worker]
+	if len(fs) == 0 || fs[0].Iter > iter {
+		return faults.WorkerFault{}, false
+	}
+	f := fs[0]
+	s.workerFaults[worker] = fs[1:]
+	s.statFor(fmt.Sprintf("worker%d", worker)).Injected++
+	return f, true
 }
 
 // statFor aggregates counters under the source-level filter name (all
@@ -139,6 +191,16 @@ func (s *supervisor) noteRestart(filter string) {
 	s.statFor(filter).Restarts++
 	s.mu.Unlock()
 }
+func (s *supervisor) noteCrash(worker string) {
+	s.mu.Lock()
+	s.statFor(worker).Crashes++
+	s.mu.Unlock()
+}
+func (s *supervisor) noteSlow(worker string) {
+	s.mu.Lock()
+	s.statFor(worker).Slowed++
+	s.mu.Unlock()
+}
 
 // Stats returns a copy of the per-filter recovery counters.
 func (s *supervisor) Stats() map[string]DegradedStats {
@@ -169,8 +231,8 @@ func (s *supervisor) Report() string {
 		if st == (DegradedStats{}) {
 			continue
 		}
-		fmt.Fprintf(&b, "  %-24s injected=%d retries=%d skips=%d restarts=%d corrupted=%d\n",
-			n, st.Injected, st.Retries, st.Skips, st.Restarts, st.Corrupted)
+		fmt.Fprintf(&b, "  %-24s injected=%d retries=%d skips=%d restarts=%d corrupted=%d crashes=%d slowed=%d\n",
+			n, st.Injected, st.Retries, st.Skips, st.Restarts, st.Corrupted, st.Crashes, st.Slowed)
 	}
 	return b.String()
 }

@@ -21,7 +21,8 @@ const (
 // around every potentially-blocking operation and sampled by the watchdog
 // when progress stops.
 type nodeStatus struct {
-	name string
+	name   string
+	worker int // mapped-engine worker running the node (-1: not mapped)
 
 	mu        sync.Mutex
 	state     string
@@ -32,7 +33,7 @@ type nodeStatus struct {
 }
 
 func newNodeStatus(name string) *nodeStatus {
-	return &nodeStatus{name: name, state: stRunning, blockedOn: -1, since: time.Now()}
+	return &nodeStatus{name: name, worker: -1, state: stRunning, blockedOn: -1, since: time.Now()}
 }
 
 // set records a (possibly blocking) state transition.
@@ -49,6 +50,7 @@ func (s *nodeStatus) snapshot() (FilterStatus, int) {
 	defer s.mu.Unlock()
 	return FilterStatus{
 		Name:     s.name,
+		Worker:   s.worker,
 		State:    s.state,
 		Edge:     s.edge,
 		Buffered: s.buffered,

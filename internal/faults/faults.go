@@ -40,6 +40,12 @@ const (
 	// Corrupt lets the firing run but replaces every value it pushes with
 	// CorruptValue.
 	Corrupt
+	// Crash kills a whole worker goroutine of the mapped engine (worker
+	// faults only; filters cannot crash a worker except by panicking).
+	Crash
+	// Slow injects a one-shot delay into a worker's iteration (worker
+	// faults only) — degradation without failure.
+	Slow
 )
 
 // CorruptValue is the sentinel emitted by Corrupt faults — large, exactly
@@ -56,6 +62,10 @@ func (k Kind) String() string {
 		return "stall"
 	case Corrupt:
 		return "corrupt"
+	case Crash:
+		return "crash"
+	case Slow:
+		return "slow"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -88,6 +98,24 @@ func (f Fault) String() string {
 	return fmt.Sprintf("%s:%s@%d", f.Kind, f.Filter, f.Firing)
 }
 
+// WorkerFault is one scheduled worker-level failure on the mapped engine:
+// worker Worker crashes, stalls, or slows at the start of steady iteration
+// Iter (0-based, counted over the whole run). Worker faults are one-shot,
+// and — unlike filter faults — they survive firing rollback: a crash
+// consumed before a checkpoint replay is not re-injected, so recovery
+// converges. Engines without workers (sequential, parallel, dynamic)
+// ignore them.
+type WorkerFault struct {
+	Worker int
+	Iter   int64
+	Kind   Kind // Crash, Stall, or Slow
+}
+
+// String renders the spec form of the worker fault.
+func (f WorkerFault) String() string {
+	return fmt.Sprintf("%s:worker%d@%d", f.Kind, f.Worker, f.Iter)
+}
+
 // RandSpec asks for N pseudo-random faults derived from Seed, scheduled
 // over the graph's filters within the first MaxFiring firings. Stalls are
 // never generated randomly (they would hang watchdog-less engines);
@@ -98,20 +126,38 @@ type RandSpec struct {
 	MaxFiring int64
 }
 
-// Plan is a parsed fault schedule: explicit faults plus an optional random
-// generator, materialized against a concrete graph by NewInjector.
+// Plan is a parsed fault schedule: explicit filter faults, worker-level
+// faults, plus an optional random generator, materialized against a
+// concrete graph by NewInjector (worker faults are consumed by the mapped
+// engine's supervisor instead — they name workers, not filters).
 type Plan struct {
-	Faults []Fault
-	Rand   *RandSpec
+	Faults       []Fault
+	WorkerFaults []WorkerFault
+	Rand         *RandSpec
 }
 
 // Empty reports whether the plan schedules nothing.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Faults) == 0 && p.Rand == nil)
+	return p == nil || (len(p.Faults) == 0 && len(p.WorkerFaults) == 0 && p.Rand == nil)
+}
+
+// workerTarget recognizes the "workerN" target form of worker-level
+// faults.
+func workerTarget(target string) (int, bool) {
+	rest, ok := strings.CutPrefix(target, "worker")
+	if !ok || rest == "" {
+		return 0, false
+	}
+	w, err := strconv.Atoi(rest)
+	if err != nil || w < 0 {
+		return 0, false
+	}
+	return w, true
 }
 
 // ParsePlan parses a -faults flag value. Entries are separated by ';' or
-// ','; each is kind:filter@firing or rand:N@seed.
+// ','; each is kind:filter@firing, kind:workerN@iteration (kind: crash,
+// stall, or slow — mapped engine only), or rand:N@seed.
 func ParsePlan(spec string) (*Plan, error) {
 	p := &Plan{}
 	for _, entry := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
@@ -142,11 +188,30 @@ func ParsePlan(spec string) (*Plan, error) {
 			p.Rand = &RandSpec{N: n, Seed: at, MaxFiring: 256}
 			continue
 		}
+		target = strings.TrimSpace(target)
+		if w, ok := workerTarget(target); ok {
+			var kind Kind
+			switch kindStr {
+			case "crash":
+				kind = Crash
+			case "stall":
+				kind = Stall
+			case "slow":
+				kind = Slow
+			default:
+				return nil, fmt.Errorf("faults: entry %q: worker faults want crash, stall, or slow", entry)
+			}
+			p.WorkerFaults = append(p.WorkerFaults, WorkerFault{Worker: w, Iter: at, Kind: kind})
+			continue
+		}
+		if kindStr == "crash" || kindStr == "slow" {
+			return nil, fmt.Errorf("faults: entry %q: %s faults target workers (workerN), not filters", entry, kindStr)
+		}
 		kind, err := ParseKind(kindStr)
 		if err != nil {
 			return nil, err
 		}
-		p.Faults = append(p.Faults, Fault{Filter: strings.TrimSpace(target), Firing: at, Kind: kind})
+		p.Faults = append(p.Faults, Fault{Filter: target, Firing: at, Kind: kind})
 	}
 	if p.Empty() {
 		return nil, fmt.Errorf("faults: empty plan %q", spec)
@@ -154,44 +219,103 @@ func ParsePlan(spec string) (*Plan, error) {
 	return p, nil
 }
 
-// BaseName strips the "#ID" uniquifier the flattener appends to node
-// names, recovering the source-level filter name users write in fault
-// plans and policy specs.
+// BaseName strips the instance decorations the compiler appends to node
+// names — the flattener's "#ID" uniquifier and the fission rewrite's
+// "/fN" replica suffix — recovering the source-level filter or segment
+// name users write in fault plans and policy specs. A fused segment's
+// base keeps its "A+B" form; SplitConstituents recovers the pieces.
 func BaseName(node string) string {
 	if i := strings.IndexByte(node, '#'); i >= 0 {
-		return node[:i]
+		node = node[:i]
+	}
+	if base, _, ok := replicaName(node); ok {
+		node = base
 	}
 	return node
+}
+
+// replicaName splits a fission-replica instance name ("Seg/f3", already
+// stripped of any "#ID" suffix) into its segment name and replica index.
+func replicaName(node string) (string, int, bool) {
+	i := strings.LastIndex(node, "/f")
+	if i < 0 {
+		return "", 0, false
+	}
+	idx, err := strconv.Atoi(node[i+2:])
+	if err != nil || idx < 0 {
+		return "", 0, false
+	}
+	return node[:i], idx, true
+}
+
+// SplitConstituents lists the source-level filters folded into a base
+// name by fusion ("A+B" -> A, B); a plain name is its own only
+// constituent.
+func SplitConstituents(base string) []string {
+	return strings.Split(base, "+")
 }
 
 // Materialize resolves the plan against a graph's filter names (in
 // deterministic graph order): explicit faults are validated, and the rand
 // spec is expanded with a seeded generator so the same seed over the same
 // filter list always yields the same schedule.
+//
+// A fault written against a source-level name also resolves onto the
+// instances the mapped rewrite synthesizes from it: a name matching one
+// fused segment ("A+B#3" for target A or B) resolves directly, and a name
+// matching a complete fission-replica set ("F/f0..F/f{k-1}") is remapped
+// so the fault lands where the original firing went — replica firing%k at
+// its firing/k firing, the round-robin scatter's distribution law.
 func (p *Plan) Materialize(filters []string) ([]Fault, error) {
 	if p == nil {
 		return nil, nil
 	}
 	known := make(map[string]bool, len(filters))
-	byBase := make(map[string][]string, len(filters))
+	byPre := make(map[string][]string, len(filters))  // name sans "#ID"
+	byBase := make(map[string][]string, len(filters)) // source-level base
+	byPart := make(map[string][]string)               // fused constituents
 	for _, f := range filters {
 		known[f] = true
-		byBase[BaseName(f)] = append(byBase[BaseName(f)], f)
+		pre := f
+		if i := strings.IndexByte(pre, '#'); i >= 0 {
+			pre = pre[:i]
+		}
+		byPre[pre] = append(byPre[pre], f)
+		base := BaseName(f)
+		if base != pre {
+			byBase[base] = append(byBase[base], f)
+		}
+		if parts := SplitConstituents(base); len(parts) > 1 {
+			for _, part := range parts {
+				byPart[part] = append(byPart[part], f)
+			}
+		}
 	}
 	out := append([]Fault(nil), p.Faults...)
 	for i, f := range out {
 		if known[f.Filter] {
 			continue
 		}
-		// Flattened node names carry a "#ID" uniquifier; resolve a bare
-		// source-level name when it is unambiguous.
-		switch matches := byBase[f.Filter]; len(matches) {
-		case 1:
-			out[i].Filter = matches[0]
+		matches := byPre[f.Filter]
+		if len(matches) == 0 {
+			matches = byBase[f.Filter]
+		}
+		if len(matches) == 0 {
+			matches = byPart[f.Filter]
+		}
+		switch len(matches) {
 		case 0:
 			return nil, fmt.Errorf("faults: filter %q not in graph (have %s)", f.Filter, strings.Join(filters, ", "))
+		case 1:
+			out[i].Filter = matches[0]
 		default:
-			return nil, fmt.Errorf("faults: filter %q is ambiguous (instances %s); use a full node name", f.Filter, strings.Join(matches, ", "))
+			replicas, ok := replicaSet(matches)
+			if !ok {
+				return nil, fmt.Errorf("faults: filter %q is ambiguous (instances %s); use a full node name", f.Filter, strings.Join(matches, ", "))
+			}
+			k := int64(len(replicas))
+			out[i].Filter = replicas[f.Firing%k]
+			out[i].Firing = f.Firing / k
 		}
 	}
 	if p.Rand != nil {
@@ -213,6 +337,31 @@ func (p *Plan) Materialize(filters []string) ([]Fault, error) {
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Firing < out[j].Firing })
 	return out, nil
+}
+
+// replicaSet checks whether the matched instances form one complete
+// fission-replica set of a single segment (indices exactly 0..k-1) and
+// returns them ordered by replica index.
+func replicaSet(matches []string) ([]string, bool) {
+	ordered := make([]string, len(matches))
+	var seg string
+	for _, m := range matches {
+		pre := m
+		if i := strings.IndexByte(pre, '#'); i >= 0 {
+			pre = pre[:i]
+		}
+		base, idx, ok := replicaName(pre)
+		if !ok || idx >= len(matches) || ordered[idx] != "" {
+			return nil, false
+		}
+		if seg == "" {
+			seg = base
+		} else if seg != base {
+			return nil, false
+		}
+		ordered[idx] = m
+	}
+	return ordered, true
 }
 
 // Injector hands scheduled faults to an engine as it fires filters. It is

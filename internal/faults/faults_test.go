@@ -152,3 +152,116 @@ func TestParsePolicies(t *testing.T) {
 		t.Fatal("retry:0 should be rejected")
 	}
 }
+
+func TestParsePlanWorkerFaults(t *testing.T) {
+	p, err := ParsePlan("crash:worker1@200; stall:worker0@5, slow:worker2@8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []WorkerFault{
+		{Worker: 1, Iter: 200, Kind: Crash},
+		{Worker: 0, Iter: 5, Kind: Stall},
+		{Worker: 2, Iter: 8, Kind: Slow},
+	}
+	if !reflect.DeepEqual(p.WorkerFaults, want) {
+		t.Fatalf("got %v, want %v", p.WorkerFaults, want)
+	}
+	if got := want[0].String(); got != "crash:worker1@200" {
+		t.Fatalf("String() = %q", got)
+	}
+	// Crash and slow target workers, never filters; panic targets filters,
+	// never workers (a stalled worker is just every filter on it stalling,
+	// so stall accepts both).
+	for _, bad := range []string{"crash:LowPass@3", "slow:LowPass@3", "crash:worker-1@3"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", bad)
+		}
+	}
+}
+
+func TestBaseNameInstances(t *testing.T) {
+	cases := map[string]string{
+		"Gain":      "Gain",
+		"Gain#7":    "Gain",
+		"Gain/f2#9": "Gain",
+		"A+B#3":     "A+B",
+		"A+B/f1#4":  "A+B",
+		"worker1":   "worker1",
+	}
+	for in, want := range cases {
+		if got := BaseName(in); got != want {
+			t.Errorf("BaseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if parts := SplitConstituents("A+B+C"); !reflect.DeepEqual(parts, []string{"A", "B", "C"}) {
+		t.Errorf("SplitConstituents = %v", parts)
+	}
+}
+
+// TestMaterializeReplicaRemap: a fault against a source filter name that
+// fission replicated resolves onto the replica handling that original
+// firing — replica r of k takes original firings r, r+k, r+2k, ... so
+// original firing n maps to replica n%k at its local firing n/k.
+func TestMaterializeReplicaRemap(t *testing.T) {
+	p, err := ParsePlan("panic:Gain@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := []string{"Src#1", "Gain/f0#2", "Gain/f1#3", "Gain/f2#4", "Snk#5"}
+	fs, err := p.Materialize(filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Filter != "Gain/f2#4" || fs[0].Firing != 1 {
+		t.Fatalf("got %v, want panic on Gain/f2#4 at local firing 1", fs)
+	}
+}
+
+// TestMaterializeFusedConstituent: a fault against a source filter that
+// fusion folded into a segment resolves onto the fused instance.
+func TestMaterializeFusedConstituent(t *testing.T) {
+	p, err := ParsePlan("corrupt:B@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := p.Materialize([]string{"Src#1", "A+B#2", "Snk#3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Filter != "A+B#2" || fs[0].Firing != 2 {
+		t.Fatalf("got %v, want corrupt on A+B#2 at firing 2", fs)
+	}
+}
+
+// TestMaterializeAmbiguousRejected: a base name matching several instances
+// that do not form a complete replica set is an error, not a guess.
+func TestMaterializeAmbiguousRejected(t *testing.T) {
+	p, err := ParsePlan("panic:Gain@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Materialize([]string{"Gain#1", "Gain#2"}); err == nil {
+		t.Fatal("ambiguous duplicate instances should be rejected")
+	}
+	if _, err := p.Materialize([]string{"Gain/f0#1", "Gain/f2#2"}); err == nil {
+		t.Fatal("an incomplete replica set should be rejected")
+	}
+}
+
+// TestPoliciesResolveInstances: per-filter policies written against source
+// names apply to flattened, replicated, and fused instances.
+func TestPoliciesResolveInstances(t *testing.T) {
+	ps, err := ParsePolicies("Gain=retry, B=restart, default=fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ps.For("Gain/f1#7"); got.Action != Retry {
+		t.Errorf("replica policy = %v, want retry", got)
+	}
+	if got := ps.For("A+B#3"); got.Action != Restart {
+		t.Errorf("fused-constituent policy = %v, want restart", got)
+	}
+	if got := ps.For("Other#2"); got.Action != Fail {
+		t.Errorf("fallback = %v, want fail", got)
+	}
+}

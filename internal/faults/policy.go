@@ -68,14 +68,24 @@ type Policies struct {
 }
 
 // For returns the policy governing a filter. Flattened node names carry a
-// "#ID" uniquifier; a policy keyed by the bare source-level name matches
-// every instance of that filter.
+// "#ID" uniquifier and mapped rewrites add fission ("/fN") and fusion
+// ("A+B") decoration; a policy keyed by the bare source-level name matches
+// every instance of that filter, including replicas and fused segments
+// that contain it (first named constituent wins on a fused segment).
 func (ps Policies) For(filter string) Policy {
 	if p, ok := ps.PerFilter[filter]; ok {
 		return p
 	}
-	if p, ok := ps.PerFilter[BaseName(filter)]; ok {
+	base := BaseName(filter)
+	if p, ok := ps.PerFilter[base]; ok {
 		return p
+	}
+	if parts := SplitConstituents(base); len(parts) > 1 {
+		for _, part := range parts {
+			if p, ok := ps.PerFilter[part]; ok {
+				return p
+			}
+		}
 	}
 	return ps.Default
 }

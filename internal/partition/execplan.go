@@ -547,6 +547,17 @@ func (t *planWindow) Push(float64) { panic("partition: replica input window is r
 // same greedy packing the simulated mappers use). g2 and s2 must be the
 // flattening and schedule of plan.Program.
 func (p *ExecPlan) Assign(g2 *ir.Graph, s2 *sched.Schedule) []int {
+	return p.AssignN(g2, s2, p.Workers)
+}
+
+// AssignN is Assign onto an explicit worker count — the re-planning hook
+// for crash recovery, which packs the same rewritten graph onto the
+// surviving workers without re-running the fusion/fission rewrite (the
+// graph, schedule, and checkpoint fingerprint all stay fixed).
+func (p *ExecPlan) AssignN(g2 *ir.Graph, s2 *sched.Schedule, workers int) []int {
+	if workers < 1 {
+		workers = 1
+	}
 	type nw struct {
 		id int
 		w  int64
@@ -574,7 +585,7 @@ func (p *ExecPlan) Assign(g2 *ir.Graph, s2 *sched.Schedule) []int {
 		weights = append(weights, nw{id: n.ID, w: w})
 	}
 	sort.SliceStable(weights, func(i, j int) bool { return weights[i].w > weights[j].w })
-	loads := make([]int64, p.Workers)
+	loads := make([]int64, workers)
 	assign := make([]int, len(g2.Nodes))
 	for _, x := range weights {
 		best := 0
