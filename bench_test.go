@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"streamit/internal/bench"
@@ -269,4 +270,41 @@ func BenchmarkMappedRecovery(b *testing.B) {
 	b.ReportMetric(res.OverheadPct, "%ckpt-overhead")
 	b.ReportMetric(float64(res.ImageBytes), "ckpt-bytes")
 	b.ReportMetric(res.RecoveryMS, "ms-crash-recover")
+}
+
+// BenchmarkServeSoak measures the multi-tenant streaming server: 10k
+// concurrent sessions (alternating the paper-suite Vocoder and FMRadio
+// applications) resident in one process, multiplexed onto a worker pool
+// sized to the host, reported as session density, aggregate iteration
+// throughput, and per-iteration latency quantiles.
+// STREAMIT_SERVE_BENCH_SESSIONS scales the fleet (CI smoke runs use a
+// small one); with STREAMIT_BENCH_JSON=dir, a streamit-bench/v1 snapshot
+// lands in dir/BENCH_serve.json.
+func BenchmarkServeSoak(b *testing.B) {
+	prevDir := bench.JSONDir
+	bench.JSONDir = os.Getenv("STREAMIT_BENCH_JSON")
+	defer func() { bench.JSONDir = prevDir }()
+
+	sessions := bench.DefaultServeSessions
+	if env := os.Getenv("STREAMIT_SERVE_BENCH_SESSIONS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			b.Fatalf("bad STREAMIT_SERVE_BENCH_SESSIONS %q", env)
+		}
+		sessions = n
+	}
+	var res *bench.ServeResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.ServeBench(sessions, 16, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bench.WriteServeSnapshot(res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.SessionsPerCore, "sessions/core")
+	b.ReportMetric(res.ItersPerSec, "iters/s")
+	b.ReportMetric(float64(res.P99NS), "ns-p99-iter")
 }

@@ -6,7 +6,8 @@
 //	streamit-bench                 # all tables
 //	streamit-bench -table main     # one table: benchchar, main, finegrain,
 //	                               # softpipe, thruput, vsspace, linear,
-//	                               # teleport
+//	                               # teleport, scaling, commablation,
+//	                               # freqblocks, vm, mapped, recovery, serve
 //	streamit-bench -dur 500ms      # longer measurement windows for E7/E8
 //	streamit-bench -json out       # write BENCH_<app>.json snapshots to out/
 //	streamit-bench -validate 'out/BENCH_*.json'  # check snapshot schema
@@ -53,7 +54,7 @@ func validate(glob string) error {
 }
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, benchchar, main, finegrain, softpipe, thruput, vsspace, linear, teleport, scaling, commablation, freqblocks, vm, mapped, recovery")
+	table := flag.String("table", "all", "table to print: all, benchchar, main, finegrain, softpipe, thruput, vsspace, linear, teleport, scaling, commablation, freqblocks, vm, mapped, recovery, serve")
 	dur := flag.Duration("dur", 150*time.Millisecond, "measurement window per configuration for the execution benchmarks")
 	jsonDir := flag.String("json", ".", "directory for BENCH_<app>.json snapshots (empty: do not write snapshots)")
 	check := flag.String("validate", "", "validate BENCH_*.json files matching this glob and exit")
@@ -101,6 +102,8 @@ func main() {
 		err = bench.PrintMapped(os.Stdout)
 	case "recovery":
 		err = bench.PrintRecovery(os.Stdout)
+	case "serve":
+		err = bench.PrintServe(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)

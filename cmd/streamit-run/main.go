@@ -9,6 +9,11 @@
 // forces the tree-walking interpreter (bit-identical output, useful for
 // cross-checking and debugging).
 //
+// With -repeat N, the sequential run repeats N times in one process. The
+// compiled program is cached by source hash (the same cache the streaming
+// server uses), so repeats skip parsing, scheduling, and VM compilation
+// and only stamp fresh engines from the shared artifact bundle.
+//
 // With -strategy, the program is instead mapped onto the simulated 16-tile
 // machine with the chosen strategy (sequential, task, task+data, task+swp,
 // task+data+swp, space) and the simulated throughput is reported.
@@ -111,6 +116,7 @@ func main() {
 	resumePath := flag.String("resume", "", "restore a checkpoint written by -checkpoint and run the remaining iterations (sequential and -map engines)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "with -map: take a coordinated checkpoint every N steady iterations (0 = only when worker faults are scheduled)")
 	queueDepth := flag.Int("queue-depth", 0, "with -map: cross-worker channel capacity in batches (0 = default)")
+	repeat := flag.Int("repeat", 1, "run the whole program N times on the sequential engine; compilation is cached, so repeats only stamp fresh engines")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -173,9 +179,37 @@ func main() {
 		lo := linear.DefaultOptions()
 		opts.Linear = &lo
 	}
-	c, err := core.CompileSource(string(src), *top, opts)
+	c, _, err := core.CachedCompileSource(string(src), *top, opts)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *repeat > 1 {
+		if useCkpt || *parallel || *dynamic || *strategy != "" || *mapStrat != "" {
+			fatal(fmt.Errorf("-repeat supports the plain sequential engine only"))
+		}
+		start := time.Now()
+		for i := 0; i < *repeat; i++ {
+			// Cache hit: same Compiled, same shared artifact bundle; only
+			// the engine (tapes, filter state, VM frames) is rebuilt.
+			cc, _, err := core.CachedCompileSource(string(src), *top, opts)
+			if err != nil {
+				fatal(err)
+			}
+			e, err := cc.EngineOpts(runOpts)
+			if err != nil {
+				fatal(err)
+			}
+			if err := e.Run(*iters); err != nil {
+				fatal(err)
+			}
+		}
+		dur := time.Since(start)
+		entries, hits, misses := core.DefaultCache.Stats()
+		fmt.Printf("ran %d × %d steady-state iterations in %v (%.0f runs/sec)\n",
+			*repeat, *iters, dur.Round(time.Microsecond), float64(*repeat)/dur.Seconds())
+		fmt.Printf("compile cache: %d entries, %d hits, %d misses\n", entries, hits, misses)
+		return
 	}
 
 	if *strategy != "" {

@@ -1,0 +1,102 @@
+// Command streamit-serve runs the multi-tenant streaming server: it
+// compiles StreamIt programs once and multiplexes many concurrent
+// sessions of them onto a shared worker pool, exposing an HTTP API.
+//
+// Usage:
+//
+//	streamit-serve [-addr :8080] [-workers N] [name=prog.str:Top ...]
+//
+// Each positional argument preloads a program: a registry name, the .str
+// file, and the top-level stream. Programs can also be loaded (and hot
+// reloaded) at runtime via POST /v1/programs.
+//
+// API summary (all JSON):
+//
+//	POST   /v1/programs            load or hot-reload a program
+//	GET    /v1/programs            list program versions
+//	POST   /v1/sessions            open a session  {"program":"fm"}
+//	POST   /v1/sessions/{id}/run   request iterations {"iterations":100}
+//	POST   /v1/sessions/{id}/feed  feed an overridden source
+//	GET    /v1/sessions/{id}/drain?max=n  take buffered output
+//	GET    /v1/sessions/{id}       session status
+//	DELETE /v1/sessions/{id}       close
+//	GET    /v1/stats               streamit-serve/v1 server stats
+//
+// Admission rejections (session limit, iteration backlog) answer 429;
+// a slow consumer only ever stalls its own session.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"streamit/internal/exec"
+	"streamit/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all cores)")
+	maxSessions := flag.Int("max-sessions", 0, "max concurrently open sessions (0 = default 16384)")
+	maxQueued := flag.Int("max-queued", 0, "max undone iterations per session (0 = default 4096)")
+	maxOut := flag.Int("max-buffered-out", 0, "max undrained output items per session (0 = default 8192)")
+	batch := flag.Int("batch", 0, "steady iterations per worker dispatch (0 = default 8)")
+	backendName := flag.String("backend", "vm", "work-function backend: vm or interp")
+	flag.Parse()
+
+	backend, err := exec.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		MaxSessions:    *maxSessions,
+		MaxQueuedIters: *maxQueued,
+		MaxBufferedOut: *maxOut,
+		Batch:          *batch,
+		Backend:        backend,
+	})
+	defer srv.Close()
+
+	for _, arg := range flag.Args() {
+		name, path, top, err := parseLoad(arg)
+		if err != nil {
+			fatal(err)
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		ver, err := srv.LoadSource(name, string(src), top)
+		if err != nil {
+			fatal(fmt.Errorf("load %s: %w", name, err))
+		}
+		fmt.Printf("loaded %s v%d from %s (top %s)\n", name, ver, path, top)
+	}
+
+	fmt.Printf("streamit-serve listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// parseLoad splits a preload argument of the form name=path:Top.
+func parseLoad(arg string) (name, path, top string, err error) {
+	name, rest, ok := strings.Cut(arg, "=")
+	if !ok {
+		return "", "", "", fmt.Errorf("bad program %q (want name=prog.str:Top)", arg)
+	}
+	path, top, ok = strings.Cut(rest, ":")
+	if !ok {
+		return "", "", "", fmt.Errorf("bad program %q (want name=prog.str:Top)", arg)
+	}
+	return name, path, top, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "streamit-serve:", err)
+	os.Exit(1)
+}

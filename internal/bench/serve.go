@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"streamit/internal/apps"
+	"streamit/internal/obs"
+	"streamit/internal/serve"
+)
+
+// ServeResult reports the multi-tenant streaming server's soak metrics: a
+// fleet of concurrent Vocoder and FMRadio sessions multiplexed onto the
+// shared worker pool, measured as session density, aggregate iteration
+// throughput, and per-iteration latency quantiles.
+type ServeResult struct {
+	Sessions        int
+	Workers         int
+	Iters           int     // steady iterations per session
+	SessionsPerCore float64 // concurrent sessions per pool worker
+	CreateMS        float64 // wall ms to stamp every session
+	WallMS          float64 // wall ms to run the whole fleet to completion
+	ItersPerSec     float64 // aggregate completed iterations per second
+	P50NS           int64   // per-iteration latency quantiles (histogram)
+	P99NS           int64
+	MaxNS           int64
+}
+
+// DefaultServeSessions is the serve soak's fleet size; the
+// STREAMIT_SERVE_BENCH_SESSIONS environment variable overrides it (CI
+// smoke runs use a small fleet).
+const DefaultServeSessions = 10000
+
+// serveSessions resolves the fleet size.
+func serveSessions() (int, error) {
+	env := os.Getenv("STREAMIT_SERVE_BENCH_SESSIONS")
+	if env == "" {
+		return DefaultServeSessions, nil
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad STREAMIT_SERVE_BENCH_SESSIONS %q", env)
+	}
+	return n, nil
+}
+
+// ServeBench soaks the streaming server: sessions concurrent sessions
+// (alternating the paper-suite Vocoder and FMRadio applications) resident
+// in one process, each running iters steady iterations on a pool of
+// workers cores.
+func ServeBench(sessions, iters, workers int) (*ServeResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	srv := serve.New(serve.Config{
+		Workers:        workers,
+		MaxSessions:    sessions + 8,
+		MaxBufferedOut: 1 << 20,
+	})
+	defer srv.Close()
+	if _, err := srv.LoadProgram("vocoder", apps.Vocoder(15)); err != nil {
+		return nil, err
+	}
+	if _, err := srv.LoadProgram("fmradio", apps.FMRadio(10, 64)); err != nil {
+		return nil, err
+	}
+
+	r := &ServeResult{Sessions: sessions, Workers: workers, Iters: iters,
+		SessionsPerCore: float64(sessions) / float64(workers)}
+
+	all := make([]*serve.Session, sessions)
+	start := time.Now()
+	for i := range all {
+		name := "vocoder"
+		if i%2 == 1 {
+			name = "fmradio"
+		}
+		s, err := srv.NewSession(serve.SessionOptions{Program: name, Tenant: name})
+		if err != nil {
+			return nil, fmt.Errorf("session %d: %w", i, err)
+		}
+		all[i] = s
+	}
+	r.CreateMS = float64(time.Since(start).Microseconds()) / 1000
+
+	start = time.Now()
+	for _, s := range all {
+		if err := s.Run(iters); err != nil {
+			return nil, err
+		}
+	}
+	for i, s := range all {
+		if err := s.WaitDone(int64(iters), 10*time.Minute); err != nil {
+			return nil, fmt.Errorf("session %d: %w", i, err)
+		}
+		s.Drain(0)
+		s.Close()
+	}
+	wall := time.Since(start)
+	r.WallMS = float64(wall.Microseconds()) / 1000
+	r.ItersPerSec = float64(sessions*iters) / wall.Seconds()
+
+	st := srv.Stats()
+	r.P50NS = st.LatencyNS.P50
+	r.P99NS = st.LatencyNS.P99
+	r.MaxNS = st.LatencyNS.Max
+	if st.Iterations.Completed != int64(sessions*iters) {
+		return nil, fmt.Errorf("completed %d iterations, want %d", st.Iterations.Completed, sessions*iters)
+	}
+	return r, nil
+}
+
+// WriteServeSnapshot persists the soak as BENCH_serve.json
+// (streamit-bench/v1).
+func WriteServeSnapshot(r *ServeResult) error {
+	if JSONDir == "" {
+		return nil
+	}
+	b := obs.NewBench("serve")
+	b.Set("sessions", float64(r.Sessions), "sessions")
+	b.Set("workers", float64(r.Workers), "cores")
+	b.Set("sessions_per_core", r.SessionsPerCore, "sessions/core")
+	b.Set("iters_per_session", float64(r.Iters), "iters")
+	b.Set("create_ms", r.CreateMS, "ms")
+	b.Set("wall_ms", r.WallMS, "ms")
+	b.Set("iters_per_sec", r.ItersPerSec, "iters/s")
+	b.Set("p50_iter_ns", float64(r.P50NS), "ns")
+	b.Set("p99_iter_ns", float64(r.P99NS), "ns")
+	b.Set("max_iter_ns", float64(r.MaxNS), "ns")
+	_, err := b.WriteFile(JSONDir)
+	return err
+}
+
+// PrintServe renders the streaming-server soak table: session density and
+// latency for thousands of concurrent Vocoder/FMRadio sessions on the
+// shared pool.
+func PrintServe(w io.Writer) error {
+	sessions, err := serveSessions()
+	if err != nil {
+		return err
+	}
+	r, err := ServeBench(sessions, 16, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return err
+	}
+	if err := WriteServeSnapshot(r); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table serve: multi-tenant server soak (%d sessions, %d workers)\n", r.Sessions, r.Workers)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Metric\tValue")
+	fmt.Fprintf(tw, "concurrent sessions\t%d (%.0f per core)\n", r.Sessions, r.SessionsPerCore)
+	fmt.Fprintf(tw, "session creation\t%.1f ms total (%.1f µs each)\n", r.CreateMS, 1000*r.CreateMS/float64(r.Sessions))
+	fmt.Fprintf(tw, "fleet completion\t%.1f ms for %d iters/session\n", r.WallMS, r.Iters)
+	fmt.Fprintf(tw, "aggregate throughput\t%.0f iters/s\n", r.ItersPerSec)
+	fmt.Fprintf(tw, "iteration latency p50\t%s\n", fmtNS(r.P50NS))
+	fmt.Fprintf(tw, "iteration latency p99\t%s\n", fmtNS(r.P99NS))
+	fmt.Fprintf(tw, "iteration latency max\t%s\n", fmtNS(r.MaxNS))
+	return tw.Flush()
+}
+
+func fmtNS(ns int64) string { return time.Duration(ns).Round(100 * time.Nanosecond).String() }

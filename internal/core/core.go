@@ -11,6 +11,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"streamit/internal/exec"
@@ -128,6 +129,11 @@ type Compiled struct {
 	Schedule *sched.Schedule
 	Linear   *linear.Report
 	Stats    ir.Stats
+
+	// shared memoizes the per-backend execution-artifact bundles (see
+	// Shared); engines stamped from one Compiled never recompile kernels.
+	sharedMu sync.Mutex
+	shared   map[exec.Backend]*exec.Shared
 }
 
 // Compile verifies and schedules prog, applying the optional linear
@@ -183,9 +189,15 @@ func (c *Compiled) Engine() (*exec.Engine, error) {
 	return c.EngineOpts(RunOptions{})
 }
 
-// EngineOpts is Engine with explicit run options.
+// EngineOpts is Engine with explicit run options. Construction goes
+// through the compiled program's shared artifact bundle, so building many
+// engines from one Compiled compiles each work function exactly once.
 func (c *Compiled) EngineOpts(opts RunOptions) (*exec.Engine, error) {
-	return exec.NewFromGraphOpts(c.Graph, c.Schedule, opts.execOptions())
+	sh, err := c.Shared(opts.Backend)
+	if err != nil {
+		return nil, err
+	}
+	return sh.NewEngine(opts.execOptions())
 }
 
 // ParallelEngine builds the goroutine-per-filter backend (no teleport

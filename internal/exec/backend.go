@@ -70,6 +70,21 @@ func newWorkRunner(k *wfunc.Kernel, st *wfunc.State, backend Backend) *workRunne
 	return &workRunner{work: k.Work, env: env}
 }
 
+// newWorkRunnerCompiled builds a runner around a pre-compiled VM program
+// (nil selects the interpreter), binding it to the instance state st. This
+// is the allocation-light path: a shared artifact bundle compiles each
+// kernel once and every engine stamps frames from it.
+func newWorkRunnerCompiled(k *wfunc.Kernel, st *wfunc.State, prog *vm.Program) *workRunner {
+	if prog != nil {
+		m := vm.NewMachine(prog)
+		m.SetState(st)
+		return &workRunner{work: k.Work, mach: m}
+	}
+	env := wfunc.NewEnv(k.Work)
+	env.State = st
+	return &workRunner{work: k.Work, env: env}
+}
+
 // run fires the work function once against the given tapes.
 func (r *workRunner) run(in, out wfunc.Tape, msg wfunc.Messenger, print func(float64)) error {
 	if r.mach != nil {

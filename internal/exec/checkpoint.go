@@ -81,6 +81,11 @@ func graphFingerprint(g *ir.Graph, s *sched.Schedule) uint64 {
 // Fingerprint hashes the engine's graph and schedule structure.
 func (e *Engine) Fingerprint() uint64 { return graphFingerprint(e.G, e.Sch) }
 
+// GraphFingerprint hashes a graph and schedule structure — the identity
+// under which checkpoints restore, compiled-program caches key, and the
+// streaming server names program versions.
+func GraphFingerprint(g *ir.Graph, s *sched.Schedule) uint64 { return graphFingerprint(g, s) }
+
 // ckptImage is the engine-neutral decoded form of a checkpoint: what any
 // engine over the fingerprinted graph needs to resume.
 type ckptImage struct {

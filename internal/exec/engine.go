@@ -55,9 +55,12 @@ type nodeRT struct {
 	node   *ir.Node
 	state  *wfunc.State
 	runner *workRunner
-	send   *sender       // hoisted messenger (one per node, not per firing)
+	send   *sender       // hoisted messenger (only for message-sending filters)
 	print  func(float64) // hoisted print hook trampoline
-	fired  int64
+	// override, when set, fires in place of the kernel's work function for
+	// this engine instance only (see Engine.OverrideWork).
+	override func(in, out wfunc.Tape)
+	fired    int64
 	// inT/outT are counting tape wrappers, set only when profiling.
 	inT, outT wfunc.Tape
 }
@@ -113,123 +116,25 @@ func NewFromGraphBackend(g *ir.Graph, s *sched.Schedule, backend Backend) (*Engi
 
 // NewFromGraphOpts is the full-option engine constructor: backend
 // selection plus supervised execution (fault injection and per-kernel
-// recovery policies).
+// recovery policies). It builds a one-shot Shared bundle; callers that
+// construct many engines over the same graph should build the Shared once
+// (exec.NewShared) and stamp engines from it.
 func NewFromGraphOpts(g *ir.Graph, s *sched.Schedule, opts Options) (*Engine, error) {
-	backend := opts.Backend
-	e := &Engine{
-		G:       g,
-		Sch:     s,
-		Backend: backend,
-		calc:    sdep.NewCalc(g, s),
-		chans:   make([]*channel, len(g.Edges)),
-		nodes:   make([]*nodeRT, len(g.Nodes)),
-		pending: make([][]*message, len(g.Nodes)),
-	}
-	for _, edge := range g.Edges {
-		ch := newChannel(2 * s.BufCap[edge.ID])
-		for _, v := range edge.Initial {
-			ch.Push(v)
-		}
-		e.chans[edge.ID] = ch
-	}
-	for _, n := range g.Nodes {
-		rt := &nodeRT{node: n}
-		if n.Kind == ir.NodeFilter {
-			k := n.Filter.Kernel
-			rt.state = k.NewState()
-			// Init always runs on the interpreter: it fires once, so
-			// compilation would cost more than it saves.
-			if k.Init != nil {
-				initEnv := wfunc.NewEnv(k.Init)
-				initEnv.State = rt.state
-				if err := wfunc.Exec(k.Init, initEnv); err != nil {
-					return nil, fmt.Errorf("init of %s: %w", n.Name, err)
-				}
-			}
-			rt.runner = newWorkRunner(k, rt.state, backend)
-			rt.send = &sender{e: e, node: n}
-			name := n.Name
-			rt.print = func(v float64) {
-				if e.Printer != nil {
-					e.Printer(name, v)
-				}
-			}
-		}
-		e.nodes[n.ID] = rt
-	}
-	if err := e.deriveConstraints(); err != nil {
-		return nil, err
-	}
-	e.dynamic = len(e.constraints) > 0
-	sup, err := newSupervisor(g, opts)
+	sh, err := NewShared(g, s, opts.Backend)
 	if err != nil {
 		return nil, err
 	}
-	e.sup = sup
-	if opts.Profile || opts.Trace != nil {
-		var prof *obs.Profiler
-		if opts.Profile {
-			prof = obs.NewProfiler(nodeNames(g))
-		}
-		e.adoptObs(prof, opts.Trace)
-	}
-	return e, nil
+	return sh.NewEngine(opts)
 }
 
-// deriveConstraints statically scans kernels for Send statements and
-// combines them with portal registrations and MAX_LATENCY directives to
-// produce the schedule constraints of the paper's operational semantics.
-func (e *Engine) deriveConstraints() error {
-	// Map portal ID -> receiver nodes.
-	recvs := map[int][]*ir.Node{}
-	for _, p := range e.G.Portals {
-		for _, f := range p.Receivers {
-			n := e.G.FilterNode[f]
-			if n == nil {
-				return fmt.Errorf("portal %s receiver %s not in graph", p.Name, f.Kernel.Name)
-			}
-			recvs[p.ID] = append(recvs[p.ID], n)
-		}
+// sdepCalc lazily builds the engine's sdep calculator. Only messaging
+// constraints consult it, so the allocation (and its memo tables) is
+// skipped entirely for the common message-free program.
+func (e *Engine) sdepCalc() *sdep.Calc {
+	if e.calc == nil {
+		e.calc = sdep.NewCalc(e.G, e.Sch)
 	}
-	for _, n := range e.G.Nodes {
-		if n.Kind != ir.NodeFilter {
-			continue
-		}
-		sends := collectSends(n.Filter.Kernel.Work)
-		for _, s := range sends {
-			if s.BestEffort {
-				continue
-			}
-			for _, r := range recvs[s.Portal] {
-				if r == n {
-					return fmt.Errorf("filter %s sends messages to itself", n.Name)
-				}
-				up := e.G.Downstream(r, n)
-				down := e.G.Downstream(n, r)
-				if !up && !down {
-					return fmt.Errorf("message from %s to %s: receivers running in parallel with the sender are not supported", n.Name, r.Name)
-				}
-				e.constraints = append(e.constraints, constraint{
-					sender: n, receiver: r, latency: s.MinLatency, upstream: up,
-				})
-			}
-		}
-	}
-	for _, lc := range e.G.Constraints {
-		a := e.G.FilterNode[lc.Upstream]
-		b := e.G.FilterNode[lc.Downstream]
-		if a == nil || b == nil {
-			return fmt.Errorf("MAX_LATENCY references a filter outside the graph")
-		}
-		if !e.G.Downstream(a, b) {
-			return fmt.Errorf("MAX_LATENCY(%s, %s): first filter must be upstream of second", a.Name, b.Name)
-		}
-		// MAX_LATENCY(A,B,n) acts as a message from B to upstream A.
-		e.constraints = append(e.constraints, constraint{
-			sender: b, receiver: a, latency: lc.Latency, upstream: true,
-		})
-	}
-	return nil
+	return e.calc
 }
 
 func collectSends(f *wfunc.Func) []*wfunc.Send {
@@ -309,7 +214,7 @@ func (e *Engine) miTapes(a, b *ir.Edge, bNode *ir.Node, x int64) (int64, error) 
 		}
 		return x + sinkMargin(bNode), nil
 	}
-	return e.calc.Mi(a, b, x)
+	return e.sdepCalc().Mi(a, b, x)
 }
 
 // maTapes computes ma{a->progress of bNode}(x). When a and b are the same
@@ -324,7 +229,7 @@ func (e *Engine) maTapes(a, b *ir.Edge, bNode *ir.Node, x int64) (int64, error) 
 		}
 		return (x - m) / pop * pop, nil
 	}
-	return e.calc.Ma(a, b, x)
+	return e.sdepCalc().Ma(a, b, x)
 }
 
 // RunInit executes the initialization schedule.
@@ -593,6 +498,10 @@ func (e *Engine) attemptFire(rt *nodeRT, inCh, outCh *channel, fault faults.Faul
 	if injected && fault.Kind == faults.Corrupt {
 		out = corruptOut(out)
 	}
+	if rt.override != nil {
+		rt.override(in, out)
+		return nil
+	}
 	if n.Filter.WorkFn != nil {
 		n.Filter.WorkFn(in, out, rt.state)
 		return nil
@@ -601,7 +510,11 @@ func (e *Engine) attemptFire(rt *nodeRT, inCh, outCh *channel, fault faults.Faul
 	if e.Printer != nil {
 		print = rt.print
 	}
-	if err := rt.runner.run(in, out, rt.send, print); err != nil {
+	var msg wfunc.Messenger
+	if rt.send != nil {
+		msg = rt.send
+	}
+	if err := rt.runner.run(in, out, msg, print); err != nil {
 		return &ExecError{Filter: n.Name, Op: "work", Iteration: rt.fired, Err: err}
 	}
 	return nil

@@ -1,0 +1,301 @@
+package exec
+
+import (
+	"fmt"
+
+	"streamit/internal/ir"
+	"streamit/internal/obs"
+	"streamit/internal/sched"
+	"streamit/internal/vm"
+	"streamit/internal/wfunc"
+)
+
+// Shared is the immutable compiled-artifact bundle for one graph and
+// schedule: work functions compiled to VM bytecode once per kernel,
+// post-init field-state prototypes, messaging constraints derived once,
+// and ring-buffer geometry sized from the schedule's observed high-water
+// marks. Many engines are stamped out of one Shared — construction clones
+// small state vectors and allocates tapes, nothing else — which is what
+// lets a multi-tenant server hold thousands of concurrent sessions of the
+// same program (see internal/serve). A Shared is safe for concurrent use
+// by any number of goroutines; the engines it produces are each
+// single-owner, like engines always were.
+type Shared struct {
+	G   *ir.Graph
+	Sch *sched.Schedule
+	// Backend is the work-function substrate every engine from this Shared
+	// uses (the VM programs are compiled at bundle build time).
+	Backend Backend
+
+	// progs[n.ID] is the node's compiled VM program; nil when the node is
+	// not a filter, the backend is the interpreter, or compilation fell
+	// back. Programs are immutable and shared by every engine's Machines.
+	progs []*vm.Program
+	// protos[n.ID] is the filter's field state after its init function ran
+	// (init is deterministic IL, so it runs once here and per-engine
+	// construction clones the result instead of re-interpreting it).
+	protos []*wfunc.State
+	// sends[n.ID] marks filters whose work function sends teleport
+	// messages; only those engines' nodes carry a messenger.
+	sends []bool
+	// ringCap[e.ID] is the initial tape ring capacity in items: the
+	// schedule's buffer high-water mark (rings still grow on demand, so
+	// dynamic messaging schedules that run ahead stay correct).
+	ringCap []int
+
+	constraints []constraint
+	dynamic     bool
+}
+
+// NewShared compiles the reusable execution artifacts for g under the
+// given backend. The work is everything expensive about engine
+// construction: VM compilation per kernel, init-function interpretation,
+// and constraint derivation.
+func NewShared(g *ir.Graph, s *sched.Schedule, backend Backend) (*Shared, error) {
+	sh := &Shared{
+		G:       g,
+		Sch:     s,
+		Backend: backend,
+		progs:   make([]*vm.Program, len(g.Nodes)),
+		protos:  make([]*wfunc.State, len(g.Nodes)),
+		sends:   make([]bool, len(g.Nodes)),
+		ringCap: make([]int, len(g.Edges)),
+	}
+	for _, edge := range g.Edges {
+		c := s.BufCap[edge.ID]
+		if n := len(edge.Initial); n > c {
+			c = n
+		}
+		sh.ringCap[edge.ID] = c
+	}
+	// Fission replicas and fused partitions can share one kernel object;
+	// compile each distinct work function once.
+	compiled := map[*wfunc.Func]*vm.Program{}
+	for _, n := range g.Nodes {
+		if n.Kind != ir.NodeFilter {
+			continue
+		}
+		k := n.Filter.Kernel
+		st := k.NewState()
+		// Init always runs on the interpreter: it fires once per program,
+		// so compilation would cost more than it saves.
+		if k.Init != nil {
+			initEnv := wfunc.NewEnv(k.Init)
+			initEnv.State = st
+			if err := wfunc.Exec(k.Init, initEnv); err != nil {
+				return nil, fmt.Errorf("init of %s: %w", n.Name, err)
+			}
+		}
+		sh.protos[n.ID] = st
+		sh.sends[n.ID] = wfunc.SendsMessages(k.Work)
+		if backend == BackendVM && n.Filter.WorkFn == nil {
+			if p, ok := compiled[k.Work]; ok {
+				sh.progs[n.ID] = p
+			} else if p, err := vm.Compile(k.Work); err == nil {
+				compiled[k.Work] = p
+				sh.progs[n.ID] = p
+			} else {
+				// Uncompilable work functions fall back to the interpreter;
+				// remember the failure so replicas do not retry.
+				compiled[k.Work] = nil
+			}
+		}
+	}
+	if err := sh.deriveConstraints(); err != nil {
+		return nil, err
+	}
+	sh.dynamic = len(sh.constraints) > 0
+	return sh, nil
+}
+
+// Fingerprint hashes the bundle's graph and schedule structure; it equals
+// the fingerprint of every engine built from this Shared.
+func (sh *Shared) Fingerprint() uint64 { return graphFingerprint(sh.G, sh.Sch) }
+
+// NewEngine stamps out one engine instance from the shared artifacts.
+// Construction is allocation-light: tape rings at their schedule high-water
+// marks, cloned field states, and one VM frame per filter. opts.Backend is
+// ignored — the bundle's backend applies (its programs were compiled for
+// it).
+func (sh *Shared) NewEngine(opts Options) (*Engine, error) {
+	opts.Backend = sh.Backend
+	e := &Engine{
+		G:           sh.G,
+		Sch:         sh.Sch,
+		Backend:     sh.Backend,
+		chans:       make([]*channel, len(sh.G.Edges)),
+		nodes:       make([]*nodeRT, len(sh.G.Nodes)),
+		pending:     make([][]*message, len(sh.G.Nodes)),
+		constraints: sh.constraints,
+		dynamic:     sh.dynamic,
+	}
+	for _, edge := range sh.G.Edges {
+		ch := newChannel(sh.ringCap[edge.ID])
+		for _, v := range edge.Initial {
+			ch.Push(v)
+		}
+		e.chans[edge.ID] = ch
+	}
+	for _, n := range sh.G.Nodes {
+		rt := &nodeRT{node: n}
+		if n.Kind == ir.NodeFilter {
+			k := n.Filter.Kernel
+			rt.state = sh.protos[n.ID].Clone()
+			rt.runner = newWorkRunnerCompiled(k, rt.state, sh.progs[n.ID])
+			if sh.sends[n.ID] {
+				rt.send = &sender{e: e, node: n}
+			}
+			name := n.Name
+			rt.print = func(v float64) {
+				if e.Printer != nil {
+					e.Printer(name, v)
+				}
+			}
+		}
+		e.nodes[n.ID] = rt
+	}
+	sup, err := newSupervisor(sh.G, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.sup = sup
+	if opts.Profile || opts.Trace != nil {
+		var prof *obs.Profiler
+		if opts.Profile {
+			prof = obs.NewProfiler(nodeNames(sh.G))
+		}
+		e.adoptObs(prof, opts.Trace)
+	}
+	return e, nil
+}
+
+// deriveConstraints statically scans kernels for Send statements and
+// combines them with portal registrations and MAX_LATENCY directives to
+// produce the schedule constraints of the paper's operational semantics.
+func (sh *Shared) deriveConstraints() error {
+	// Map portal ID -> receiver nodes.
+	recvs := map[int][]*ir.Node{}
+	for _, p := range sh.G.Portals {
+		for _, f := range p.Receivers {
+			n := sh.G.FilterNode[f]
+			if n == nil {
+				return fmt.Errorf("portal %s receiver %s not in graph", p.Name, f.Kernel.Name)
+			}
+			recvs[p.ID] = append(recvs[p.ID], n)
+		}
+	}
+	for _, n := range sh.G.Nodes {
+		if n.Kind != ir.NodeFilter {
+			continue
+		}
+		sends := collectSends(n.Filter.Kernel.Work)
+		for _, s := range sends {
+			if s.BestEffort {
+				continue
+			}
+			for _, r := range recvs[s.Portal] {
+				if r == n {
+					return fmt.Errorf("filter %s sends messages to itself", n.Name)
+				}
+				up := sh.G.Downstream(r, n)
+				down := sh.G.Downstream(n, r)
+				if !up && !down {
+					return fmt.Errorf("message from %s to %s: receivers running in parallel with the sender are not supported", n.Name, r.Name)
+				}
+				sh.constraints = append(sh.constraints, constraint{
+					sender: n, receiver: r, latency: s.MinLatency, upstream: up,
+				})
+			}
+		}
+	}
+	for _, lc := range sh.G.Constraints {
+		a := sh.G.FilterNode[lc.Upstream]
+		b := sh.G.FilterNode[lc.Downstream]
+		if a == nil || b == nil {
+			return fmt.Errorf("MAX_LATENCY references a filter outside the graph")
+		}
+		if !sh.G.Downstream(a, b) {
+			return fmt.Errorf("MAX_LATENCY(%s, %s): first filter must be upstream of second", a.Name, b.Name)
+		}
+		// MAX_LATENCY(A,B,n) acts as a message from B to upstream A.
+		sh.constraints = append(sh.constraints, constraint{
+			sender: b, receiver: a, latency: lc.Latency, upstream: true,
+		})
+	}
+	return nil
+}
+
+// OverrideWork replaces the named filter's work function for this engine
+// instance only. The override fires in place of the kernel (and of any
+// native WorkFn); it must respect the kernel's static rates — pop exactly
+// its pop count and push exactly its push count per firing — or the run
+// surfaces a structured *ExecError. This is the per-session input hook of
+// the streaming server: a served session's source filter is overridden to
+// push items fed over the wire, while every other session keeps the
+// program's own source. Call before Run.
+func (e *Engine) OverrideWork(name string, fn func(in, out wfunc.Tape)) error {
+	n := e.filterByName(name)
+	if n == nil {
+		return fmt.Errorf("exec: override target %q is not a filter in the graph", name)
+	}
+	e.nodes[n.ID].override = fn
+	return nil
+}
+
+// TapSink wraps the named filter's input tape so fn observes every item
+// the filter pops, in firing order. Filters with no input tape (sources)
+// are rejected. Taps compose with profiling wrappers and survive
+// checkpoint restores. Under non-fail recovery policies a rolled-back
+// firing's pops are observed again on replay; servers that tap output do
+// not enable those policies. Call before Run.
+func (e *Engine) TapSink(name string, fn func(float64)) error {
+	n := e.filterByName(name)
+	if n == nil {
+		return fmt.Errorf("exec: tap target %q is not a filter in the graph", name)
+	}
+	edge := n.InEdge()
+	if edge == nil {
+		return fmt.Errorf("exec: tap target %q has no input tape", name)
+	}
+	rt := e.nodes[n.ID]
+	rt.inT = &tapTape{e: e, edge: edge.ID, inner: rt.inT, fn: fn}
+	return nil
+}
+
+// filterByName resolves a flattened instance name to its filter node.
+func (e *Engine) filterByName(name string) *ir.Node {
+	for _, n := range e.G.Nodes {
+		if n.Kind == ir.NodeFilter && n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// tapTape forwards to the filter's effective input tape (a profiling
+// wrapper when set, else the engine's current channel — resolved per
+// operation because Restore replaces channel objects) and reports every
+// popped value.
+type tapTape struct {
+	e     *Engine
+	edge  int
+	inner wfunc.Tape // next wrapper down, nil = the channel itself
+	fn    func(float64)
+}
+
+func (t *tapTape) tape() wfunc.Tape {
+	if t.inner != nil {
+		return t.inner
+	}
+	return t.e.chans[t.edge]
+}
+
+func (t *tapTape) Peek(i int) float64 { return t.tape().Peek(i) }
+
+func (t *tapTape) Pop() float64 {
+	v := t.tape().Pop()
+	t.fn(v)
+	return v
+}
+
+func (t *tapTape) Push(v float64) { t.tape().Push(v) }

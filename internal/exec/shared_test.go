@@ -1,0 +1,230 @@
+package exec
+
+import (
+	"testing"
+
+	"streamit/internal/ir"
+	"streamit/internal/sched"
+	"streamit/internal/wfunc"
+)
+
+// sharedTestGraph builds a small source -> gain -> sink graph directly in
+// IR, flattened and scheduled.
+func sharedTestGraph(t *testing.T) (*ir.Graph, *sched.Schedule) {
+	t.Helper()
+	src := wfunc.NewKernel("s", 0, 0, 1)
+	n := src.Field("n", 0)
+	src.WorkBody(wfunc.Push1(n), wfunc.SetF(n, wfunc.AddX(n, wfunc.C(1))))
+	g1 := wfunc.NewKernel("g", 1, 1, 1)
+	g1.WorkBody(wfunc.Push1(wfunc.MulX(wfunc.PopE(), wfunc.C(3))))
+	snk := wfunc.NewKernel("k", 1, 1, 0)
+	snk.WorkBody(wfunc.Pop1())
+	p := &ir.Program{Name: "T", Top: ir.Pipe("TP",
+		&ir.Filter{Kernel: src.Build(), In: ir.TypeVoid, Out: ir.TypeFloat},
+		&ir.Filter{Kernel: g1.Build(), In: ir.TypeFloat, Out: ir.TypeFloat},
+		&ir.Filter{Kernel: snk.Build(), In: ir.TypeFloat, Out: ir.TypeVoid})}
+	g, err := ir.Flatten(p)
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	s, err := sched.Compute(g)
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	return g, s
+}
+
+// TestSharedEnginesIndependent stamps several engines from one bundle and
+// checks they run independently with identical, correct output.
+func TestSharedEnginesIndependent(t *testing.T) {
+	g, s := sharedTestGraph(t)
+	sh, err := NewShared(g, s, BackendVM)
+	if err != nil {
+		t.Fatalf("NewShared: %v", err)
+	}
+	var outs [3][]float64
+	engines := make([]*Engine, 3)
+	for i := range engines {
+		e, err := sh.NewEngine(Options{})
+		if err != nil {
+			t.Fatalf("NewEngine %d: %v", i, err)
+		}
+		i := i
+		if err := e.TapSink("k#2", func(v float64) { outs[i] = append(outs[i], v) }); err != nil {
+			t.Fatalf("TapSink: %v", err)
+		}
+		engines[i] = e
+	}
+	// Run them interleaved: per-engine state must not bleed.
+	for step := 0; step < 10; step++ {
+		for i, e := range engines {
+			if step == 0 {
+				if err := e.RunInit(); err != nil {
+					t.Fatalf("engine %d init: %v", i, err)
+				}
+			}
+			if err := e.RunSteady(1); err != nil {
+				t.Fatalf("engine %d steady: %v", i, err)
+			}
+		}
+	}
+	for i, out := range outs {
+		if len(out) != 10 {
+			t.Fatalf("engine %d produced %d items, want 10", i, len(out))
+		}
+		for j, v := range out {
+			if want := float64(j) * 3; v != want {
+				t.Fatalf("engine %d item %d: got %v, want %v", i, j, v, want)
+			}
+		}
+	}
+}
+
+// TestSharedMatchesDirectConstruction checks a bundle-stamped engine is
+// indistinguishable from the classic construction path on both backends.
+func TestSharedMatchesDirectConstruction(t *testing.T) {
+	for _, backend := range []Backend{BackendVM, BackendInterp} {
+		g, s := sharedTestGraph(t)
+		sh, err := NewShared(g, s, backend)
+		if err != nil {
+			t.Fatalf("NewShared: %v", err)
+		}
+		a, err := sh.NewEngine(Options{})
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		b, err := NewFromGraphOpts(g, s, Options{Backend: backend})
+		if err != nil {
+			t.Fatalf("NewFromGraphOpts: %v", err)
+		}
+		var av, bv []float64
+		if err := a.TapSink("k#2", func(v float64) { av = append(av, v) }); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.TapSink("k#2", func(v float64) { bv = append(bv, v) }); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Run(25); err != nil {
+			t.Fatalf("%v run: %v", backend, err)
+		}
+		if err := b.Run(25); err != nil {
+			t.Fatalf("%v run: %v", backend, err)
+		}
+		if len(av) != len(bv) {
+			t.Fatalf("%v: %d vs %d items", backend, len(av), len(bv))
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("%v item %d: shared %v, direct %v", backend, i, av[i], bv[i])
+			}
+		}
+	}
+}
+
+// TestRingSizedToHighWaterMark pins satellite behavior: tape rings are
+// allocated at the schedule's observed high-water mark (rounded to the
+// ring's power-of-two granularity), not at a doubled worst case — that is
+// what keeps thousands of idle sessions cheap.
+func TestRingSizedToHighWaterMark(t *testing.T) {
+	g, s := sharedTestGraph(t)
+	sh, err := NewShared(g, s, BackendVM)
+	if err != nil {
+		t.Fatalf("NewShared: %v", err)
+	}
+	e, err := sh.NewEngine(Options{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	for _, edge := range g.Edges {
+		hwm := s.BufCap[edge.ID]
+		if n := len(edge.Initial); n > hwm {
+			hwm = n
+		}
+		want := 4
+		for want < hwm {
+			want *= 2
+		}
+		if got := len(e.chans[edge.ID].buf); got != want {
+			t.Fatalf("edge %d: ring capacity %d, want %d (HWM %d)", edge.ID, got, want, hwm)
+		}
+	}
+}
+
+// TestSharedStampingIsCheap asserts that stamping an engine from an
+// existing bundle allocates well under half of what the full build-a-bundle
+// path costs — the allocation-light construction the server's session
+// fan-out depends on.
+func TestSharedStampingIsCheap(t *testing.T) {
+	g, s := sharedTestGraph(t)
+	sh, err := NewShared(g, s, BackendVM)
+	if err != nil {
+		t.Fatalf("NewShared: %v", err)
+	}
+	stamp := testing.AllocsPerRun(50, func() {
+		if _, err := sh.NewEngine(Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	full := testing.AllocsPerRun(50, func() {
+		if _, err := NewFromGraphOpts(g, s, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if stamp*2 >= full {
+		t.Fatalf("stamping allocates %.0f objects vs %.0f for a full build; expected < half", stamp, full)
+	}
+}
+
+// TestOverrideWorkRates checks the override hook and its failure mode: a
+// well-behaved override replaces the work function exactly; one that
+// violates the kernel's static rates surfaces a structured error instead
+// of corrupting the run.
+func TestOverrideWorkRates(t *testing.T) {
+	g, s := sharedTestGraph(t)
+	sh, err := NewShared(g, s, BackendVM)
+	if err != nil {
+		t.Fatalf("NewShared: %v", err)
+	}
+	e, err := sh.NewEngine(Options{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if err := e.OverrideWork("nope", func(in, out wfunc.Tape) {}); err == nil {
+		t.Fatal("OverrideWork accepted an unknown filter")
+	}
+	var got []float64
+	if err := e.OverrideWork("s#0", func(_, out wfunc.Tape) { out.Push(7) }); err != nil {
+		t.Fatalf("OverrideWork: %v", err)
+	}
+	if err := e.TapSink("k#2", func(v float64) { got = append(got, v) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(5); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != 21 {
+			t.Fatalf("item %d: got %v, want 21 (override 7 x gain 3)", i, v)
+		}
+	}
+	// A popping override on a filter with no input tape must fault
+	// structurally, not crash the process.
+	e2, err := sh.NewEngine(Options{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if err := e2.OverrideWork("g#1", func(in, out wfunc.Tape) {
+		in.Pop()
+		in.Pop() // second pop exceeds the single buffered item
+		out.Push(0)
+	}); err != nil {
+		t.Fatalf("OverrideWork: %v", err)
+	}
+	err = e2.Run(1)
+	if err == nil {
+		t.Fatal("rate-violating override ran without error")
+	}
+	if _, ok := err.(*ExecError); !ok {
+		t.Fatalf("rate violation produced %T (%v), want *ExecError", err, err)
+	}
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+)
+
+// httpJSON performs one API call and decodes the JSON response.
+func httpJSON(t *testing.T, client *http.Client, method, url string, body any, wantCode int) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatalf("encode body: %v", err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decode: %v", method, url, err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s: status %d, want %d (body %v)", method, url, resp.StatusCode, wantCode, out)
+	}
+	return out
+}
+
+func TestHTTPAPI(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2, MaxSessions: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := ts.Client()
+
+	src, err := os.ReadFile("../../examples/strprogs/fmradio.str")
+	if err != nil {
+		t.Fatalf("read fmradio.str: %v", err)
+	}
+
+	// Load a program from source over the wire.
+	resp := httpJSON(t, cl, "POST", ts.URL+"/v1/programs",
+		map[string]string{"name": "fm", "source": string(src), "top": "Main"}, http.StatusOK)
+	if resp["version"].(float64) != 1 {
+		t.Fatalf("load: version = %v, want 1", resp["version"])
+	}
+
+	// Listing shows it active.
+	resp = httpJSON(t, cl, "GET", ts.URL+"/v1/programs", nil, http.StatusOK)
+	progs := resp["programs"].([]any)
+	if len(progs) != 1 || progs[0].(map[string]any)["name"] != "fm" {
+		t.Fatalf("programs listing: %v", progs)
+	}
+
+	// Create a session, run it, wait via status polling, drain output.
+	resp = httpJSON(t, cl, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"program": "fm", "tenant": "acme"}, http.StatusCreated)
+	id := fmt.Sprintf("%.0f", resp["id"].(float64))
+	sURL := ts.URL + "/v1/sessions/" + id
+
+	httpJSON(t, cl, "POST", sURL+"/run", map[string]int{"iterations": 10}, http.StatusOK)
+	for {
+		resp = httpJSON(t, cl, "GET", sURL, nil, http.StatusOK)
+		if resp["done"].(float64) >= 10 {
+			break
+		}
+	}
+	resp = httpJSON(t, cl, "GET", sURL+"/drain?max=5", nil, http.StatusOK)
+	if n := len(resp["values"].([]any)); n != 5 {
+		t.Fatalf("drain max=5 returned %d values", n)
+	}
+
+	// Admission: session limit answers 429.
+	httpJSON(t, cl, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"program": "fm"}, http.StatusCreated)
+	httpJSON(t, cl, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"program": "fm"}, http.StatusTooManyRequests)
+
+	// Stats document is well-formed.
+	resp = httpJSON(t, cl, "GET", ts.URL+"/v1/stats", nil, http.StatusOK)
+	if resp["schema"] != StatsSchema {
+		t.Fatalf("stats schema = %v", resp["schema"])
+	}
+
+	// Close; further use answers 404.
+	httpJSON(t, cl, "DELETE", sURL, nil, http.StatusOK)
+	httpJSON(t, cl, "GET", sURL, nil, http.StatusNotFound)
+	httpJSON(t, cl, "GET", ts.URL+"/v1/sessions/99999", nil, http.StatusNotFound)
+
+	// Unknown program and malformed body are 400s.
+	httpJSON(t, cl, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"program": "nope"}, http.StatusBadRequest)
+	httpJSON(t, cl, "POST", ts.URL+"/v1/programs",
+		map[string]string{"name": "x"}, http.StatusBadRequest)
+}
+
+func TestHTTPHotReload(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := ts.Client()
+
+	prog := func(gain float64) map[string]string {
+		src := fmt.Sprintf(`
+void->float filter Src() { float n; work push 1 { push(n); n = n + 1; } }
+float->float filter Amp() { work pop 1 push 1 { push(pop() * %g); } }
+float->void filter Out() { work pop 1 { pop(); } }
+void->void pipeline Main() { add Src(); add Amp(); add Out(); }
+`, gain)
+		return map[string]string{"name": "amp", "source": src, "top": "Main"}
+	}
+
+	resp := httpJSON(t, cl, "POST", ts.URL+"/v1/programs", prog(2), http.StatusOK)
+	if resp["version"].(float64) != 1 {
+		t.Fatalf("first load: version %v", resp["version"])
+	}
+	// Same source text: cache returns the same compiled object, no new
+	// version.
+	resp = httpJSON(t, cl, "POST", ts.URL+"/v1/programs", prog(2), http.StatusOK)
+	if resp["version"].(float64) != 1 {
+		t.Fatalf("identical reload: version %v, want 1", resp["version"])
+	}
+	// Changed constant: hot reload to version 2.
+	resp = httpJSON(t, cl, "POST", ts.URL+"/v1/programs", prog(3), http.StatusOK)
+	if resp["version"].(float64) != 2 {
+		t.Fatalf("changed reload: version %v, want 2", resp["version"])
+	}
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pool is the shared work-stealing worker pool every session's steady-state
+// iterations run on. Each worker owns a deque: it pushes sessions that still
+// have runnable work to its own tail (LIFO, cache-warm) and steals from the
+// head of a victim's deque when its own runs dry. Newly runnable sessions
+// enter through a global FIFO so admission order is roughly fair across
+// tenants. Workers park on a condition variable when the whole pool is dry;
+// a version counter closes the race between a failed scan and the park, so
+// no submit is ever lost.
+type pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	global  []*Session
+	version uint64
+	idle    int
+	closed  bool
+
+	workers []*worker
+	wg      sync.WaitGroup
+
+	steals atomic.Int64
+	parks  atomic.Int64
+}
+
+type worker struct {
+	id int
+	p  *pool
+	dq deque
+}
+
+// deque is a mutex-based work-stealing deque. The owner pushes and pops at
+// the tail; thieves take from the head. Contention is negligible: the owner
+// touches it once per batch and thieves only appear when their own deques
+// are empty.
+type deque struct {
+	mu    sync.Mutex
+	items []*Session
+}
+
+func (d *deque) pushTail(s *Session) {
+	d.mu.Lock()
+	d.items = append(d.items, s)
+	d.mu.Unlock()
+}
+
+func (d *deque) popTail() *Session {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil
+	}
+	s := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	return s
+}
+
+func (d *deque) stealHead() *Session {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil
+	}
+	s := d.items[0]
+	copy(d.items, d.items[1:])
+	d.items[len(d.items)-1] = nil
+	d.items = d.items[:len(d.items)-1]
+	return s
+}
+
+func newPool(workers int) *pool {
+	p := &pool{}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		w := &worker{id: i, p: p}
+		p.workers = append(p.workers, w)
+	}
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go func(w *worker) {
+			defer p.wg.Done()
+			p.run(w)
+		}(w)
+	}
+	return p
+}
+
+// submit enqueues a session that just became runnable. The caller must hold
+// the session's scheduled flag (see Session.kick): a session is in at most
+// one place — the global queue or one worker's deque — at any time.
+func (p *pool) submit(s *Session) {
+	p.mu.Lock()
+	p.global = append(p.global, s)
+	p.version++
+	if p.idle > 0 {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// bump advertises that some worker's deque gained an item, waking a parked
+// worker to come steal it.
+func (p *pool) bump() {
+	p.mu.Lock()
+	p.version++
+	if p.idle > 0 {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// steal scans the other workers round-robin from w's successor and takes
+// the head of the first non-empty deque.
+func (p *pool) steal(w *worker) *Session {
+	n := len(p.workers)
+	for i := 1; i < n; i++ {
+		v := p.workers[(w.id+i)%n]
+		if s := v.dq.stealHead(); s != nil {
+			p.steals.Add(1)
+			return s
+		}
+	}
+	return nil
+}
+
+// run is one worker's scheduling loop: global queue, own deque, steal,
+// park. The version counter read at the top of each pass makes parking
+// sound — if any submit or bump landed between the scan and the re-lock,
+// the version moved and the worker rescans instead of sleeping.
+func (p *pool) run(w *worker) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		v := p.version
+		var s *Session
+		if len(p.global) > 0 {
+			s = p.global[0]
+			copy(p.global, p.global[1:])
+			p.global[len(p.global)-1] = nil
+			p.global = p.global[:len(p.global)-1]
+		}
+		p.mu.Unlock()
+
+		if s == nil {
+			s = w.dq.popTail()
+		}
+		if s == nil {
+			s = p.steal(w)
+		}
+		if s == nil {
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			if p.version == v && len(p.global) == 0 {
+				p.idle++
+				p.parks.Add(1)
+				p.cond.Wait()
+				p.idle--
+			}
+			p.mu.Unlock()
+			continue
+		}
+
+		if s.runBatch() {
+			// Still runnable: back on our own tail. Advertise it so an idle
+			// worker can steal if we are the bottleneck.
+			w.dq.pushTail(s)
+			p.bump()
+		}
+	}
+}

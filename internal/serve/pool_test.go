@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolManySessions drives enough concurrent sessions through a small
+// pool that work stealing and parking both exercise, and checks every
+// session completes its goal.
+func TestPoolManySessions(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 4, MaxSessions: 1024})
+	loadTest(t, srv, "t", 1.5)
+
+	const sessions = 200
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		s, err := srv.NewSession(SessionOptions{Program: "t"})
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			// Request in two chunks so sessions re-enter the pool mid-run,
+			// and drain as we go so output backpressure never caps progress.
+			if err := s.Run(iters / 2); err != nil {
+				errs <- err
+				return
+			}
+			for {
+				done, _ := s.Progress()
+				s.Drain(0)
+				if done >= iters/2 {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if err := s.Run(iters / 2); err != nil {
+				errs <- err
+				return
+			}
+			if err := s.WaitDone(iters, 20*time.Second); err != nil {
+				errs <- err
+			}
+			s.Drain(0)
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("session error: %v", err)
+	}
+	st := srv.Stats()
+	if st.Iterations.Completed != sessions*iters {
+		t.Fatalf("completed %d iterations, want %d", st.Iterations.Completed, sessions*iters)
+	}
+	if st.Pool.Parks == 0 {
+		t.Error("pool never parked an idle worker")
+	}
+}
+
+// TestPoolNoLostWakeup hammers the submit/park race: one session at a
+// time, long idle gaps, many rounds. A lost wakeup shows up as a WaitDone
+// timeout.
+func TestPoolNoLostWakeup(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2})
+	loadTest(t, srv, "t", 1.0)
+	s, err := srv.NewSession(SessionOptions{Program: "t"})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	for round := 1; round <= 300; round++ {
+		if err := s.Run(1); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := s.WaitDone(int64(round), 10*time.Second); err != nil {
+			t.Fatalf("round %d: %v (lost wakeup?)", round, err)
+		}
+		s.Drain(0)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in; the soak
+// test scales its session count down under -race (the detector multiplies
+// memory and time per goroutine by an order of magnitude).
+const raceEnabled = false

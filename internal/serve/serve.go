@@ -1,0 +1,408 @@
+// Package serve is a multi-tenant streaming server: it compiles StreamIt
+// programs once, then multiplexes thousands of cheap per-tenant sessions
+// of those programs onto one work-stealing worker pool sized to the
+// machine. Sessions share the program's immutable artifacts (graph,
+// schedule, VM bytecode, init-state prototypes — see exec.Shared) and own
+// only their tapes, filter state, and VM frames, so an idle session costs
+// a few kilobytes. Admission control bounds sessions and per-session
+// iteration backlog; backpressure from a slow consumer throttles only its
+// own session; reloading a program's source hot-swaps new sessions onto
+// the new version while old sessions drain on the version they pinned.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamit/internal/core"
+	"streamit/internal/exec"
+	"streamit/internal/ir"
+)
+
+// maxBatch caps Config.Batch; it bounds the worker's stack-allocated
+// latency staging.
+const maxBatch = 64
+
+// Config sizes the server. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the pool size; 0 selects GOMAXPROCS.
+	Workers int
+	// MaxSessions bounds concurrently open sessions (default 16384).
+	MaxSessions int
+	// MaxQueuedIters bounds undone iterations per session (default 4096).
+	MaxQueuedIters int
+	// MaxBufferedIn bounds fed-but-unconsumed items per session
+	// (default 65536).
+	MaxBufferedIn int
+	// MaxBufferedOut bounds produced-but-undrained items per session
+	// (default 8192); a full output buffer stalls only that session.
+	MaxBufferedOut int
+	// Batch is how many steady iterations a worker runs per dispatch
+	// (default 8, max 64). Larger batches amortize scheduling; smaller
+	// ones reduce per-session latency jitter.
+	Batch int
+	// Backend selects the work-function substrate for all sessions.
+	Backend exec.Backend
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 16384
+	}
+	if c.MaxQueuedIters <= 0 {
+		c.MaxQueuedIters = 4096
+	}
+	if c.MaxBufferedIn <= 0 {
+		c.MaxBufferedIn = 65536
+	}
+	if c.MaxBufferedOut <= 0 {
+		c.MaxBufferedOut = 8192
+	}
+	if c.Batch <= 0 {
+		c.Batch = 8
+	}
+	if c.Batch > maxBatch {
+		c.Batch = maxBatch
+	}
+	return c
+}
+
+// Server multiplexes sessions of loaded programs onto a shared worker
+// pool. All methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	pool  *pool
+	cache *core.Cache
+	start time.Time
+
+	mu          sync.Mutex
+	programs    map[string]*program
+	sessions    map[uint64]*Session
+	tenantIters map[string]int64
+	nextSID     uint64
+	peak        int
+
+	created          atomic.Int64
+	closedCount      atomic.Int64
+	rejectedSessions atomic.Int64
+	rejectedIters    atomic.Int64
+	itersDone        atomic.Int64
+	lat              latHist
+}
+
+// program is a named entry in the registry; versions accumulate on reload
+// and retire once drained.
+type program struct {
+	name     string
+	versions []*version
+}
+
+// version is one immutable compiled edition of a program. Sessions pin the
+// version current at their creation; a superseded version survives,
+// draining, until its last session closes.
+type version struct {
+	name   string
+	num    int
+	fp     uint64
+	shared *exec.Shared
+
+	// Output geometry: items every sink pops per steady iteration and
+	// during init (what a session's output buffer fills at).
+	outPerIter int
+	outPerInit int
+	sinks      []string
+
+	active atomic.Int64
+}
+
+// New starts a server with its worker pool running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:         cfg,
+		pool:        newPool(cfg.Workers),
+		cache:       core.NewCache(),
+		start:       time.Now(),
+		programs:    map[string]*program{},
+		sessions:    map[uint64]*Session{},
+		tenantIters: map[string]int64{},
+	}
+}
+
+// Close stops the worker pool. Open sessions stop making progress; their
+// buffered output stays drainable.
+func (srv *Server) Close() { srv.pool.close() }
+
+// LoadSource compiles src (cached by source hash) and loads it under name.
+// Loading an already-present name with a different compiled fingerprint is
+// a hot reload: a new version becomes current for future sessions while
+// existing sessions drain on theirs. Returns the current version number.
+func (srv *Server) LoadSource(name, src, top string) (int, error) {
+	c, _, err := srv.cache.CompileSource(src, top, core.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return srv.LoadCompiled(name, c)
+}
+
+// LoadProgram compiles an in-memory IR program and loads it under name.
+func (srv *Server) LoadProgram(name string, p *ir.Program) (int, error) {
+	c, err := core.Compile(p, core.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return srv.LoadCompiled(name, c)
+}
+
+// LoadCompiled registers a compiled program under name. Reload identity is
+// the compiled object itself: loading the same *Compiled again (which is
+// what the source cache returns for unchanged source text) is a no-op,
+// while any fresh compilation — even one that happens to share the
+// structural fingerprint — becomes a new version. The structural
+// fingerprint deliberately ignores work-function bodies (it names
+// checkpoint-compatible shapes), so it cannot tell a constant tweak from
+// no change at all; object identity can.
+func (srv *Server) LoadCompiled(name string, c *core.Compiled) (int, error) {
+	sh, err := c.Shared(srv.cfg.Backend)
+	if err != nil {
+		return 0, err
+	}
+	v := &version{name: name, fp: sh.Fingerprint(), shared: sh}
+	for _, n := range sh.G.Nodes {
+		if n.Kind == ir.NodeFilter && n.IsSink() {
+			v.sinks = append(v.sinks, n.Name)
+			v.outPerIter += sh.Sch.Reps[n.ID] * n.TotalPop()
+			v.outPerInit += sh.Sch.InitReps[n.ID] * n.TotalPop()
+		}
+	}
+	sort.Strings(v.sinks)
+
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	p := srv.programs[name]
+	if p == nil {
+		p = &program{name: name}
+		srv.programs[name] = p
+	}
+	if n := len(p.versions); n > 0 && p.versions[n-1].shared == sh {
+		return p.versions[n-1].num, nil // identical program: no new version
+	}
+	v.num = len(p.versions) + 1
+	if n := len(p.versions); n > 0 {
+		v.num = p.versions[n-1].num + 1
+	}
+	p.versions = append(p.versions, v)
+	srv.pruneLocked(p)
+	return v.num, nil
+}
+
+// pruneLocked drops superseded versions with no remaining sessions.
+// Callers hold srv.mu.
+func (srv *Server) pruneLocked(p *program) {
+	if len(p.versions) <= 1 {
+		return
+	}
+	kept := p.versions[:0]
+	for i, v := range p.versions {
+		if i == len(p.versions)-1 || v.active.Load() > 0 {
+			kept = append(kept, v)
+		}
+	}
+	p.versions = kept
+}
+
+// Programs lists loaded program versions, sorted by name then version.
+func (srv *Server) Programs() []ProgramStats {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	var out []ProgramStats
+	for _, p := range srv.programs {
+		latest := p.versions[len(p.versions)-1]
+		for _, v := range p.versions {
+			out = append(out, ProgramStats{
+				Name:        p.name,
+				Version:     v.num,
+				Fingerprint: fingerprintString(v.fp),
+				Sessions:    v.active.Load(),
+				Active:      v == latest,
+				Draining:    v != latest,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// NewSession opens a session of the named program's current version.
+// Construction stamps an engine from the version's shared artifacts —
+// allocation-light by design, which is what makes 10k-session fan-out
+// practical. The session is idle until Run requests iterations.
+func (srv *Server) NewSession(opt SessionOptions) (*Session, error) {
+	srv.mu.Lock()
+	if len(srv.sessions) >= srv.cfg.MaxSessions {
+		srv.mu.Unlock()
+		srv.rejectedSessions.Add(1)
+		return nil, fmt.Errorf("%w (%d open)", ErrSessionLimit, srv.cfg.MaxSessions)
+	}
+	p := srv.programs[opt.Program]
+	if p == nil {
+		srv.mu.Unlock()
+		return nil, fmt.Errorf("serve: unknown program %q", opt.Program)
+	}
+	ver := p.versions[len(p.versions)-1]
+	srv.nextSID++
+	sid := srv.nextSID
+	srv.mu.Unlock()
+
+	s := &Session{ID: sid, srv: srv, ver: ver, opt: opt, waitCh: make(chan struct{})}
+	var engOpts exec.Options
+	if opt.Profile {
+		engOpts.Profile = true
+	}
+	eng, err := ver.shared.NewEngine(engOpts)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Source != "" {
+		srcName, err := feedRates(ver.shared, opt.Source, s)
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.OverrideWork(srcName, s.sourceOverride()); err != nil {
+			return nil, err
+		}
+	}
+	for _, sink := range ver.sinks {
+		if err := eng.TapSink(sink, func(v float64) { s.stageOut = append(s.stageOut, v) }); err != nil {
+			return nil, err
+		}
+	}
+	s.eng = eng
+	s.prof = eng.Profile()
+
+	srv.mu.Lock()
+	if len(srv.sessions) >= srv.cfg.MaxSessions {
+		srv.mu.Unlock()
+		srv.rejectedSessions.Add(1)
+		return nil, fmt.Errorf("%w (%d open)", ErrSessionLimit, srv.cfg.MaxSessions)
+	}
+	srv.sessions[sid] = s
+	if len(srv.sessions) > srv.peak {
+		srv.peak = len(srv.sessions)
+	}
+	ver.active.Add(1)
+	srv.mu.Unlock()
+	srv.created.Add(1)
+	return s, nil
+}
+
+// feedRates validates that name resolves to a pushing source filter of the
+// bundle's graph, fills the session's input geometry, and returns the
+// filter's flattened instance name.
+func feedRates(sh *exec.Shared, name string, s *Session) (string, error) {
+	n, err := findFilter(sh.G, name)
+	if err != nil {
+		return "", err
+	}
+	if !n.IsSource() || n.TotalPush() == 0 {
+		return "", fmt.Errorf("serve: filter %q is not a pushing source", name)
+	}
+	s.inPerFiring = n.TotalPush()
+	s.inPerIter = sh.Sch.Reps[n.ID] * s.inPerFiring
+	s.inPerInit = sh.Sch.InitReps[n.ID] * s.inPerFiring
+	return n.Name, nil
+}
+
+// findFilter resolves a filter by flattened instance name ("src#0") or by
+// the bare kernel name the user wrote ("src"), rejecting ambiguous bare
+// names — flattening suffixes every instance with "#<id>".
+func findFilter(g *ir.Graph, name string) (*ir.Node, error) {
+	var found *ir.Node
+	for _, n := range g.Nodes {
+		if n.Kind != ir.NodeFilter {
+			continue
+		}
+		if n.Name == name {
+			return n, nil
+		}
+		if baseName(n.Name) == name {
+			if found != nil {
+				return nil, fmt.Errorf("serve: filter name %q is ambiguous (instances %s, %s)", name, found.Name, n.Name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("serve: no filter named %q in program", name)
+	}
+	return found, nil
+}
+
+// baseName strips every flattening suffix: builder graphs mangle one
+// instance counter ("src#0"), lang-elaborated graphs two ("Mic#2#0").
+func baseName(s string) string {
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Session looks up an open session by ID.
+func (srv *Server) Session(id uint64) *Session {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return srv.sessions[id]
+}
+
+// closeSession implements Session.Close.
+func (srv *Server) closeSession(s *Session) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.notifyLocked()
+	s.mu.Unlock()
+
+	srv.mu.Lock()
+	delete(srv.sessions, s.ID)
+	s.ver.active.Add(-1)
+	if p := srv.programs[s.ver.name]; p != nil {
+		srv.pruneLocked(p)
+	}
+	srv.mu.Unlock()
+	srv.closedCount.Add(1)
+}
+
+// recordIters folds a finished batch into the server-wide latency
+// histogram and counters.
+func (srv *Server) recordIters(tenant string, latNS []int64) {
+	for _, ns := range latNS {
+		srv.lat.record(ns)
+	}
+	srv.itersDone.Add(int64(len(latNS)))
+	srv.mu.Lock()
+	srv.tenantIters[tenant] += int64(len(latNS))
+	srv.mu.Unlock()
+}
+
+// CacheStats exposes the server's compile-cache counters.
+func (srv *Server) CacheStats() (entries int, hits, misses int64) {
+	return srv.cache.Stats()
+}
+
+func fingerprintString(fp uint64) string { return fmt.Sprintf("%016x", fp) }

@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"streamit/internal/obs"
+	"streamit/internal/wfunc"
+
+	"sync"
+)
+
+// Serving errors. The HTTP layer maps these onto status codes (429 for
+// admission, 409 for closed).
+var (
+	// ErrSessionLimit rejects session creation past Config.MaxSessions.
+	ErrSessionLimit = errors.New("serve: session limit reached")
+	// ErrIterBacklog rejects Run calls that would exceed
+	// Config.MaxQueuedIters outstanding iterations on one session.
+	ErrIterBacklog = errors.New("serve: iteration backlog limit reached")
+	// ErrClosed reports an operation on a closed session.
+	ErrClosed = errors.New("serve: session closed")
+	// ErrTimeout reports a WaitDone deadline expiry.
+	ErrTimeout = errors.New("serve: wait timed out")
+)
+
+// SessionOptions configures one session at creation.
+type SessionOptions struct {
+	// Program names a loaded program; the session pins its latest version.
+	Program string
+	// Source optionally names a source filter whose work is replaced by
+	// the session's fed input queue: each firing pushes the filter's push
+	// rate worth of items fed via Feed. Empty runs the program
+	// self-contained (its own sources generate data).
+	Source string
+	// Tenant tags the session for per-tenant stats aggregation.
+	Tenant string
+	// Profile attaches a per-session obs profiler.
+	Profile bool
+}
+
+// Session is one tenant's independent instance of a compiled program:
+// private tapes, filter state, and VM frames stamped from the program
+// version's shared artifact bundle, plus bounded input/output queues. A
+// session costs a few KB idle; the server multiplexes thousands onto the
+// worker pool. All exported methods are safe for concurrent use.
+type Session struct {
+	// ID is the server-unique session identifier.
+	ID  uint64
+	srv *Server
+	ver *version
+	opt SessionOptions
+
+	// Input geometry when opt.Source is set: items consumed per source
+	// firing, per steady iteration, and by the init schedule.
+	inPerFiring int
+	inPerIter   int
+	inPerInit   int
+
+	mu        sync.Mutex
+	eng       engineRunner
+	inited    bool
+	input     ringf // fed items awaiting consumption
+	output    ringf // produced items awaiting drain
+	goal      int64 // steady iterations requested
+	done      int64 // steady iterations completed
+	scheduled bool  // true while queued or running on the pool
+	closed    bool
+	err       error
+	waitCh    chan struct{} // closed and remade on every state change
+
+	// Worker-local staging. Only the worker running a batch touches these,
+	// and the scheduled flag guarantees one worker at a time.
+	stage    []float64 // inputs for the in-flight batch
+	stagePos int
+	stageOut []float64 // outputs captured by sink taps during the batch
+
+	prof *obs.Profiler
+}
+
+// engineRunner is the slice of *exec.Engine a session drives. Narrowed to
+// an interface only to keep session logic testable.
+type engineRunner interface {
+	RunInit() error
+	RunSteady(iters int) error
+	Profile() *obs.Profiler
+}
+
+// ringf is a growable float64 ring buffer (FIFO).
+type ringf struct {
+	buf  []float64
+	head int
+	size int
+}
+
+func (r *ringf) len() int { return r.size }
+
+func (r *ringf) push(v float64) {
+	if r.size == len(r.buf) {
+		next := make([]float64, max(8, 2*len(r.buf)))
+		for i := 0; i < r.size; i++ {
+			next[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = next
+		r.head = 0
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.size++
+}
+
+func (r *ringf) pop() float64 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v
+}
+
+// Run requests n more steady-state iterations. Admission control bounds the
+// backlog: if the session would hold more than MaxQueuedIters undone
+// iterations, the request is rejected whole with ErrIterBacklog.
+func (s *Session) Run(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if s.goal-s.done+int64(n) > int64(s.srv.cfg.MaxQueuedIters) {
+		s.srv.rejectedIters.Add(int64(n))
+		return fmt.Errorf("%w (%d queued, max %d)", ErrIterBacklog, s.goal-s.done, s.srv.cfg.MaxQueuedIters)
+	}
+	s.goal += int64(n)
+	s.kickLocked()
+	return nil
+}
+
+// Feed appends input items for the session's overridden source, returning
+// how many were accepted; the rest are the caller's to retry once the
+// session consumes some (bounded by Config.MaxBufferedIn).
+func (s *Session) Feed(vals []float64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.opt.Source == "" {
+		return 0, fmt.Errorf("serve: session %d has no fed source", s.ID)
+	}
+	room := s.srv.cfg.MaxBufferedIn - s.input.len()
+	n := min(room, len(vals))
+	for _, v := range vals[:n] {
+		s.input.push(v)
+	}
+	if n > 0 {
+		s.kickLocked()
+	}
+	return n, nil
+}
+
+// Drain removes and returns up to max buffered output items (max <= 0
+// drains everything buffered). Freeing output room can unblock the
+// session's backpressure, so Drain reschedules it.
+func (s *Session) Drain(max int) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.output.len()
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.output.pop()
+	}
+	s.kickLocked()
+	return out
+}
+
+// Buffered reports the current input and output queue depths.
+func (s *Session) Buffered() (in, out int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.input.len(), s.output.len()
+}
+
+// Progress reports completed and requested steady iterations.
+func (s *Session) Progress() (done, goal int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done, s.goal
+}
+
+// Err returns the session's terminal execution error, if any.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Profile returns the session's profiler (nil unless Profile was set).
+func (s *Session) Profile() *obs.Profiler { return s.prof }
+
+// Close tears the session down: it stops scheduling, unpins its program
+// version (letting a draining version retire), and frees its slot.
+// Buffered output is discarded. Idempotent.
+func (s *Session) Close() { s.srv.closeSession(s) }
+
+// WaitDone blocks until the session has completed at least n steady
+// iterations, failed, closed, or the timeout elapses.
+func (s *Session) WaitDone(n int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		switch {
+		case s.done >= n:
+			s.mu.Unlock()
+			return nil
+		case s.err != nil:
+			err := s.err
+			s.mu.Unlock()
+			return err
+		case s.closed:
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		ch := s.waitCh
+		s.mu.Unlock()
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return ErrTimeout
+		}
+		t := time.NewTimer(rem)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return ErrTimeout
+		}
+	}
+}
+
+// notifyLocked wakes every WaitDone waiter. Callers hold s.mu.
+func (s *Session) notifyLocked() {
+	close(s.waitCh)
+	s.waitCh = make(chan struct{})
+}
+
+// kickLocked schedules the session onto the pool if it has dispatchable
+// work and is not already queued or running. Callers hold s.mu.
+func (s *Session) kickLocked() {
+	if s.scheduled || s.closed || s.err != nil {
+		return
+	}
+	if s.dispatchableLocked() == 0 {
+		return
+	}
+	s.scheduled = true
+	s.srv.pool.submit(s)
+}
+
+// dispatchableLocked reports how many steady iterations could run right
+// now, bounded by the requested goal, available fed input, and output
+// buffer room (backpressure: a slow consumer throttles only this session).
+// Callers hold s.mu.
+func (s *Session) dispatchableLocked() int {
+	pending := s.goal - s.done
+	if pending <= 0 {
+		return 0
+	}
+	k := int(pending)
+	if s.opt.Source != "" {
+		avail := s.input.len()
+		if !s.inited {
+			avail -= s.inPerInit
+		}
+		if s.inPerIter > 0 {
+			k = min(k, avail/s.inPerIter)
+		} else if avail < 0 {
+			k = 0
+		}
+	}
+	if s.ver.outPerIter > 0 {
+		room := s.srv.cfg.MaxBufferedOut - s.output.len()
+		if !s.inited {
+			room -= s.ver.outPerInit
+		}
+		k = min(k, room/s.ver.outPerIter)
+	}
+	return max(k, 0)
+}
+
+// runBatch executes up to Config.Batch dispatchable iterations on the
+// calling pool worker and reports whether the session is still runnable
+// (in which case the worker requeues it). The scheduled flag is the
+// exclusivity token: exactly one worker runs a session at a time, so the
+// engine — single-owner by design — needs no lock of its own.
+func (s *Session) runBatch() bool {
+	s.mu.Lock()
+	if s.closed || s.err != nil {
+		s.scheduled = false
+		s.mu.Unlock()
+		return false
+	}
+	k := min(s.dispatchableLocked(), s.srv.cfg.Batch)
+	if k == 0 {
+		s.scheduled = false
+		s.mu.Unlock()
+		return false
+	}
+	runInit := !s.inited
+	if s.opt.Source != "" {
+		want := k * s.inPerIter
+		if runInit {
+			want += s.inPerInit
+		}
+		s.stage = s.stage[:0]
+		for i := 0; i < want; i++ {
+			s.stage = append(s.stage, s.input.pop())
+		}
+		s.stagePos = 0
+	}
+	s.mu.Unlock()
+
+	var err error
+	completed := 0
+	initDone := false
+	if runInit {
+		err = s.eng.RunInit()
+		initDone = err == nil
+	}
+	var lat [maxBatch]int64
+	for i := 0; i < k && err == nil; i++ {
+		t0 := time.Now()
+		err = s.eng.RunSteady(1)
+		if err == nil {
+			lat[completed] = int64(time.Since(t0))
+			completed++
+		}
+	}
+
+	s.mu.Lock()
+	if initDone {
+		s.inited = true
+	}
+	if err != nil {
+		s.err = err
+	}
+	if !s.closed && len(s.stageOut) > 0 {
+		for _, v := range s.stageOut {
+			s.output.push(v)
+		}
+	}
+	s.stageOut = s.stageOut[:0]
+	s.done += int64(completed)
+	runnable := s.err == nil && !s.closed && s.dispatchableLocked() > 0
+	if !runnable {
+		s.scheduled = false
+	}
+	s.notifyLocked()
+	s.mu.Unlock()
+
+	if completed > 0 {
+		s.srv.recordIters(s.opt.Tenant, lat[:completed])
+	}
+	return runnable
+}
+
+// sourceOverride returns the work-function replacement for the session's
+// fed source: each firing pushes inPerFiring staged items. The batch
+// staging in runBatch guarantees the stage holds exactly enough.
+func (s *Session) sourceOverride() func(in, out wfunc.Tape) {
+	return func(_, out wfunc.Tape) {
+		for i := 0; i < s.inPerFiring; i++ {
+			out.Push(s.stage[s.stagePos])
+			s.stagePos++
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"streamit/internal/apps"
+	"streamit/internal/core"
+	"streamit/internal/ir"
+)
+
+// soakSessions picks the concurrent-session count for TestServeSoak:
+// 10000 by default (the acceptance floor for one process), scaled down
+// under the race detector and -short, and overridable with
+// STREAMIT_SERVE_SOAK_SESSIONS for CI.
+func soakSessions(t *testing.T) int {
+	if env := os.Getenv("STREAMIT_SERVE_SOAK_SESSIONS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad STREAMIT_SERVE_SOAK_SESSIONS %q", env)
+		}
+		return n
+	}
+	if raceEnabled {
+		return 1000
+	}
+	if testing.Short() {
+		return 2000
+	}
+	return 10000
+}
+
+// TestServeSoak opens thousands of concurrent sessions — half a
+// self-contained FMRadio, half a fed pipeline with per-session inputs —
+// runs them all to completion on the shared pool, and verifies every
+// session's output count plus bit-identical output for a sample of
+// sessions against standalone sequential runs of the same program and
+// inputs.
+func TestServeSoak(t *testing.T) {
+	sessions := soakSessions(t)
+	const iters = 24
+
+	srv := newTestServer(t, Config{MaxSessions: sessions + 8, MaxBufferedOut: 1 << 16})
+	fm := apps.FMRadio(4, 16)
+	if _, err := srv.LoadProgram("fm", fm); err != nil {
+		t.Fatalf("load fm: %v", err)
+	}
+	loadTest(t, srv, "fed", 2.5)
+
+	// Reference outputs. The self-contained FMRadio is identical for every
+	// session; fed sessions get per-session inputs, so references for the
+	// sampled ones are computed on demand below.
+	fmWant := standaloneRun(t, apps.FMRadio(4, 16), iters, nil)
+
+	feedFor := func(id int) []float64 {
+		// Deterministic per-session input stream.
+		vals := make([]float64, iters+8)
+		for i := range vals {
+			vals[i] = float64(id)*0.001 + float64(i)*0.25
+		}
+		return vals
+	}
+
+	// Phase 1: make every session resident before any finishes, so the
+	// process genuinely holds `sessions` concurrent sessions at once.
+	all := make([]*Session, sessions)
+	isFed := make([]bool, sessions)
+	for i := 0; i < sessions; i++ {
+		fed := i%2 == 1
+		opt := SessionOptions{Program: "fm", Tenant: fmt.Sprintf("tenant%d", i%7)}
+		if fed {
+			opt = SessionOptions{Program: "fed", Source: "src", Tenant: opt.Tenant}
+		}
+		s, err := srv.NewSession(opt)
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		all[i], isFed[i] = s, fed
+	}
+	if open := srv.Stats().Sessions.Open; open != sessions {
+		t.Fatalf("%d sessions open after creation, want %d", open, sessions)
+	}
+
+	// Phase 2: feed and start all of them (concurrently, to mix admission
+	// with execution), then collect.
+	type result struct {
+		id  int
+		fed bool
+		out []float64
+		err error
+	}
+	results := make([]result, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, s := range all {
+		wg.Add(1)
+		go func(i int, s *Session, fed bool) {
+			defer wg.Done()
+			r := result{id: i, fed: fed}
+			defer func() { results[i] = r }()
+			if fed {
+				if _, r.err = s.Feed(feedFor(i)); r.err != nil {
+					return
+				}
+			}
+			if r.err = s.Run(iters); r.err != nil {
+				return
+			}
+			if r.err = s.WaitDone(iters, 300*time.Second); r.err != nil {
+				return
+			}
+			r.out = s.Drain(0)
+			s.Close()
+		}(i, s, isFed[i])
+	}
+	wg.Wait()
+	t.Logf("%d sessions x %d iterations in %v", sessions, iters, time.Since(start).Round(time.Millisecond))
+
+	// Every session completed with the right output volume.
+	fedWantLen := len(standaloneRun(t, testProgram(2.5), iters, feedFor(1)))
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			t.Fatalf("session %d: %v", r.id, r.err)
+		}
+		wantLen := len(fmWant)
+		if r.fed {
+			wantLen = fedWantLen
+		}
+		if len(r.out) != wantLen {
+			t.Fatalf("session %d: drained %d items, want %d", r.id, len(r.out), wantLen)
+		}
+	}
+
+	// Sampled sessions are bit-identical to standalone sequential runs.
+	step := sessions / 50
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < sessions; i += step {
+		r := &results[i]
+		want := fmWant
+		if r.fed {
+			want = standaloneRun(t, testProgram(2.5), iters, feedFor(i))
+		}
+		for j := range want {
+			if r.out[j] != want[j] {
+				t.Fatalf("session %d item %d: got %v, want %v (not bit-identical)", i, j, r.out[j], want[j])
+			}
+		}
+	}
+
+	st := srv.Stats()
+	if st.Sessions.Peak < sessions {
+		t.Fatalf("peak sessions %d, want >= %d concurrent", st.Sessions.Peak, sessions)
+	}
+	if st.Sessions.Open != 0 {
+		t.Fatalf("%d sessions still open after soak", st.Sessions.Open)
+	}
+	if got := st.Iterations.Completed; got != int64(sessions*iters) {
+		t.Fatalf("completed %d iterations, want %d", got, sessions*iters)
+	}
+	if st.LatencyNS.P99 == 0 || st.LatencyNS.P50 > st.LatencyNS.P99 {
+		t.Fatalf("latency histogram inconsistent: %+v", st.LatencyNS)
+	}
+}
+
+// TestSharedArtifactsAcrossSessions pins the resource story the server
+// depends on: sessions of one program version share VM programs and the
+// compiled graph, and idle session construction stays cheap.
+func TestSharedArtifactsAcrossSessions(t *testing.T) {
+	c, err := core.Compile(apps.FMRadio(4, 16), core.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	srv := newTestServer(t, Config{Workers: 1})
+	if _, err := srv.LoadCompiled("fm", c); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	a, err := srv.NewSession(SessionOptions{Program: "fm"})
+	if err != nil {
+		t.Fatalf("session a: %v", err)
+	}
+	b, err := srv.NewSession(SessionOptions{Program: "fm"})
+	if err != nil {
+		t.Fatalf("session b: %v", err)
+	}
+	if a.ver != b.ver || a.ver.shared != b.ver.shared {
+		t.Fatal("sessions of one version do not share the artifact bundle")
+	}
+	var g *ir.Graph = a.ver.shared.G
+	if g != c.Graph {
+		t.Fatal("shared bundle does not reference the compiled graph")
+	}
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latHist is a lock-free log-bucketed histogram of per-iteration latencies
+// in nanoseconds. Values below 16 get exact buckets; above that each
+// power-of-two octave splits into 8 sub-buckets, bounding quantile error at
+// ~6%. Recording is two atomic adds plus a CAS loop for the max — cheap
+// enough to sit on the per-iteration hot path of every worker.
+type latHist struct {
+	buckets [16 + 8*59]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+func latIndex(v int64) int {
+	if v < 16 {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	msb := bits.Len64(uint64(v)) - 1
+	return 16 + (msb-4)*8 + int((v>>(msb-3))&7)
+}
+
+// latValue returns a representative (midpoint) value for bucket idx.
+func latValue(idx int) int64 {
+	if idx < 16 {
+		return int64(idx)
+	}
+	msb := 4 + (idx-16)/8
+	sub := int64((idx - 16) % 8)
+	lo := int64(1)<<msb | sub<<(msb-3)
+	return lo + int64(1)<<(msb-3)/2
+}
+
+func (h *latHist) record(ns int64) {
+	h.buckets[latIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// quantile returns the approximate q-quantile (0 < q <= 1) in nanoseconds.
+func (h *latHist) quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			return latValue(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// Stats is the server's observable state, serialized as the
+// streamit-serve/v1 JSON document by the /v1/stats endpoint.
+type Stats struct {
+	Schema     string                 `json:"schema"`
+	UptimeMS   int64                  `json:"uptime_ms"`
+	Sessions   SessionCounters        `json:"sessions"`
+	Iterations IterCounters           `json:"iterations"`
+	LatencyNS  LatencySummary         `json:"latency_ns"`
+	Pool       PoolCounters           `json:"pool"`
+	Programs   []ProgramStats         `json:"programs"`
+	Tenants    map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// StatsSchema is the schema tag of the stats document.
+const StatsSchema = "streamit-serve/v1"
+
+// SessionCounters counts session lifecycle events since server start.
+type SessionCounters struct {
+	Open             int   `json:"open"`
+	Peak             int   `json:"peak"`
+	Created          int64 `json:"created"`
+	Closed           int64 `json:"closed"`
+	RejectedSessions int64 `json:"rejected_sessions"`
+	RejectedIters    int64 `json:"rejected_iters"`
+}
+
+// IterCounters counts steady-state iteration flow.
+type IterCounters struct {
+	Completed int64 `json:"completed"`
+	Queued    int64 `json:"queued"`
+}
+
+// LatencySummary summarizes the per-iteration latency histogram.
+type LatencySummary struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50"`
+	P90   int64 `json:"p90"`
+	P99   int64 `json:"p99"`
+	Max   int64 `json:"max"`
+}
+
+// PoolCounters reports worker-pool scheduling activity.
+type PoolCounters struct {
+	Workers int   `json:"workers"`
+	Steals  int64 `json:"steals"`
+	Parks   int64 `json:"parks"`
+}
+
+// ProgramStats describes one loaded program version. Draining versions are
+// superseded ones still pinned by open sessions.
+type ProgramStats struct {
+	Name        string `json:"name"`
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	Sessions    int64  `json:"sessions"`
+	Active      bool   `json:"active"`
+	Draining    bool   `json:"draining"`
+}
+
+// TenantStats aggregates per-tenant usage.
+type TenantStats struct {
+	Sessions   int   `json:"sessions"`
+	Iterations int64 `json:"iterations"`
+}
+
+// Stats snapshots the server's counters. Safe to call concurrently with
+// serving traffic; counters are read atomically but not as one consistent
+// cut.
+func (srv *Server) Stats() Stats {
+	st := Stats{
+		Schema:   StatsSchema,
+		UptimeMS: time.Since(srv.start).Milliseconds(),
+		Sessions: SessionCounters{
+			Created:          srv.created.Load(),
+			Closed:           srv.closedCount.Load(),
+			RejectedSessions: srv.rejectedSessions.Load(),
+			RejectedIters:    srv.rejectedIters.Load(),
+		},
+		Iterations: IterCounters{Completed: srv.itersDone.Load()},
+		LatencyNS: LatencySummary{
+			Count: srv.lat.count.Load(),
+			P50:   srv.lat.quantile(0.50),
+			P90:   srv.lat.quantile(0.90),
+			P99:   srv.lat.quantile(0.99),
+			Max:   srv.lat.max.Load(),
+		},
+		Pool: PoolCounters{
+			Workers: len(srv.pool.workers),
+			Steals:  srv.pool.steals.Load(),
+			Parks:   srv.pool.parks.Load(),
+		},
+		Tenants: map[string]TenantStats{},
+	}
+	srv.mu.Lock()
+	st.Sessions.Open = len(srv.sessions)
+	st.Sessions.Peak = srv.peak
+	var queued int64
+	for _, s := range srv.sessions {
+		s.mu.Lock()
+		queued += s.goal - s.done
+		tenant := s.opt.Tenant
+		s.mu.Unlock()
+		t := st.Tenants[tenant]
+		t.Sessions++
+		st.Tenants[tenant] = t
+	}
+	for name, iters := range srv.tenantIters {
+		t := st.Tenants[name]
+		t.Iterations = iters
+		st.Tenants[name] = t
+	}
+	for _, p := range srv.programs {
+		latest := p.versions[len(p.versions)-1]
+		for _, v := range p.versions {
+			st.Programs = append(st.Programs, ProgramStats{
+				Name:        p.name,
+				Version:     v.num,
+				Fingerprint: fingerprintString(v.fp),
+				Sessions:    v.active.Load(),
+				Active:      v == latest,
+				Draining:    v != latest,
+			})
+		}
+	}
+	srv.mu.Unlock()
+	st.Iterations.Queued = queued
+	return st
+}
