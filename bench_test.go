@@ -308,3 +308,40 @@ func BenchmarkServeSoak(b *testing.B) {
 	b.ReportMetric(res.ItersPerSec, "iters/s")
 	b.ReportMetric(float64(res.P99NS), "ns-p99-iter")
 }
+
+// BenchmarkServeRecovery measures the streaming server's checkpointed
+// restart: a resident fleet runs half its iterations, Server.Snapshot
+// persists every session, the server is torn down, and a fresh server
+// restores the fleet from disk and finishes the run. Reported as snapshot
+// cost (ms, bytes/session) and restore throughput (sessions/s).
+// STREAMIT_SERVE_BENCH_SESSIONS scales the fleet; with
+// STREAMIT_BENCH_JSON=dir, a streamit-bench/v1 snapshot lands in
+// dir/BENCH_serve_recovery.json.
+func BenchmarkServeRecovery(b *testing.B) {
+	prevDir := bench.JSONDir
+	bench.JSONDir = os.Getenv("STREAMIT_BENCH_JSON")
+	defer func() { bench.JSONDir = prevDir }()
+
+	sessions := bench.DefaultServeSessions
+	if env := os.Getenv("STREAMIT_SERVE_BENCH_SESSIONS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			b.Fatalf("bad STREAMIT_SERVE_BENCH_SESSIONS %q", env)
+		}
+		sessions = n
+	}
+	var res *bench.ServeRecoveryResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.ServeRecoveryBench(sessions, 16, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bench.WriteServeRecoverySnapshot(res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.SnapshotMS, "ms-snapshot")
+	b.ReportMetric(res.BytesPerSession, "bytes/session")
+	b.ReportMetric(res.RestoredPerSec, "sessions/s-restored")
+}

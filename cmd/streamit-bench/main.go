@@ -54,7 +54,7 @@ func validate(glob string) error {
 }
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, benchchar, main, finegrain, softpipe, thruput, vsspace, linear, teleport, scaling, commablation, freqblocks, vm, mapped, recovery, serve")
+	table := flag.String("table", "all", "table to print: all, benchchar, main, finegrain, softpipe, thruput, vsspace, linear, teleport, scaling, commablation, freqblocks, vm, mapped, recovery, serve, serve-recovery")
 	dur := flag.Duration("dur", 150*time.Millisecond, "measurement window per configuration for the execution benchmarks")
 	jsonDir := flag.String("json", ".", "directory for BENCH_<app>.json snapshots (empty: do not write snapshots)")
 	check := flag.String("validate", "", "validate BENCH_*.json files matching this glob and exit")
@@ -104,6 +104,8 @@ func main() {
 		err = bench.PrintRecovery(os.Stdout)
 	case "serve":
 		err = bench.PrintServe(os.Stdout)
+	case "serve-recovery":
+		err = bench.PrintServeRecovery(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)

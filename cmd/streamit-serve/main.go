@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	streamit-serve [-addr :8080] [-workers N] [name=prog.str:Top ...]
+//	streamit-serve [-addr :8080] [-workers N] [-snapshot-dir DIR] [name=prog.str:Top ...]
 //
 // Each positional argument preloads a program: a registry name, the .str
 // file, and the top-level stream. Programs can also be loaded (and hot
@@ -20,18 +20,32 @@
 //	GET    /v1/sessions/{id}/drain?max=n  take buffered output
 //	GET    /v1/sessions/{id}       session status
 //	DELETE /v1/sessions/{id}       close
+//	POST   /v1/snapshot            checkpoint all sessions to disk
 //	GET    /v1/stats               streamit-serve/v1 server stats
 //
 // Admission rejections (session limit, iteration backlog) answer 429;
 // a slow consumer only ever stalls its own session.
+//
+// Resilience: with -snapshot-dir set, the server restores any session
+// checkpoints found there on start, and SIGINT/SIGTERM triggers a
+// graceful shutdown — admission stops, in-flight sessions drain (bounded
+// by -drain-timeout), every resident session is checkpointed, and the
+// HTTP listener closes. A second signal exits immediately. -batch-timeout
+// arms the stuck-session watchdog: a batch wedging a pool worker past the
+// deadline quarantines only that session and spawns a replacement worker.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"streamit/internal/exec"
 	"streamit/internal/serve"
@@ -45,6 +59,9 @@ func main() {
 	maxOut := flag.Int("max-buffered-out", 0, "max undrained output items per session (0 = default 8192)")
 	batch := flag.Int("batch", 0, "steady iterations per worker dispatch (0 = default 8)")
 	backendName := flag.String("backend", "vm", "work-function backend: vm or interp")
+	snapshotDir := flag.String("snapshot-dir", "", "directory for session checkpoints (restore on start, snapshot on shutdown)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight sessions to finish")
+	batchTimeout := flag.Duration("batch-timeout", 0, "stuck-session watchdog deadline per batch (0 = disabled)")
 	flag.Parse()
 
 	backend, err := exec.ParseBackend(*backendName)
@@ -58,6 +75,8 @@ func main() {
 		MaxBufferedOut: *maxOut,
 		Batch:          *batch,
 		Backend:        backend,
+		BatchTimeout:   *batchTimeout,
+		SnapshotDir:    *snapshotDir,
 	})
 	defer srv.Close()
 
@@ -77,9 +96,53 @@ func main() {
 		fmt.Printf("loaded %s v%d from %s (top %s)\n", name, ver, path, top)
 	}
 
-	fmt.Printf("streamit-serve listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fatal(err)
+	if *snapshotDir != "" {
+		sum, err := srv.Restore(*snapshotDir)
+		if err != nil {
+			fatal(fmt.Errorf("restore: %w", err))
+		}
+		if sum.Restored > 0 || len(sum.Failed) > 0 {
+			fmt.Printf("restored %d session(s) from %s\n", sum.Restored, *snapshotDir)
+			for _, f := range sum.Failed {
+				fmt.Fprintln(os.Stderr, "streamit-serve: restore skipped", f)
+			}
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("streamit-serve listening on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case sig := <-sigCh:
+		fmt.Printf("streamit-serve: %v: draining (second signal exits immediately)\n", sig)
+		go func() {
+			<-sigCh
+			os.Exit(1)
+		}()
+		if err := srv.Drain(*drainTimeout); err != nil {
+			fmt.Fprintln(os.Stderr, "streamit-serve: drain:", err)
+		}
+		if *snapshotDir != "" {
+			sum, err := srv.Snapshot(*snapshotDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "streamit-serve: snapshot:", err)
+			} else {
+				fmt.Printf("snapshotted %d session(s) (%d bytes) to %s\n", sum.Sessions, sum.Bytes, sum.Dir)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
 	}
 }
 

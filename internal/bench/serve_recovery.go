@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"streamit/internal/apps"
+	"streamit/internal/obs"
+	"streamit/internal/serve"
+)
+
+// ServeRecoveryResult reports the cost of the streaming server's
+// checkpointed-restart cycle: a resident fleet snapshotted to disk
+// mid-run, the server torn down, and a fresh server restoring every
+// session and finishing the remaining iterations.
+type ServeRecoveryResult struct {
+	Sessions        int
+	Workers         int
+	Iters           int     // steady iterations per session (half before, half after)
+	SnapshotMS      float64 // wall ms for Server.Snapshot over the whole fleet
+	BytesPerSession float64 // mean checkpoint envelope size
+	TotalBytes      int64   // whole snapshot directory payload
+	RestoreMS       float64 // wall ms for Server.Restore of the whole fleet
+	RestoredPerSec  float64 // sessions/s rebuilt during restore
+	FinishMS        float64 // wall ms for the restored fleet's remaining iterations
+}
+
+// ServeRecoveryBench runs the kill/restart cycle: sessions concurrent
+// sessions (alternating Vocoder and FMRadio) run the first half of their
+// iterations, the server snapshots them all and closes, and a new server
+// restores the fleet from disk and runs the second half to completion.
+func ServeRecoveryBench(sessions, iters, workers int) (*ServeRecoveryResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	dir, err := os.MkdirTemp("", "streamit-serve-recovery-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := serve.Config{
+		Workers:        workers,
+		MaxSessions:    sessions + 8,
+		MaxBufferedOut: 1 << 20,
+	}
+	load := func(srv *serve.Server) error {
+		if _, err := srv.LoadProgram("vocoder", apps.Vocoder(15)); err != nil {
+			return err
+		}
+		_, err := srv.LoadProgram("fmradio", apps.FMRadio(10, 64))
+		return err
+	}
+
+	srv := serve.New(cfg)
+	if err := load(srv); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	r := &ServeRecoveryResult{Sessions: sessions, Workers: workers, Iters: iters}
+	half := iters / 2
+	ids := make([]uint64, sessions)
+	for i := range ids {
+		name := "vocoder"
+		if i%2 == 1 {
+			name = "fmradio"
+		}
+		s, err := srv.NewSession(serve.SessionOptions{Program: name, Tenant: name})
+		if err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("session %d: %w", i, err)
+		}
+		ids[i] = s.ID
+		if err := s.Run(half); err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+	for i, id := range ids {
+		if err := srv.Session(id).WaitDone(int64(half), 10*time.Minute); err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("session %d: %w", i, err)
+		}
+	}
+
+	start := time.Now()
+	sum, err := srv.Snapshot(dir)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	r.SnapshotMS = float64(time.Since(start).Microseconds()) / 1000
+	if sum.Sessions != sessions {
+		srv.Close()
+		return nil, fmt.Errorf("snapshotted %d sessions, want %d (%d skipped)", sum.Sessions, sessions, sum.Skipped)
+	}
+	r.TotalBytes = sum.Bytes
+	r.BytesPerSession = float64(sum.Bytes) / float64(sessions)
+	srv.Close() // the "kill": every resident session dies with the process
+
+	srv2 := serve.New(cfg)
+	defer srv2.Close()
+	if err := load(srv2); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	rs, err := srv2.Restore(dir)
+	if err != nil {
+		return nil, err
+	}
+	restore := time.Since(start)
+	if rs.Restored != sessions || len(rs.Failed) > 0 {
+		return nil, fmt.Errorf("restored %d sessions, want %d (failed %v)", rs.Restored, sessions, rs.Failed)
+	}
+	r.RestoreMS = float64(restore.Microseconds()) / 1000
+	r.RestoredPerSec = float64(sessions) / restore.Seconds()
+
+	start = time.Now()
+	for _, id := range ids {
+		if err := srv2.Session(id).Run(iters - half); err != nil {
+			return nil, err
+		}
+	}
+	for i, id := range ids {
+		s := srv2.Session(id)
+		if err := s.WaitDone(int64(iters), 10*time.Minute); err != nil {
+			return nil, fmt.Errorf("restored session %d: %w", i, err)
+		}
+		s.Drain(0)
+		s.Close()
+	}
+	r.FinishMS = float64(time.Since(start).Microseconds()) / 1000
+
+	if got := srv2.Stats().Sessions.Restored; got != int64(sessions) {
+		return nil, fmt.Errorf("restored counter %d, want %d", got, sessions)
+	}
+	return r, nil
+}
+
+// WriteServeRecoverySnapshot persists the cycle as
+// BENCH_serve_recovery.json (streamit-bench/v1).
+func WriteServeRecoverySnapshot(r *ServeRecoveryResult) error {
+	if JSONDir == "" {
+		return nil
+	}
+	b := obs.NewBench("serve_recovery")
+	b.Set("sessions", float64(r.Sessions), "sessions")
+	b.Set("workers", float64(r.Workers), "cores")
+	b.Set("iters_per_session", float64(r.Iters), "iters")
+	b.Set("snapshot_ms", r.SnapshotMS, "ms")
+	b.Set("snapshot_bytes_per_session", r.BytesPerSession, "bytes")
+	b.Set("snapshot_bytes_total", float64(r.TotalBytes), "bytes")
+	b.Set("restore_ms", r.RestoreMS, "ms")
+	b.Set("sessions_per_sec_restored", r.RestoredPerSec, "sessions/s")
+	b.Set("finish_ms", r.FinishMS, "ms")
+	_, err := b.WriteFile(JSONDir)
+	return err
+}
+
+// PrintServeRecovery renders the checkpointed-restart table: what a full
+// snapshot/kill/restore cycle costs for a resident session fleet.
+func PrintServeRecovery(w io.Writer) error {
+	sessions, err := serveSessions()
+	if err != nil {
+		return err
+	}
+	r, err := ServeRecoveryBench(sessions, 16, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return err
+	}
+	if err := WriteServeRecoverySnapshot(r); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table serve-recovery: snapshot/kill/restore cycle (%d sessions, %d workers)\n", r.Sessions, r.Workers)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Metric\tValue")
+	fmt.Fprintf(tw, "snapshot\t%.1f ms (%.0f bytes/session, %d total)\n", r.SnapshotMS, r.BytesPerSession, r.TotalBytes)
+	fmt.Fprintf(tw, "restore\t%.1f ms (%.0f sessions/s)\n", r.RestoreMS, r.RestoredPerSec)
+	fmt.Fprintf(tw, "finish remaining iters\t%.1f ms\n", r.FinishMS)
+	return tw.Flush()
+}

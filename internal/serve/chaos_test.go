@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"streamit/internal/exec"
+	"streamit/internal/faults"
+)
+
+// chaosSessions picks the fleet size for TestServeChaosSoak, scaled down
+// under the race detector and -short, overridable with
+// STREAMIT_SERVE_CHAOS_SESSIONS for CI.
+func chaosSessions(t *testing.T) int {
+	if env := os.Getenv("STREAMIT_SERVE_CHAOS_SESSIONS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad STREAMIT_SERVE_CHAOS_SESSIONS %q", env)
+		}
+		return n
+	}
+	if raceEnabled {
+		return 40
+	}
+	if testing.Short() {
+		return 60
+	}
+	return 120
+}
+
+// TestServeChaosSoak is the resilience soak: a session fleet seasoned with
+// fixed-seed randomized kernel panics and stalls (some supervised by
+// recovery policies, some fatal), one genuinely wedged session caught by
+// the watchdog, and the whole server killed and restored from snapshot
+// between every round. At the end, every surviving session's output must
+// be bit-identical to an uninterrupted supervised run, fatal sessions must
+// be quarantined and gone after the first restart, and no accounting may
+// leak.
+func TestServeChaosSoak(t *testing.T) {
+	sessions := chaosSessions(t)
+	const (
+		rounds   = 3
+		perRound = 10
+		iters    = rounds * perRound
+	)
+	rng := rand.New(rand.NewSource(0xC0FFEE))
+	dir := t.TempDir()
+	cfg := Config{
+		Workers:        4,
+		MaxSessions:    sessions + 8,
+		BatchTimeout:   100 * time.Millisecond,
+		MaxBufferedOut: 1 << 16,
+	}
+
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) }) // after everything: wedged goroutines park until then
+	load := func(sv *Server) {
+		t.Helper()
+		loadTest(t, sv, "t", 2.0)
+		if _, err := sv.LoadProgram("blocky", blockingProgram(release)); err != nil {
+			t.Fatalf("LoadProgram: %v", err)
+		}
+	}
+
+	// Roll the fleet: ~1/4 recoverable faults (panic or stall at a random
+	// firing inside round one, supervised by a random policy), ~1/12 fatal
+	// (same faults, no policy — quarantine expected), rest healthy; half
+	// the healthy sessions are fed per-session input streams.
+	type plan struct {
+		spec    string // fault spec, "" = healthy
+		policy  string // "" = unsupervised
+		fed     bool
+		wedged  bool
+		id      uint64
+		feed    []float64
+		lastErr error
+	}
+	policies := []string{"skip", "retry:2", "restart"}
+	kinds := []string{"panic", "stall"}
+	fleet := make([]*plan, sessions)
+	for i := range fleet {
+		p := &plan{}
+		switch roll := rng.Intn(12); {
+		case roll < 3:
+			p.spec = fmt.Sprintf("%s:g@%d", kinds[rng.Intn(len(kinds))], 1+rng.Intn(perRound-2))
+			p.policy = policies[rng.Intn(len(policies))]
+		case roll == 3:
+			p.spec = fmt.Sprintf("%s:g@%d", kinds[rng.Intn(len(kinds))], 1+rng.Intn(perRound-2))
+		default:
+			p.fed = rng.Intn(2) == 0
+		}
+		if p.fed {
+			p.feed = make([]float64, iters)
+			for j := range p.feed {
+				p.feed[j] = float64(i)*0.001 + float64(j)*0.25
+			}
+		}
+		fleet[i] = p
+	}
+	fleet[0] = &plan{wedged: true} // one batch that never returns
+
+	srv := New(cfg)
+	load(srv)
+	for i, p := range fleet {
+		opt := SessionOptions{Program: "t", Tenant: fmt.Sprintf("tenant%d", i%7)}
+		if p.wedged {
+			opt.Program = "blocky"
+		}
+		if p.fed {
+			opt.Source = "src"
+		}
+		if p.spec != "" {
+			fp, err := faults.ParsePlan(p.spec)
+			if err != nil {
+				t.Fatalf("ParsePlan(%s): %v", p.spec, err)
+			}
+			opt.Faults = fp
+		}
+		if p.policy != "" {
+			ps, err := faults.ParsePolicies("g=" + p.policy)
+			if err != nil {
+				t.Fatalf("ParsePolicies: %v", err)
+			}
+			opt.OnError = ps
+		}
+		s, err := srv.NewSession(opt)
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		p.id = s.ID
+		if p.fed {
+			if _, err := s.Feed(p.feed); err != nil {
+				t.Fatalf("Feed(%d): %v", i, err)
+			}
+		}
+	}
+
+	expectFatal := func(p *plan) bool { return p.wedged || (p.spec != "" && p.policy == "") }
+
+	for round := 1; round <= rounds; round++ {
+		for i, p := range fleet {
+			if p.lastErr != nil {
+				continue // quarantined in an earlier round: gone from the fleet
+			}
+			s := srv.Session(p.id)
+			if s == nil {
+				t.Fatalf("round %d: session %d lost without a recorded error", round, i)
+			}
+			if err := s.Run(perRound); err != nil {
+				t.Fatalf("round %d Run(%d): %v", round, i, err)
+			}
+		}
+		if round == 1 {
+			// Every fault is scheduled inside round one (checkpoints do not
+			// persist pending fault plans, by design), so round one must
+			// settle — completion or quarantine — before the first snapshot.
+			for i, p := range fleet {
+				err := srv.Session(p.id).WaitDone(int64(round*perRound), 30*time.Second)
+				if expectFatal(p) {
+					if err == nil {
+						t.Fatalf("session %d (%s) survived an unsupervised fault", i, p.spec)
+					}
+					p.lastErr = err
+					if p.wedged {
+						var se *StuckError
+						if !errors.As(err, &se) {
+							t.Fatalf("wedged session: err = %v, want *StuckError", err)
+						}
+					} else {
+						var ee *exec.ExecError
+						if !errors.As(err, &ee) {
+							t.Fatalf("session %d: err = %v, want *exec.ExecError", i, err)
+						}
+					}
+				} else if err != nil {
+					t.Fatalf("round 1 session %d (spec=%q policy=%q): %v", i, p.spec, p.policy, err)
+				}
+			}
+		}
+		// Kill/restart: snapshot (under load after round one), tear the
+		// server down, restore the fleet on a fresh one.
+		sum, err := srv.Snapshot(dir)
+		if err != nil {
+			t.Fatalf("round %d Snapshot: %v", round, err)
+		}
+		fatal := 0
+		for _, p := range fleet {
+			if p.lastErr != nil {
+				fatal++
+			}
+		}
+		// Round one skips exactly the quarantined sessions; later rounds
+		// (quarantined already gone) must skip nothing — a skip here means
+		// a healthy session failed to quiesce and would be silently lost.
+		if round == 1 && sum.Skipped != fatal {
+			t.Fatalf("round 1: skipped %d sessions, want %d quarantined", sum.Skipped, fatal)
+		}
+		if round > 1 && sum.Skipped != 0 {
+			t.Fatalf("round %d: snapshot skipped %d healthy sessions", round, sum.Skipped)
+		}
+		srv.Close()
+		srv = New(cfg)
+		load(srv)
+		rs, err := srv.Restore(dir)
+		if err != nil {
+			t.Fatalf("round %d Restore: %v", round, err)
+		}
+		if len(rs.Failed) > 0 || rs.Restored != sum.Sessions {
+			t.Fatalf("round %d: restored %d/%d, failed %v", round, rs.Restored, sum.Sessions, rs.Failed)
+		}
+	}
+	defer srv.Close()
+
+	// Survivors finish their full goal and match uninterrupted references.
+	quarantined := 0
+	for i, p := range fleet {
+		if p.lastErr != nil {
+			quarantined++
+			if srv.Session(p.id) != nil {
+				t.Fatalf("quarantined session %d resurrected by restore", i)
+			}
+			continue
+		}
+		s := srv.Session(p.id)
+		if s == nil {
+			t.Fatalf("session %d missing after final restore", i)
+		}
+		if err := s.WaitDone(iters, 30*time.Second); err != nil {
+			t.Fatalf("session %d (spec=%q policy=%q): %v", i, p.spec, p.policy, err)
+		}
+		got := s.Drain(0)
+		var want []float64
+		switch {
+		case p.spec != "":
+			fp, _ := faults.ParsePlan(p.spec)
+			ps, _ := faults.ParsePolicies("g=" + p.policy)
+			want = supervisedStandalone(t, testProgram(2.0), iters,
+				exec.Options{Faults: fp, OnError: ps})
+		default:
+			want = standaloneRun(t, testProgram(2.0), iters, p.feed)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("session %d: %d items, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("session %d item %d: got %v, want %v (not bit-identical after %d restarts)",
+					i, j, got[j], want[j], rounds)
+			}
+		}
+	}
+	if quarantined == 0 {
+		t.Fatal("chaos rolled zero fatal sessions: seed no longer exercises quarantine")
+	}
+	st := srv.Stats()
+	if st.Sessions.Restored != int64(sessions-quarantined) {
+		t.Fatalf("Restored = %d, want %d", st.Sessions.Restored, sessions-quarantined)
+	}
+	if st.Iterations.Queued != 0 {
+		t.Fatalf("Queued = %d after chaos, want 0", st.Iterations.Queued)
+	}
+	t.Logf("chaos: %d sessions, %d quarantined, %d restarts, all survivors bit-identical",
+		sessions, quarantined, rounds)
+}

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+
+	"streamit/internal/exec"
+	"streamit/internal/faults"
 )
 
 // Handler returns the server's HTTP API:
@@ -18,9 +21,14 @@ import (
 //	GET    /v1/sessions/{id}/drain?max=n                       take output
 //	GET    /v1/sessions/{id}/profile                           per-session profile
 //	DELETE /v1/sessions/{id}                                   close session
+//	POST   /v1/snapshot            {"dir"?}                    checkpoint all sessions
 //	GET    /v1/stats                                           streamit-serve/v1 stats
 //
-// Admission rejections answer 429, unknown IDs 404, closed sessions 409.
+// Admission rejections answer 429, unknown IDs 404, closed sessions 409,
+// a draining server 503. A quarantined session answers 500 with the same
+// structured error body on run, feed, and drain alike: the terminal
+// error, its filter/op/firing attribution (engine failures) or worker
+// attribution (stuck verdicts), and "quarantined":true.
 func (srv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/programs", srv.handleLoad)
@@ -37,6 +45,7 @@ func (srv *Server) Handler() http.Handler {
 		s.Close()
 		writeJSON(w, http.StatusOK, map[string]any{"closed": true})
 	}))
+	mux.HandleFunc("POST /v1/snapshot", srv.handleSnapshot)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, srv.Stats())
 	})
@@ -56,8 +65,39 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		code = http.StatusConflict
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// quarantineBody renders a session's terminal error as the structured body
+// every endpoint returns for a quarantined session.
+func quarantineBody(err error) map[string]any {
+	body := map[string]any{"error": err.Error(), "quarantined": true}
+	var ee *exec.ExecError
+	if errors.As(err, &ee) {
+		body["filter"] = ee.Filter
+		body["op"] = ee.Op
+		body["firing"] = ee.Iteration
+	}
+	var se *StuckError
+	if errors.As(err, &se) {
+		body["worker"] = se.Worker
+		body["stuck_ms"] = se.Elapsed.Milliseconds()
+	}
+	return body
+}
+
+// failIfQuarantined answers 500 with the structured error body when the
+// session is terminally failed, reporting whether it wrote a response.
+func failIfQuarantined(w http.ResponseWriter, s *Session) bool {
+	err := s.Err()
+	if err == nil {
+		return false
+	}
+	writeJSON(w, http.StatusInternalServerError, quarantineBody(err))
+	return true
 }
 
 func decode(r *http.Request, v any) error {
@@ -111,14 +151,33 @@ func (srv *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
 		Source  string `json:"source"`
 		Tenant  string `json:"tenant"`
 		Profile bool   `json:"profile"`
+		Faults  string `json:"faults"`
+		OnError string `json:"on_error"`
 	}
 	if err := decode(r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
-	s, err := srv.NewSession(SessionOptions{
+	opt := SessionOptions{
 		Program: req.Program, Source: req.Source, Tenant: req.Tenant, Profile: req.Profile,
-	})
+	}
+	if req.Faults != "" {
+		plan, err := faults.ParsePlan(req.Faults)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		opt.Faults = plan
+	}
+	if req.OnError != "" {
+		ps, err := faults.ParsePolicies(req.OnError)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		opt.OnError = ps
+	}
+	s, err := srv.NewSession(opt)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -138,7 +197,9 @@ func (srv *Server) handleStatus(w http.ResponseWriter, r *http.Request, s *Sessi
 		"buffered_in": in, "buffered_out": out,
 	}
 	if err := s.Err(); err != nil {
-		resp["error"] = err.Error()
+		for k, v := range quarantineBody(err) {
+			resp[k] = v
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -151,7 +212,14 @@ func (srv *Server) handleRun(w http.ResponseWriter, r *http.Request, s *Session)
 		writeErr(w, err)
 		return
 	}
+	if failIfQuarantined(w, s) {
+		return
+	}
 	if err := s.Run(req.Iterations); err != nil {
+		if s.Err() != nil {
+			writeJSON(w, http.StatusInternalServerError, quarantineBody(err))
+			return
+		}
 		writeErr(w, err)
 		return
 	}
@@ -165,6 +233,9 @@ func (srv *Server) handleFeed(w http.ResponseWriter, r *http.Request, s *Session
 	}
 	if err := decode(r, &req); err != nil {
 		writeErr(w, err)
+		return
+	}
+	if failIfQuarantined(w, s) {
 		return
 	}
 	n, err := s.Feed(req.Values)
@@ -189,7 +260,33 @@ func (srv *Server) handleDrain(w http.ResponseWriter, r *http.Request, s *Sessio
 	if vals == nil {
 		vals = []float64{}
 	}
+	// A quarantined session's buffered output stays drainable, but the
+	// terminal error rides along so a polling client cannot miss it.
+	if err := s.Err(); err != nil {
+		body := quarantineBody(err)
+		body["values"] = vals
+		writeJSON(w, http.StatusInternalServerError, body)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"values": vals})
+}
+
+func (srv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Dir string `json:"dir"`
+	}
+	if r.ContentLength != 0 {
+		if err := decode(r, &req); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	sum, err := srv.Snapshot(req.Dir)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
 }
 
 func (srv *Server) handleProfile(w http.ResponseWriter, r *http.Request, s *Session) {

@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"testing"
+	"time"
 )
 
 // httpJSON performs one API call and decodes the JSON response.
@@ -136,4 +138,123 @@ void->void pipeline Main() { add Src(); add Amp(); add Out(); }
 	if resp["version"].(float64) != 2 {
 		t.Fatalf("changed reload: version %v, want 2", resp["version"])
 	}
+}
+
+// TestHTTPQuarantineBody: every session endpoint answers a quarantined
+// session with 500 and the same structured error body — the terminal
+// error, its filter/op/firing attribution, and "quarantined":true — and
+// drain still hands over the output buffered before the failure.
+func TestHTTPQuarantineBody(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 2})
+	loadTest(t, srv, "t", 2.0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := ts.Client()
+
+	resp := httpJSON(t, cl, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"program": "t", "tenant": "acme", "faults": "panic:g@3"}, http.StatusCreated)
+	id := fmt.Sprintf("%.0f", resp["id"].(float64))
+	sURL := ts.URL + "/v1/sessions/" + id
+
+	httpJSON(t, cl, "POST", sURL+"/run", map[string]any{"iterations": 8}, http.StatusOK)
+	s := srv.Session(uint64(resp["id"].(float64)))
+	if err := s.WaitDone(8, 5*time.Second); err == nil {
+		t.Fatal("injected panic did not fail the session")
+	}
+
+	checkBody := func(body map[string]any, where string) {
+		t.Helper()
+		if body["quarantined"] != true {
+			t.Fatalf("%s: body lacks quarantined=true: %v", where, body)
+		}
+		if f, _ := body["filter"].(string); !strings.Contains(f, "g") {
+			t.Fatalf("%s: filter attribution = %v", where, body["filter"])
+		}
+		if body["error"] == nil || body["firing"] == nil {
+			t.Fatalf("%s: incomplete error body: %v", where, body)
+		}
+	}
+	// Status keeps 200 (the session exists; the error is part of its state).
+	checkBody(httpJSON(t, cl, "GET", sURL, nil, http.StatusOK), "status")
+	checkBody(httpJSON(t, cl, "POST", sURL+"/run",
+		map[string]any{"iterations": 1}, http.StatusInternalServerError), "run")
+	checkBody(httpJSON(t, cl, "POST", sURL+"/feed",
+		map[string]any{"values": []float64{1}}, http.StatusInternalServerError), "feed")
+	drained := httpJSON(t, cl, "GET", sURL+"/drain", nil, http.StatusInternalServerError)
+	checkBody(drained, "drain")
+	// Iterations before the failing firing produced output: still drainable.
+	if vals, ok := drained["values"].([]any); !ok || len(vals) == 0 {
+		t.Fatalf("drain returned no pre-failure output: %v", drained["values"])
+	}
+}
+
+// TestHTTPSnapshotEndpoint drives a full checkpoint/restore cycle over the
+// wire: POST /v1/snapshot persists the fleet, a second server restores it,
+// and a draining server refuses new sessions with 503.
+func TestHTTPSnapshotEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 2, SnapshotDir: dir}
+	srv := New(cfg)
+	loadTest(t, srv, "t", 2.0)
+	ts := httptest.NewServer(srv.Handler())
+	cl := ts.Client()
+
+	resp := httpJSON(t, cl, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"program": "t"}, http.StatusCreated)
+	id := uint64(resp["id"].(float64))
+	sURL := fmt.Sprintf("%s/v1/sessions/%d", ts.URL, id)
+	httpJSON(t, cl, "POST", sURL+"/run", map[string]any{"iterations": 6}, http.StatusOK)
+	if err := srv.Session(id).WaitDone(6, 5*time.Second); err != nil {
+		t.Fatalf("WaitDone: %v", err)
+	}
+
+	// No body: snapshots to the configured directory.
+	resp = httpJSON(t, cl, "POST", ts.URL+"/v1/snapshot", nil, http.StatusOK)
+	if resp["sessions"].(float64) != 1 {
+		t.Fatalf("snapshot = %v, want 1 session", resp)
+	}
+	// Stats reflect the sweep and drain state.
+	st := httpJSON(t, cl, "GET", ts.URL+"/v1/stats", nil, http.StatusOK)
+	if snaps := st["snapshots"].(map[string]any); snaps["taken"].(float64) != 1 {
+		t.Fatalf("stats.snapshots = %v", snaps)
+	}
+
+	// Draining server: admission answers 503 with a structured error.
+	if err := srv.Drain(5 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	resp = httpJSON(t, cl, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"program": "t"}, http.StatusServiceUnavailable)
+	if resp["error"] == nil {
+		t.Fatalf("503 without error body: %v", resp)
+	}
+	ts.Close()
+	srv.Close()
+
+	srv2 := newTestServer(t, cfg)
+	loadTest(t, srv2, "t", 2.0)
+	if _, err := srv2.Restore(dir); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	status := httpJSON(t, ts2.Client(), "GET",
+		fmt.Sprintf("%s/v1/sessions/%d", ts2.URL, id), nil, http.StatusOK)
+	if status["done"].(float64) != 6 {
+		t.Fatalf("restored session status = %v, want done=6", status)
+	}
+}
+
+// TestHTTPBadFaultSpecs: malformed fault/policy specs on session creation
+// are a client error, not a server fault.
+func TestHTTPBadFaultSpecs(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1})
+	loadTest(t, srv, "t", 2.0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := ts.Client()
+	httpJSON(t, cl, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"program": "t", "faults": "explode:g@nope"}, http.StatusBadRequest)
+	httpJSON(t, cl, "POST", ts.URL+"/v1/sessions",
+		map[string]any{"program": "t", "on_error": "g=fly-to-the-moon"}, http.StatusBadRequest)
 }

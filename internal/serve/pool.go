@@ -3,6 +3,7 @@ package serve
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // pool is the shared work-stealing worker pool every session's steady-state
@@ -13,6 +14,11 @@ import (
 // tenants. Workers park on a condition variable when the whole pool is dry;
 // a version counter closes the race between a failed scan and the park, so
 // no submit is ever lost.
+//
+// With a batch timeout set, a watchdog goroutine samples every worker's
+// heartbeat: a batch that overstays its deadline gets its session declared
+// stuck, its worker written off as lost, and a replacement worker spawned —
+// the pool keeps serving at full strength around a wedged kernel.
 type pool struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -20,18 +26,57 @@ type pool struct {
 	version uint64
 	idle    int
 	closed  bool
+	nextID  int
 
-	workers []*worker
-	wg      sync.WaitGroup
+	workers []*worker // live and lost; readers snapshot under mu
+
+	timeout  time.Duration // batch deadline; 0 disables the watchdog
+	watchQ   chan struct{} // closed to stop the watchdog
+	watchWG  sync.WaitGroup
+	stuck    atomic.Int64
+	replaced atomic.Int64
 
 	steals atomic.Int64
 	parks  atomic.Int64
 }
 
 type worker struct {
-	id int
-	p  *pool
-	dq deque
+	id   int
+	p    *pool
+	dq   deque
+	hb   heartbeat
+	lost atomic.Bool   // written off by the watchdog; exits after its batch
+	done chan struct{} // closed when the scheduling loop returns
+}
+
+// heartbeat is the watchdog's view of what a worker is doing right now:
+// the session whose batch it is running and since when. begin/end bracket
+// runBatch; sample is the watchdog's racing read.
+type heartbeat struct {
+	mu    sync.Mutex
+	s     *Session
+	since time.Time
+}
+
+func (h *heartbeat) begin(s *Session) {
+	h.mu.Lock()
+	h.s, h.since = s, time.Now()
+	h.mu.Unlock()
+}
+
+func (h *heartbeat) end() {
+	h.mu.Lock()
+	h.s = nil
+	h.mu.Unlock()
+}
+
+func (h *heartbeat) sample() (*Session, time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.s == nil {
+		return nil, 0
+	}
+	return h.s, time.Since(h.since)
 }
 
 // deque is a mutex-based work-stealing deque. The owner pushes and pops at
@@ -75,21 +120,43 @@ func (d *deque) stealHead() *Session {
 	return s
 }
 
-func newPool(workers int) *pool {
-	p := &pool{}
+func newPool(workers int, timeout time.Duration) *pool {
+	p := &pool{timeout: timeout}
 	p.cond = sync.NewCond(&p.mu)
+	// Workers start consuming p.workers (via workerList) the moment the
+	// first one spawns, so even construction appends need the lock.
+	p.mu.Lock()
 	for i := 0; i < workers; i++ {
-		w := &worker{id: i, p: p}
-		p.workers = append(p.workers, w)
+		p.spawnLocked()
 	}
-	for _, w := range p.workers {
-		p.wg.Add(1)
-		go func(w *worker) {
-			defer p.wg.Done()
-			p.run(w)
-		}(w)
+	p.mu.Unlock()
+	if timeout > 0 {
+		p.watchQ = make(chan struct{})
+		p.watchWG.Add(1)
+		go p.watch()
 	}
 	return p
+}
+
+// spawnLocked starts one worker. Callers hold p.mu.
+func (p *pool) spawnLocked() {
+	w := &worker{id: p.nextID, p: p, done: make(chan struct{})}
+	p.nextID++
+	p.workers = append(p.workers, w)
+	go func() {
+		defer close(w.done)
+		p.run(w)
+	}()
+}
+
+// workerList snapshots the worker slice. Appends only ever replace the
+// slice header under p.mu, so a snapshot stays valid while new workers
+// land.
+func (p *pool) workerList() []*worker {
+	p.mu.Lock()
+	ws := p.workers
+	p.mu.Unlock()
+	return ws
 }
 
 // submit enqueues a session that just became runnable. The caller must hold
@@ -116,20 +183,39 @@ func (p *pool) bump() {
 	p.mu.Unlock()
 }
 
+// close stops the watchdog and joins every worker that is not written off
+// as lost. A lost worker is wedged inside a kernel by definition; its
+// goroutine exits on its own if the kernel ever returns.
 func (p *pool) close() {
+	if p.watchQ != nil {
+		close(p.watchQ)
+		p.watchWG.Wait()
+	}
 	p.mu.Lock()
 	p.closed = true
 	p.cond.Broadcast()
+	ws := p.workers
 	p.mu.Unlock()
-	p.wg.Wait()
+	for _, w := range ws {
+		if w.lost.Load() {
+			continue
+		}
+		<-w.done
+	}
 }
 
 // steal scans the other workers round-robin from w's successor and takes
-// the head of the first non-empty deque.
+// the head of the first non-empty deque. Lost workers' deques are empty —
+// the watchdog rescued them — but are scanned harmlessly regardless.
 func (p *pool) steal(w *worker) *Session {
-	n := len(p.workers)
+	ws := p.workerList()
+	n := len(ws)
+	start := w.id % n
 	for i := 1; i < n; i++ {
-		v := p.workers[(w.id+i)%n]
+		v := ws[(start+i)%n]
+		if v == w {
+			continue
+		}
 		if s := v.dq.stealHead(); s != nil {
 			p.steals.Add(1)
 			return s
@@ -181,7 +267,21 @@ func (p *pool) run(w *worker) {
 			continue
 		}
 
-		if s.runBatch() {
+		w.hb.begin(s)
+		runnable := s.runBatch()
+		w.hb.end()
+
+		if w.lost.Load() {
+			// The watchdog wrote this worker off while the batch overstayed
+			// its deadline (the session is already marked stuck, so runnable
+			// is false for it) — but if a replacement raced us here with a
+			// healthy session, hand it back rather than strand it.
+			if runnable {
+				p.submit(s)
+			}
+			return
+		}
+		if runnable {
 			// Still runnable: back on our own tail. Advertise it so an idle
 			// worker can steal if we are the bottleneck.
 			w.dq.pushTail(s)

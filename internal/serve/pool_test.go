@@ -83,3 +83,97 @@ func TestPoolNoLostWakeup(t *testing.T) {
 		s.Drain(0)
 	}
 }
+
+// TestDequeStealPopInterleaving hammers the owner/thief protocol: one
+// owner pushing and popping at the tail while several thieves rip from the
+// head. Every pushed session must come out exactly once — a double-serve
+// would break the scheduled-flag exclusivity token, a lost one strands a
+// session forever.
+func TestDequeStealPopInterleaving(t *testing.T) {
+	const total = 20000
+	const thieves = 4
+	d := &deque{}
+	sessions := make([]*Session, total)
+	for i := range sessions {
+		sessions[i] = &Session{ID: uint64(i)}
+	}
+
+	var mu sync.Mutex
+	seen := make(map[*Session]int, total)
+	count := func(s *Session) {
+		mu.Lock()
+		seen[s]++
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if s := d.stealHead(); s != nil {
+					count(s)
+					continue
+				}
+				select {
+				case <-stop:
+					// Queue may refill after we saw it empty: one last sweep.
+					for s := d.stealHead(); s != nil; s = d.stealHead() {
+						count(s)
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+	// The owner interleaves pushes with tail pops, like a worker requeueing
+	// its own session and immediately claiming the next batch.
+	for i, s := range sessions {
+		d.pushTail(s)
+		if i%3 == 0 {
+			if s := d.popTail(); s != nil {
+				count(s)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for s := d.popTail(); s != nil; s = d.popTail() {
+		count(s)
+	}
+
+	if len(seen) != total {
+		t.Fatalf("%d distinct sessions came out, want %d", len(seen), total)
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Fatalf("session %d served %d times, want exactly once", s.ID, n)
+		}
+	}
+}
+
+// TestDequeFIFOSteals pins the ordering contract: thieves take the oldest
+// work (head), the owner the newest (tail), so a stolen session is always
+// the one that waited longest.
+func TestDequeFIFOSteals(t *testing.T) {
+	d := &deque{}
+	a, b, c := &Session{ID: 1}, &Session{ID: 2}, &Session{ID: 3}
+	d.pushTail(a)
+	d.pushTail(b)
+	d.pushTail(c)
+	if got := d.stealHead(); got != a {
+		t.Fatalf("stealHead = %v, want oldest (ID 1)", got.ID)
+	}
+	if got := d.popTail(); got != c {
+		t.Fatalf("popTail = %v, want newest (ID 3)", got.ID)
+	}
+	if got := d.stealHead(); got != b {
+		t.Fatalf("stealHead = %v, want remaining (ID 2)", got.ID)
+	}
+	if d.stealHead() != nil || d.popTail() != nil {
+		t.Fatal("drained deque still yields sessions")
+	}
+}

@@ -48,6 +48,15 @@ type Config struct {
 	Batch int
 	// Backend selects the work-function substrate for all sessions.
 	Backend exec.Backend
+	// BatchTimeout arms the stuck-session watchdog: a single batch holding
+	// one pool worker longer than this marks its session stuck (a
+	// worker-attributed *StuckError), rescues the worker's queued sessions,
+	// and spawns a replacement worker so the pool keeps serving at full
+	// strength. 0 disables the watchdog.
+	BatchTimeout time.Duration
+	// SnapshotDir is the default directory for Snapshot/Restore, used by
+	// the HTTP /v1/snapshot endpoint when the request names none.
+	SnapshotDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -90,11 +99,22 @@ type Server struct {
 	nextSID     uint64
 	peak        int
 
+	// qmu is a leaf lock: noteQuarantine runs under a Session's mutex, so
+	// the quarantine counters cannot share srv.mu (Stats orders srv.mu
+	// before s.mu).
+	qmu               sync.Mutex
+	tenantQuarantines map[string]int64
+
+	draining         atomic.Bool
 	created          atomic.Int64
 	closedCount      atomic.Int64
 	rejectedSessions atomic.Int64
 	rejectedIters    atomic.Int64
 	itersDone        atomic.Int64
+	quarantinedCount atomic.Int64
+	stuckCount       atomic.Int64
+	snapshotsTaken   atomic.Int64
+	restoredCount    atomic.Int64
 	lat              latHist
 }
 
@@ -127,13 +147,14 @@ type version struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:         cfg,
-		pool:        newPool(cfg.Workers),
-		cache:       core.NewCache(),
-		start:       time.Now(),
-		programs:    map[string]*program{},
-		sessions:    map[uint64]*Session{},
-		tenantIters: map[string]int64{},
+		cfg:               cfg,
+		pool:              newPool(cfg.Workers, cfg.BatchTimeout),
+		cache:             core.NewCache(),
+		start:             time.Now(),
+		programs:          map[string]*program{},
+		sessions:          map[uint64]*Session{},
+		tenantIters:       map[string]int64{},
+		tenantQuarantines: map[string]int64{},
 	}
 }
 
@@ -251,6 +272,9 @@ func (srv *Server) Programs() []ProgramStats {
 // allocation-light by design, which is what makes 10k-session fan-out
 // practical. The session is idle until Run requests iterations.
 func (srv *Server) NewSession(opt SessionOptions) (*Session, error) {
+	if srv.draining.Load() {
+		return nil, ErrDraining
+	}
 	srv.mu.Lock()
 	if len(srv.sessions) >= srv.cfg.MaxSessions {
 		srv.mu.Unlock()
@@ -267,10 +291,37 @@ func (srv *Server) NewSession(opt SessionOptions) (*Session, error) {
 	sid := srv.nextSID
 	srv.mu.Unlock()
 
-	s := &Session{ID: sid, srv: srv, ver: ver, opt: opt, waitCh: make(chan struct{})}
-	var engOpts exec.Options
-	if opt.Profile {
-		engOpts.Profile = true
+	s, err := srv.buildSession(ver, opt)
+	if err != nil {
+		return nil, err
+	}
+	s.ID = sid
+
+	srv.mu.Lock()
+	if len(srv.sessions) >= srv.cfg.MaxSessions {
+		srv.mu.Unlock()
+		srv.rejectedSessions.Add(1)
+		return nil, fmt.Errorf("%w (%d open)", ErrSessionLimit, srv.cfg.MaxSessions)
+	}
+	srv.sessions[sid] = s
+	if len(srv.sessions) > srv.peak {
+		srv.peak = len(srv.sessions)
+	}
+	ver.active.Add(1)
+	srv.mu.Unlock()
+	srv.created.Add(1)
+	return s, nil
+}
+
+// buildSession stamps an engine from the version's shared artifacts and
+// wires the session's source override, sink taps, and supervision options.
+// The caller registers the result (and assigns its ID) under srv.mu.
+func (srv *Server) buildSession(ver *version, opt SessionOptions) (*Session, error) {
+	s := &Session{srv: srv, ver: ver, opt: opt, waitCh: make(chan struct{})}
+	engOpts := exec.Options{
+		Profile: opt.Profile,
+		Faults:  opt.Faults,
+		OnError: opt.OnError,
 	}
 	eng, err := ver.shared.NewEngine(engOpts)
 	if err != nil {
@@ -292,21 +343,54 @@ func (srv *Server) NewSession(opt SessionOptions) (*Session, error) {
 	}
 	s.eng = eng
 	s.prof = eng.Profile()
-
-	srv.mu.Lock()
-	if len(srv.sessions) >= srv.cfg.MaxSessions {
-		srv.mu.Unlock()
-		srv.rejectedSessions.Add(1)
-		return nil, fmt.Errorf("%w (%d open)", ErrSessionLimit, srv.cfg.MaxSessions)
-	}
-	srv.sessions[sid] = s
-	if len(srv.sessions) > srv.peak {
-		srv.peak = len(srv.sessions)
-	}
-	ver.active.Add(1)
-	srv.mu.Unlock()
-	srv.created.Add(1)
 	return s, nil
+}
+
+// noteQuarantine counts a terminally failed session server-wide and per
+// tenant. Runs under the session's mutex, hence the leaf lock.
+func (srv *Server) noteQuarantine(tenant string) {
+	srv.quarantinedCount.Add(1)
+	srv.qmu.Lock()
+	srv.tenantQuarantines[tenant]++
+	srv.qmu.Unlock()
+}
+
+// Drain stops session admission (new sessions fail with ErrDraining) and
+// waits for every open session's in-flight work to finish — each session
+// either reaches its requested goal, stalls on missing input or a full
+// output buffer, fails, or closes. Returns ErrTimeout if the pool has not
+// gone quiet by the deadline; already-admitted sessions keep running
+// either way. Draining is one-way: it is the first phase of shutdown.
+func (srv *Server) Drain(timeout time.Duration) error {
+	srv.draining.Store(true)
+	deadline := time.Now().Add(timeout)
+	for {
+		if srv.quiet() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Draining reports whether Drain has stopped session admission.
+func (srv *Server) Draining() bool { return srv.draining.Load() }
+
+// quiet reports whether no session has dispatchable or in-flight work.
+func (srv *Server) quiet() bool {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	for _, s := range srv.sessions {
+		s.mu.Lock()
+		busy := s.scheduled || (s.err == nil && !s.closed && s.dispatchableLocked() > 0)
+		s.mu.Unlock()
+		if busy {
+			return false
+		}
+	}
+	return true
 }
 
 // feedRates validates that name resolves to a pushing source filter of the

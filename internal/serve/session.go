@@ -3,8 +3,11 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
+	"streamit/internal/exec"
+	"streamit/internal/faults"
 	"streamit/internal/obs"
 	"streamit/internal/wfunc"
 
@@ -12,7 +15,7 @@ import (
 )
 
 // Serving errors. The HTTP layer maps these onto status codes (429 for
-// admission, 409 for closed).
+// admission, 409 for closed, 503 for draining).
 var (
 	// ErrSessionLimit rejects session creation past Config.MaxSessions.
 	ErrSessionLimit = errors.New("serve: session limit reached")
@@ -23,6 +26,9 @@ var (
 	ErrClosed = errors.New("serve: session closed")
 	// ErrTimeout reports a WaitDone deadline expiry.
 	ErrTimeout = errors.New("serve: wait timed out")
+	// ErrDraining rejects session creation while Server.Drain is stopping
+	// admission for a graceful shutdown.
+	ErrDraining = errors.New("serve: server is draining")
 )
 
 // SessionOptions configures one session at creation.
@@ -38,6 +44,15 @@ type SessionOptions struct {
 	Tenant string
 	// Profile attaches a per-session obs profiler.
 	Profile bool
+	// Faults schedules deterministic fault injection inside this session's
+	// engine (nil: none). Injection plans are test harnesses; they are not
+	// persisted across Checkpoint/Restore.
+	Faults *faults.Plan
+	// OnError maps this session's filters to recovery policies (retry /
+	// skip / restart with firing rollback). The zero value fails: the
+	// first kernel error quarantines the session. Policies survive
+	// Checkpoint/Restore.
+	OnError faults.Policies
 }
 
 // Session is one tenant's independent instance of a compiled program:
@@ -58,17 +73,19 @@ type Session struct {
 	inPerIter   int
 	inPerInit   int
 
-	mu        sync.Mutex
-	eng       engineRunner
-	inited    bool
-	input     ringf // fed items awaiting consumption
-	output    ringf // produced items awaiting drain
-	goal      int64 // steady iterations requested
-	done      int64 // steady iterations completed
-	scheduled bool  // true while queued or running on the pool
-	closed    bool
-	err       error
-	waitCh    chan struct{} // closed and remade on every state change
+	mu          sync.Mutex
+	eng         engineRunner
+	inited      bool
+	input       ringf // fed items awaiting consumption
+	output      ringf // produced items awaiting drain
+	goal        int64 // steady iterations requested
+	done        int64 // steady iterations completed
+	scheduled   bool  // true while queued or running on the pool
+	paused      int   // pause requests (checkpoint quiesce); >0 blocks dispatch
+	closed      bool
+	quarantined bool // terminal error counted in server quarantine stats
+	err         error
+	waitCh      chan struct{} // closed and remade on every state change
 
 	// Worker-local staging. Only the worker running a batch touches these,
 	// and the scheduled flag guarantees one worker at a time.
@@ -85,6 +102,8 @@ type engineRunner interface {
 	RunInit() error
 	RunSteady(iters int) error
 	Profile() *obs.Profiler
+	WriteCheckpoint(w io.Writer, iteration int64) error
+	RestoreCheckpoint(data []byte) (int64, error)
 }
 
 // ringf is a growable float64 ring buffer (FIFO).
@@ -114,6 +133,15 @@ func (r *ringf) pop() float64 {
 	r.head = (r.head + 1) % len(r.buf)
 	r.size--
 	return v
+}
+
+// items copies the buffered values in FIFO order without consuming them.
+func (r *ringf) items() []float64 {
+	out := make([]float64, r.size)
+	for i := range out {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
 }
 
 // Run requests n more steady-state iterations. Admission control bounds the
@@ -205,6 +233,28 @@ func (s *Session) Err() error {
 	return s.err
 }
 
+// Quarantined reports whether the session hit a terminal error and was
+// isolated from the pool. Its buffered output stays drainable.
+func (s *Session) Quarantined() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
+// failLocked records a terminal session error (the first one wins — a
+// stuck verdict must not be overwritten by the batch eventually limping
+// home) and counts the quarantine once. Callers hold s.mu.
+func (s *Session) failLocked(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	if !s.quarantined {
+		s.quarantined = true
+		s.srv.noteQuarantine(s.opt.Tenant)
+	}
+	s.notifyLocked()
+}
+
 // Profile returns the session's profiler (nil unless Profile was set).
 func (s *Session) Profile() *obs.Profiler { return s.prof }
 
@@ -256,7 +306,7 @@ func (s *Session) notifyLocked() {
 // kickLocked schedules the session onto the pool if it has dispatchable
 // work and is not already queued or running. Callers hold s.mu.
 func (s *Session) kickLocked() {
-	if s.scheduled || s.closed || s.err != nil {
+	if s.scheduled || s.closed || s.err != nil || s.paused > 0 {
 		return
 	}
 	if s.dispatchableLocked() == 0 {
@@ -302,56 +352,26 @@ func (s *Session) dispatchableLocked() int {
 // (in which case the worker requeues it). The scheduled flag is the
 // exclusivity token: exactly one worker runs a session at a time, so the
 // engine — single-owner by design — needs no lock of its own.
+//
+// Failure containment: engine errors (including kernel panics the engine
+// already converts to *exec.ExecError) and any panic that escapes the
+// engine or the staging bookkeeping quarantine this one session; the pool
+// worker survives to serve every other tenant.
 func (s *Session) runBatch() bool {
-	s.mu.Lock()
-	if s.closed || s.err != nil {
-		s.scheduled = false
-		s.mu.Unlock()
+	k, runInit, ok := s.beginBatch()
+	if !ok {
 		return false
 	}
-	k := min(s.dispatchableLocked(), s.srv.cfg.Batch)
-	if k == 0 {
-		s.scheduled = false
-		s.mu.Unlock()
-		return false
-	}
-	runInit := !s.inited
-	if s.opt.Source != "" {
-		want := k * s.inPerIter
-		if runInit {
-			want += s.inPerInit
-		}
-		s.stage = s.stage[:0]
-		for i := 0; i < want; i++ {
-			s.stage = append(s.stage, s.input.pop())
-		}
-		s.stagePos = 0
-	}
-	s.mu.Unlock()
 
-	var err error
-	completed := 0
-	initDone := false
-	if runInit {
-		err = s.eng.RunInit()
-		initDone = err == nil
-	}
 	var lat [maxBatch]int64
-	for i := 0; i < k && err == nil; i++ {
-		t0 := time.Now()
-		err = s.eng.RunSteady(1)
-		if err == nil {
-			lat[completed] = int64(time.Since(t0))
-			completed++
-		}
-	}
+	completed, initDone, err := s.runEngine(runInit, k, &lat)
 
 	s.mu.Lock()
 	if initDone {
 		s.inited = true
 	}
 	if err != nil {
-		s.err = err
+		s.failLocked(err)
 	}
 	if !s.closed && len(s.stageOut) > 0 {
 		for _, v := range s.stageOut {
@@ -360,7 +380,7 @@ func (s *Session) runBatch() bool {
 	}
 	s.stageOut = s.stageOut[:0]
 	s.done += int64(completed)
-	runnable := s.err == nil && !s.closed && s.dispatchableLocked() > 0
+	runnable := s.err == nil && !s.closed && s.paused == 0 && s.dispatchableLocked() > 0
 	if !runnable {
 		s.scheduled = false
 	}
@@ -371,6 +391,136 @@ func (s *Session) runBatch() bool {
 		s.srv.recordIters(s.opt.Tenant, lat[:completed])
 	}
 	return runnable
+}
+
+// beginBatch claims up to Config.Batch dispatchable iterations and stages
+// their fed input under the session lock. ok=false means there is nothing
+// to run and the scheduled flag has been released. A panic out of the
+// staging bookkeeping (a session-accounting bug) is contained here: it
+// quarantines the session instead of killing the pool worker while the
+// lock is held.
+func (s *Session) beginBatch() (k int, runInit bool, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil || s.paused > 0 {
+		s.scheduled = false
+		s.notifyLocked() // waitUnscheduled blocks on this transition
+		return 0, false, false
+	}
+	k = min(s.dispatchableLocked(), s.srv.cfg.Batch)
+	if k == 0 {
+		s.scheduled = false
+		s.notifyLocked()
+		return 0, false, false
+	}
+	runInit = !s.inited
+	var stageErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				stageErr = containedPanic(r)
+			}
+		}()
+		if s.opt.Source != "" {
+			want := k * s.inPerIter
+			if runInit {
+				want += s.inPerInit
+			}
+			s.stage = s.stage[:0]
+			for i := 0; i < want; i++ {
+				s.stage = append(s.stage, s.input.pop())
+			}
+			s.stagePos = 0
+		}
+	}()
+	if stageErr != nil {
+		s.failLocked(stageErr) // notifies: waitUnscheduled waiters see the transition
+		s.scheduled = false
+		return 0, false, false
+	}
+	return k, runInit, true
+}
+
+// runEngine drives the engine for one claimed batch without holding the
+// session lock, recovering any panic that escapes the engine into a
+// structured error (last-resort containment — the engine already converts
+// kernel panics into *exec.ExecError, so anything caught here is a bug in
+// a native work function's surroundings or the tap/override plumbing).
+func (s *Session) runEngine(runInit bool, k int, lat *[maxBatch]int64) (completed int, initDone bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = containedPanic(r)
+		}
+	}()
+	if runInit {
+		if err = s.eng.RunInit(); err != nil {
+			return
+		}
+		initDone = true
+	}
+	for completed < k {
+		t0 := time.Now()
+		if err = s.eng.RunSteady(1); err != nil {
+			return
+		}
+		lat[completed] = int64(time.Since(t0))
+		completed++
+	}
+	return
+}
+
+// containedPanic converts a recovered panic value into the structured
+// error the session surfaces via Err, stats, and the HTTP API.
+func containedPanic(r any) error {
+	switch v := r.(type) {
+	case *exec.ExecError:
+		return v
+	case error:
+		return &exec.ExecError{Op: "contained panic", Err: v}
+	default:
+		return &exec.ExecError{Op: "contained panic", Err: fmt.Errorf("%v", v)}
+	}
+}
+
+// pause blocks future dispatch of the session (counted, so concurrent
+// pausers compose); resume re-enables it and reschedules pending work.
+func (s *Session) pause() {
+	s.mu.Lock()
+	s.paused++
+	s.mu.Unlock()
+}
+
+func (s *Session) resume() {
+	s.mu.Lock()
+	s.paused--
+	s.kickLocked()
+	s.mu.Unlock()
+}
+
+// waitUnscheduled blocks until no pool worker holds the session (the
+// quiesce point a paused session converges to) or the timeout elapses.
+func (s *Session) waitUnscheduled(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		if !s.scheduled {
+			s.mu.Unlock()
+			return nil
+		}
+		ch := s.waitCh
+		s.mu.Unlock()
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return ErrTimeout
+		}
+		t := time.NewTimer(rem)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return ErrTimeout
+		}
+	}
 }
 
 // sourceOverride returns the work-function replacement for the session's

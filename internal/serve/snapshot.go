@@ -1,0 +1,550 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"streamit/internal/faults"
+)
+
+// Session checkpoint envelope: the engine's fingerprinted image (the PR 5
+// format, byte-portable across backends) wrapped with everything else a
+// session owns — identity, fed-input ring, undrained output, progress
+// counters, and recovery policies — so a restored server resumes exactly
+// where the snapshot cut, bit-identical to a run that never stopped.
+const (
+	sessMagic    = "STRMSESS"
+	sessVersion  = 1
+	manifestName = "MANIFEST.json"
+)
+
+// checkpointQuiesce bounds how long Checkpoint waits for an in-flight
+// batch to leave the session. Generous: a batch is Config.Batch steady
+// iterations; only a genuinely wedged kernel exceeds this.
+const checkpointQuiesce = 30 * time.Second
+
+// Checkpoint quiesces the session (pausing dispatch and waiting out any
+// in-flight batch) and writes its complete resumable state to w. The
+// session resumes serving afterwards. Quarantined and closed sessions are
+// not checkpointable: their state is terminal, not resumable.
+func (s *Session) Checkpoint(w io.Writer) error {
+	// Reject terminal sessions before quiescing: a stuck session's lost
+	// worker never releases it, so waiting out the quiesce would stall the
+	// whole snapshot sweep on state that can't be persisted anyway.
+	if err := s.Err(); err != nil {
+		return fmt.Errorf("serve: session %d is quarantined: %w", s.ID, err)
+	}
+	s.pause()
+	defer s.resume()
+	if err := s.waitUnscheduled(checkpointQuiesce); err != nil {
+		return fmt.Errorf("serve: session %d did not quiesce for checkpoint: %w", s.ID, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.err != nil {
+		return fmt.Errorf("serve: session %d is quarantined: %w", s.ID, s.err)
+	}
+	var eng bytes.Buffer
+	if err := s.eng.WriteCheckpoint(&eng, s.done); err != nil {
+		return err
+	}
+	c := &sessWriter{w: w}
+	c.bytes([]byte(sessMagic))
+	c.u32(sessVersion)
+	c.u64(s.ver.fp)
+	c.u64(s.ID)
+	c.str(s.ver.name)
+	c.str(s.opt.Source)
+	c.str(s.opt.Tenant)
+	c.str(policiesSpec(s.opt.OnError))
+	c.bool(s.opt.Profile)
+	c.bool(s.inited)
+	c.i64(s.goal)
+	c.i64(s.done)
+	c.floats(s.input.items())
+	c.floats(s.output.items())
+	c.u32(uint32(eng.Len()))
+	c.bytes(eng.Bytes())
+	return c.err
+}
+
+// policiesSpec renders recovery policies back into the ParsePolicies spec
+// form, so they survive a checkpoint round-trip. Fault-injection plans are
+// deliberately not persisted: re-injecting the same faults after a restore
+// would double-fault a session that already absorbed them.
+func policiesSpec(ps faults.Policies) string {
+	var parts []string
+	if ps.Default != (faults.Policy{}) {
+		parts = append(parts, "default="+ps.Default.String())
+	}
+	names := make([]string, 0, len(ps.PerFilter))
+	for n := range ps.PerFilter {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		parts = append(parts, n+"="+ps.PerFilter[n].String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// sessImage is a decoded session checkpoint envelope.
+type sessImage struct {
+	fp            uint64
+	id            uint64
+	program       string
+	source        string
+	tenant        string
+	onError       string
+	profile       bool
+	inited        bool
+	goal, done    int64
+	input, output []float64
+	eng           []byte
+}
+
+func decodeSession(data []byte) (*sessImage, error) {
+	c := &sessReader{data: data}
+	magic, err := c.take(len(sessMagic))
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != sessMagic {
+		return nil, fmt.Errorf("serve: not a session checkpoint (bad magic)")
+	}
+	version, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != sessVersion {
+		return nil, fmt.Errorf("serve: session checkpoint version %d not supported (want %d)", version, sessVersion)
+	}
+	img := &sessImage{}
+	if img.fp, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if img.id, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if img.program, err = c.str("program name"); err != nil {
+		return nil, err
+	}
+	if img.source, err = c.str("source name"); err != nil {
+		return nil, err
+	}
+	if img.tenant, err = c.str("tenant"); err != nil {
+		return nil, err
+	}
+	if img.onError, err = c.str("policy spec"); err != nil {
+		return nil, err
+	}
+	if img.profile, err = c.bool(); err != nil {
+		return nil, err
+	}
+	if img.inited, err = c.bool(); err != nil {
+		return nil, err
+	}
+	if img.goal, err = c.i64(); err != nil {
+		return nil, err
+	}
+	if img.done, err = c.i64(); err != nil {
+		return nil, err
+	}
+	if img.input, err = c.floats("input ring"); err != nil {
+		return nil, err
+	}
+	if img.output, err = c.floats("output ring"); err != nil {
+		return nil, err
+	}
+	n, err := c.count(1, "engine image")
+	if err != nil {
+		return nil, err
+	}
+	if img.eng, err = c.take(n); err != nil {
+		return nil, err
+	}
+	if c.remaining() != 0 {
+		return nil, fmt.Errorf("serve: %d trailing bytes after session checkpoint", c.remaining())
+	}
+	if img.done < 0 || img.goal < img.done {
+		return nil, fmt.Errorf("serve: session checkpoint progress counters out of range (done %d, goal %d)", img.done, img.goal)
+	}
+	return img, nil
+}
+
+// SnapshotSummary reports what Server.Snapshot persisted.
+type SnapshotSummary struct {
+	Dir      string `json:"dir"`
+	Sessions int    `json:"sessions"`
+	Skipped  int    `json:"skipped"` // quarantined/closed sessions: terminal, not resumable
+	Bytes    int64  `json:"bytes"`
+}
+
+// snapshotManifest is the MANIFEST.json written next to the session files.
+type snapshotManifest struct {
+	Schema   string   `json:"schema"`
+	Sessions int      `json:"sessions"`
+	Skipped  int      `json:"skipped"`
+	Files    []string `json:"files"`
+}
+
+// SnapshotSchema tags the snapshot manifest document.
+const SnapshotSchema = "streamit-serve-snapshot/v1"
+
+// Snapshot persists every resident session's checkpoint into dir (one
+// session-<id>.ckpt per session plus a manifest), quiescing each session
+// in turn — the server keeps serving throughout. Quarantined sessions are
+// skipped and counted. Stale session files from an earlier snapshot are
+// removed after the new cut lands, so dir always holds exactly one
+// coherent restore set. An empty dir selects Config.SnapshotDir.
+func (srv *Server) Snapshot(dir string) (SnapshotSummary, error) {
+	if dir == "" {
+		dir = srv.cfg.SnapshotDir
+	}
+	if dir == "" {
+		return SnapshotSummary{}, fmt.Errorf("serve: no snapshot directory configured")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return SnapshotSummary{}, err
+	}
+	stale := map[string]bool{}
+	if old, err := filepath.Glob(filepath.Join(dir, "session-*.ckpt")); err == nil {
+		for _, f := range old {
+			stale[f] = true
+		}
+	}
+
+	srv.mu.Lock()
+	sessions := make([]*Session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		sessions = append(sessions, s)
+	}
+	srv.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ID < sessions[j].ID })
+
+	sum := SnapshotSummary{Dir: dir}
+	man := snapshotManifest{Schema: SnapshotSchema}
+	for _, s := range sessions {
+		var buf bytes.Buffer
+		if err := s.Checkpoint(&buf); err != nil {
+			sum.Skipped++
+			continue
+		}
+		name := fmt.Sprintf("session-%d.ckpt", s.ID)
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return sum, err
+		}
+		delete(stale, path)
+		sum.Sessions++
+		sum.Bytes += int64(buf.Len())
+		man.Files = append(man.Files, name)
+	}
+	for f := range stale {
+		_ = os.Remove(f)
+	}
+	man.Sessions, man.Skipped = sum.Sessions, sum.Skipped
+	mb, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return sum, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), mb, 0o644); err != nil {
+		return sum, err
+	}
+	srv.snapshotsTaken.Add(1)
+	return sum, nil
+}
+
+// RestoreSummary reports what Server.Restore rebuilt.
+type RestoreSummary struct {
+	Dir      string   `json:"dir"`
+	Restored int      `json:"restored"`
+	Failed   []string `json:"failed,omitempty"` // per-file "name: reason"
+}
+
+// Restore rebuilds sessions from a Snapshot directory onto this server.
+// Programs must already be loaded (the compile cache makes reloading the
+// same source cheap and fingerprint-stable); each session is validated
+// against the current version's structural fingerprint, stamped through
+// the normal engine path, and resumes — with its original ID, fed input,
+// undrained output, and remaining iteration goal — as if the process had
+// never died. Individual session failures (unknown program, fingerprint
+// mismatch, ID collision) are reported per file; the rest restore.
+func (srv *Server) Restore(dir string) (RestoreSummary, error) {
+	if dir == "" {
+		dir = srv.cfg.SnapshotDir
+	}
+	if dir == "" {
+		return RestoreSummary{}, fmt.Errorf("serve: no snapshot directory configured")
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "session-*.ckpt"))
+	if err != nil {
+		return RestoreSummary{}, err
+	}
+	sort.Strings(files)
+	sum := RestoreSummary{Dir: dir}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err == nil {
+			err = srv.restoreSession(data)
+		}
+		if err != nil {
+			sum.Failed = append(sum.Failed, fmt.Sprintf("%s: %v", filepath.Base(f), err))
+			continue
+		}
+		sum.Restored++
+	}
+	return sum, nil
+}
+
+// restoreSession rebuilds one session from its checkpoint envelope.
+func (srv *Server) restoreSession(data []byte) error {
+	img, err := decodeSession(data)
+	if err != nil {
+		return err
+	}
+	var onError faults.Policies
+	if img.onError != "" {
+		if onError, err = faults.ParsePolicies(img.onError); err != nil {
+			return err
+		}
+	}
+
+	srv.mu.Lock()
+	p := srv.programs[img.program]
+	if p == nil {
+		srv.mu.Unlock()
+		return fmt.Errorf("serve: unknown program %q (load it before restoring)", img.program)
+	}
+	ver := p.versions[len(p.versions)-1]
+	if ver.fp != img.fp {
+		srv.mu.Unlock()
+		return fmt.Errorf("serve: program %q fingerprint %016x does not match checkpoint %016x", img.program, ver.fp, img.fp)
+	}
+	if _, dup := srv.sessions[img.id]; dup {
+		srv.mu.Unlock()
+		return fmt.Errorf("serve: session id %d already open", img.id)
+	}
+	if len(srv.sessions) >= srv.cfg.MaxSessions {
+		srv.mu.Unlock()
+		srv.rejectedSessions.Add(1)
+		return fmt.Errorf("%w (%d open)", ErrSessionLimit, srv.cfg.MaxSessions)
+	}
+	srv.mu.Unlock()
+
+	s, err := srv.buildSession(ver, SessionOptions{
+		Program: img.program,
+		Source:  img.source,
+		Tenant:  img.tenant,
+		Profile: img.profile,
+		OnError: onError,
+	})
+	if err != nil {
+		return err
+	}
+	s.ID = img.id
+	it, err := s.eng.RestoreCheckpoint(img.eng)
+	if err != nil {
+		return err
+	}
+	if it != img.done {
+		return fmt.Errorf("serve: engine image iteration %d disagrees with session progress %d", it, img.done)
+	}
+	s.inited = img.inited
+	s.goal, s.done = img.goal, img.done
+	for _, v := range img.input {
+		s.input.push(v)
+	}
+	for _, v := range img.output {
+		s.output.push(v)
+	}
+
+	srv.mu.Lock()
+	if _, dup := srv.sessions[s.ID]; dup {
+		srv.mu.Unlock()
+		return fmt.Errorf("serve: session id %d already open", s.ID)
+	}
+	if len(srv.sessions) >= srv.cfg.MaxSessions {
+		srv.mu.Unlock()
+		srv.rejectedSessions.Add(1)
+		return fmt.Errorf("%w (%d open)", ErrSessionLimit, srv.cfg.MaxSessions)
+	}
+	srv.sessions[s.ID] = s
+	if len(srv.sessions) > srv.peak {
+		srv.peak = len(srv.sessions)
+	}
+	if s.ID > srv.nextSID {
+		srv.nextSID = s.ID
+	}
+	ver.active.Add(1)
+	srv.mu.Unlock()
+	srv.restoredCount.Add(1)
+
+	s.mu.Lock()
+	s.kickLocked() // resume any iterations that were still owed
+	s.mu.Unlock()
+	return nil
+}
+
+// sessWriter serializes the envelope; the first write error sticks.
+type sessWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (c *sessWriter) bytes(b []byte) {
+	if c.err == nil {
+		_, c.err = c.w.Write(b)
+	}
+}
+
+func (c *sessWriter) u8(v byte) { c.bytes([]byte{v}) }
+
+func (c *sessWriter) bool(v bool) {
+	if v {
+		c.u8(1)
+	} else {
+		c.u8(0)
+	}
+}
+
+func (c *sessWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	c.bytes(b[:])
+}
+
+func (c *sessWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.bytes(b[:])
+}
+
+func (c *sessWriter) i64(v int64)   { c.u64(uint64(v)) }
+func (c *sessWriter) f64(v float64) { c.u64(math.Float64bits(v)) }
+
+func (c *sessWriter) floats(vs []float64) {
+	c.u32(uint32(len(vs)))
+	for _, v := range vs {
+		c.f64(v)
+	}
+}
+
+func (c *sessWriter) str(s string) {
+	c.u32(uint32(len(s)))
+	c.bytes([]byte(s))
+}
+
+// sessReader consumes the envelope with hard bounds checks, mirroring the
+// engine checkpoint decoder: every length is validated against the bytes
+// that actually follow, so corrupt input fails cleanly instead of
+// allocating.
+type sessReader struct {
+	data []byte
+	off  int
+}
+
+func (c *sessReader) remaining() int { return len(c.data) - c.off }
+
+func (c *sessReader) take(n int) ([]byte, error) {
+	if n < 0 || c.remaining() < n {
+		return nil, fmt.Errorf("serve: session checkpoint truncated at offset %d (want %d more bytes, have %d)", c.off, n, c.remaining())
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *sessReader) u8() (byte, error) {
+	b, err := c.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (c *sessReader) bool() (bool, error) {
+	v, err := c.u8()
+	if err != nil {
+		return false, err
+	}
+	if v > 1 {
+		return false, fmt.Errorf("serve: session checkpoint flag %d out of range", v)
+	}
+	return v == 1, nil
+}
+
+func (c *sessReader) u32() (uint32, error) {
+	b, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (c *sessReader) u64() (uint64, error) {
+	b, err := c.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (c *sessReader) i64() (int64, error) {
+	v, err := c.u64()
+	return int64(v), err
+}
+
+func (c *sessReader) f64() (float64, error) {
+	v, err := c.u64()
+	return math.Float64frombits(v), err
+}
+
+// count reads a u32 length and checks it against the bytes that must
+// follow, so a corrupt length cannot trigger a huge allocation.
+func (c *sessReader) count(elemSize int, what string) (int, error) {
+	v, err := c.u32()
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if n*elemSize > c.remaining() {
+		return 0, fmt.Errorf("serve: session checkpoint %s count %d exceeds remaining data", what, n)
+	}
+	return n, nil
+}
+
+func (c *sessReader) floats(what string) ([]float64, error) {
+	n, err := c.count(8, what)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if out[i], err = c.f64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (c *sessReader) str(what string) (string, error) {
+	n, err := c.count(1, what)
+	if err != nil {
+		return "", err
+	}
+	b, err := c.take(n)
+	return string(b), err
+}

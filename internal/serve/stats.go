@@ -77,10 +77,12 @@ func (h *latHist) quantile(q float64) int64 {
 type Stats struct {
 	Schema     string                 `json:"schema"`
 	UptimeMS   int64                  `json:"uptime_ms"`
+	Draining   bool                   `json:"draining"`
 	Sessions   SessionCounters        `json:"sessions"`
 	Iterations IterCounters           `json:"iterations"`
 	LatencyNS  LatencySummary         `json:"latency_ns"`
 	Pool       PoolCounters           `json:"pool"`
+	Snapshots  SnapshotCounters       `json:"snapshots"`
 	Programs   []ProgramStats         `json:"programs"`
 	Tenants    map[string]TenantStats `json:"tenants,omitempty"`
 }
@@ -96,6 +98,14 @@ type SessionCounters struct {
 	Closed           int64 `json:"closed"`
 	RejectedSessions int64 `json:"rejected_sessions"`
 	RejectedIters    int64 `json:"rejected_iters"`
+	// Quarantined counts sessions terminally failed and isolated from the
+	// pool (engine errors, contained panics, stuck verdicts).
+	Quarantined int64 `json:"quarantined"`
+	// Stuck counts the subset of quarantines declared by the batch-timeout
+	// watchdog.
+	Stuck int64 `json:"stuck"`
+	// Restored counts sessions rebuilt from snapshot checkpoints.
+	Restored int64 `json:"restored"`
 }
 
 // IterCounters counts steady-state iteration flow.
@@ -115,9 +125,23 @@ type LatencySummary struct {
 
 // PoolCounters reports worker-pool scheduling activity.
 type PoolCounters struct {
+	// Workers is the live worker count: configured size plus replacements,
+	// minus workers lost to stuck batches.
 	Workers int   `json:"workers"`
 	Steals  int64 `json:"steals"`
 	Parks   int64 `json:"parks"`
+	// Lost counts workers written off by the stuck-session watchdog;
+	// Replaced counts the fresh workers spawned to take their slots.
+	Lost     int64 `json:"lost"`
+	Replaced int64 `json:"replaced"`
+}
+
+// SnapshotCounters reports checkpoint/restore lifecycle activity.
+type SnapshotCounters struct {
+	// Taken counts completed Server.Snapshot calls.
+	Taken int64 `json:"taken"`
+	// SessionsRestored counts sessions rebuilt by Server.Restore.
+	SessionsRestored int64 `json:"sessions_restored"`
 }
 
 // ProgramStats describes one loaded program version. Draining versions are
@@ -133,22 +157,28 @@ type ProgramStats struct {
 
 // TenantStats aggregates per-tenant usage.
 type TenantStats struct {
-	Sessions   int   `json:"sessions"`
-	Iterations int64 `json:"iterations"`
+	Sessions    int   `json:"sessions"`
+	Iterations  int64 `json:"iterations"`
+	Quarantined int64 `json:"quarantined,omitempty"`
 }
 
 // Stats snapshots the server's counters. Safe to call concurrently with
 // serving traffic; counters are read atomically but not as one consistent
 // cut.
 func (srv *Server) Stats() Stats {
+	lost := srv.pool.stuck.Load()
 	st := Stats{
 		Schema:   StatsSchema,
 		UptimeMS: time.Since(srv.start).Milliseconds(),
+		Draining: srv.draining.Load(),
 		Sessions: SessionCounters{
 			Created:          srv.created.Load(),
 			Closed:           srv.closedCount.Load(),
 			RejectedSessions: srv.rejectedSessions.Load(),
 			RejectedIters:    srv.rejectedIters.Load(),
+			Quarantined:      srv.quarantinedCount.Load(),
+			Stuck:            srv.stuckCount.Load(),
+			Restored:         srv.restoredCount.Load(),
 		},
 		Iterations: IterCounters{Completed: srv.itersDone.Load()},
 		LatencyNS: LatencySummary{
@@ -159,9 +189,15 @@ func (srv *Server) Stats() Stats {
 			Max:   srv.lat.max.Load(),
 		},
 		Pool: PoolCounters{
-			Workers: len(srv.pool.workers),
-			Steals:  srv.pool.steals.Load(),
-			Parks:   srv.pool.parks.Load(),
+			Workers:  len(srv.pool.workerList()) - int(lost),
+			Steals:   srv.pool.steals.Load(),
+			Parks:    srv.pool.parks.Load(),
+			Lost:     lost,
+			Replaced: srv.pool.replaced.Load(),
+		},
+		Snapshots: SnapshotCounters{
+			Taken:            srv.snapshotsTaken.Load(),
+			SessionsRestored: srv.restoredCount.Load(),
 		},
 		Tenants: map[string]TenantStats{},
 	}
@@ -171,7 +207,10 @@ func (srv *Server) Stats() Stats {
 	var queued int64
 	for _, s := range srv.sessions {
 		s.mu.Lock()
-		queued += s.goal - s.done
+		// A quarantined session's backlog is dead work, not queue depth.
+		if s.err == nil {
+			queued += s.goal - s.done
+		}
 		tenant := s.opt.Tenant
 		s.mu.Unlock()
 		t := st.Tenants[tenant]
@@ -183,6 +222,13 @@ func (srv *Server) Stats() Stats {
 		t.Iterations = iters
 		st.Tenants[name] = t
 	}
+	srv.qmu.Lock()
+	for name, q := range srv.tenantQuarantines {
+		t := st.Tenants[name]
+		t.Quarantined = q
+		st.Tenants[name] = t
+	}
+	srv.qmu.Unlock()
 	for _, p := range srv.programs {
 		latest := p.versions[len(p.versions)-1]
 		for _, v := range p.versions {
