@@ -239,6 +239,41 @@ func BenchmarkMappedSpeedup(b *testing.B) {
 	b.ReportMetric(mean, "x-geomean-mapped")
 }
 
+// BenchmarkMappedSWP measures coarse-grained software pipelining on real
+// cores: every suite app under the lockstep task and task+data plans and
+// under both pipelined strategies (task+swp, task+data+swp), on the
+// host-mapped engine. The headline metric is the geomean ratio of the
+// best pipelined strategy over the task+data plan. GOMAXPROCS is raised
+// to at least 8 so the stage skew spans real workers. With
+// STREAMIT_BENCH_JSON=dir, a streamit-bench/v1 snapshot lands in
+// dir/BENCH_mapped_swp.json.
+func BenchmarkMappedSWP(b *testing.B) {
+	workers := runtime.NumCPU()
+	if workers < 8 {
+		workers = 8
+	}
+	prevProcs := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prevProcs)
+	prevDir := bench.JSONDir
+	bench.JSONDir = os.Getenv("STREAMIT_BENCH_JSON")
+	defer func() { bench.JSONDir = prevDir }()
+
+	var rows []bench.MappedRow
+	var vsTaskdata, vsTask float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, vsTaskdata, vsTask, err = bench.MappedSWPBench(workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bench.WriteSWPSnapshot(rows, workers); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(vsTaskdata, "x-swp-vs-taskdata")
+	b.ReportMetric(vsTask, "x-swp-vs-task")
+}
+
 // BenchmarkMappedRecovery measures the fault-tolerance costs of the mapped
 // engine: steady-state throughput with and without per-iteration
 // coordinated checkpoints, the checkpoint image size, and the wall time of

@@ -20,11 +20,16 @@
 //
 // With -map, the program runs on the host-mapped parallel engine: the
 // graph is rewritten by fusion and executable fission with the chosen
-// strategy (task, "fine-grained data", task+data) and the partitions run
-// one goroutine per worker core (-workers, default all cores). Output is
-// bit-identical to the sequential engine; programs the concurrent engines
-// cannot run (feedback loops, teleport messaging) fall back to the
-// sequential engine with a note. -parallel takes the same fallback path.
+// strategy (task, "fine-grained data", task+data, task+swp, task+data+swp;
+// "swp" is shorthand for task+swp) and the partitions run one goroutine
+// per worker core (-workers, default all cores). The +swp strategies add
+// coarse-grained software pipelining: partitions are stage-skewed so
+// producers of iteration i+1 overlap consumers of iteration i, with
+// cross-stage traffic flushed in batches. Output is bit-identical to the
+// sequential engine under every strategy; programs the lockstep concurrent
+// engines cannot run (feedback loops, teleport messaging) run pipelined
+// under a +swp strategy and otherwise fall back to the sequential engine
+// with a note. -parallel takes the same fallback path.
 //
 // Robustness controls:
 //
@@ -102,7 +107,7 @@ func main() {
 	doLinear := flag.Bool("linear", false, "apply the linear optimizer first")
 	strategy := flag.String("strategy", "", "map onto the simulated multicore with this strategy instead of running sequentially")
 	parallel := flag.Bool("parallel", false, "run on the goroutine-per-filter parallel backend")
-	mapStrat := flag.String("map", "", "run on the host-mapped engine with this rewrite strategy: task, 'fine-grained data', or task+data")
+	mapStrat := flag.String("map", "", "run on the host-mapped engine with this rewrite strategy: task, 'fine-grained data', task+data, task+swp (alias swp), or task+data+swp")
 	workers := flag.Int("workers", 0, "worker cores for -map (0 = all cores)")
 	dynamic := flag.Bool("dynamic", false, "run on the demand-driven dynamic-rate backend (-iters counts sink items)")
 	traceOut := flag.String("trace", "", "write a Chrome trace JSON of the execution to this file (runtime engines or, with -strategy, the simulated machine)")
@@ -242,6 +247,9 @@ func main() {
 				label = fmt.Sprintf("mapped (%s, %d workers)", *mapStrat, *workers)
 			}
 			runOpts.MapStrategy = partition.Strategy(*mapStrat)
+			if *mapStrat == "swp" { // common shorthand
+				runOpts.MapStrategy = partition.StratSWP
+			}
 			runOpts.Workers = *workers
 			runOpts.QueueDepth = *queueDepth
 			runOpts.CheckpointEvery = *ckptEvery

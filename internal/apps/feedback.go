@@ -1,0 +1,48 @@
+package apps
+
+import (
+	"streamit/internal/ir"
+	"streamit/internal/wfunc"
+)
+
+// Reverb builds a feedback-comb reverberator: the input mixes with a
+// delayed, attenuated copy of the output (a recirculating comb filter),
+// between an analysis FIR front end and a gain back end. The feedback loop
+// makes the program unrunnable on the lockstep concurrent engines — the
+// loop interleaves at firing granularity — so it exercises the pipelined
+// mapped engine's stage clusters, which host the whole loop on one worker
+// and stage the surrounding pipeline around it. Not part of Suite(): the
+// 12-app suite reproduces the paper's parallelization table, which has no
+// feedback programs.
+//
+// delay is the comb's recirculation delay in samples (the loop's pre-loaded
+// back-edge items); decay scales the fed-back signal and must stay below 1
+// for stability.
+func Reverb(delay int, decay float64) *ir.Program {
+	comb := func() *ir.Filter {
+		// Joiner RR(1,1) interleaves [external, feedback]; one firing
+		// consumes one pair and emits the mixed sample, which the duplicate
+		// splitter sends both downstream and back around the loop.
+		b := wfunc.NewKernel("comb", 2, 2, 1)
+		x := b.Local("x")
+		b.WorkBody(
+			wfunc.Set(x, wfunc.PopE()),
+			wfunc.Push1(wfunc.AddX(x, wfunc.MulX(wfunc.PopE(), wfunc.C(decay)))),
+		)
+		return &ir.Filter{Kernel: b.Build(), In: ir.TypeFloat, Out: ir.TypeFloat}
+	}()
+	loop := &ir.FeedbackLoop{
+		Name:  "combLoop",
+		Join:  ir.RoundRobin(1, 1),
+		Body:  comb,
+		Split: ir.Duplicate(),
+		Delay: delay, // silent room before the first reflection
+	}
+	return &ir.Program{Name: "Reverb", Top: ir.Pipe("ReverbPipe",
+		Source("in"),
+		FIR("tone", 16, 0.21),
+		loop,
+		Gain("wet", 0.9),
+		Sink("out", 1),
+	)}
+}

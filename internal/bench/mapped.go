@@ -19,6 +19,7 @@ import (
 // MappedBench, in table order.
 var MappedStrategies = []partition.Strategy{
 	partition.StratTask, partition.StratFineData, partition.StratCoarseData,
+	partition.StratSWP, partition.StratCombined,
 }
 
 // MappedRow reports one app of the host-mapped engine benchmark: sink
@@ -137,7 +138,16 @@ func measureMapped(app apps.App, strat partition.Strategy, workers int) (float64
 	if err != nil {
 		return 0, err
 	}
-	me, err := exec.NewMapped(g2, s2, plan.Assign(g2, s2), plan.Workers)
+	var opts exec.Options
+	if plan.Pipelined {
+		st, err := partition.PipelineStages(g2)
+		if err != nil {
+			return 0, err
+		}
+		opts.Stages = st.Levels
+		opts.StageClusters = st.Clusters
+	}
+	me, err := exec.NewMappedOpts(g2, s2, plan.Assign(g2, s2), plan.Workers, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -157,6 +167,8 @@ func WriteMappedSnapshots(rows []MappedRow, mean float64, workers int) error {
 		b.Set("mapped_task_items_per_sec", r.Rates[partition.StratTask], "items/s")
 		b.Set("mapped_fine_items_per_sec", r.Rates[partition.StratFineData], "items/s")
 		b.Set("mapped_taskdata_items_per_sec", r.Rates[partition.StratCoarseData], "items/s")
+		b.Set("mapped_taskswp_items_per_sec", r.Rates[partition.StratSWP], "items/s")
+		b.Set("mapped_combined_items_per_sec", r.Rates[partition.StratCombined], "items/s")
 		b.Set("mapped_speedup_x", r.Speedup, "x")
 		if _, err := b.WriteFile(JSONDir); err != nil {
 			return err
@@ -165,6 +177,71 @@ func WriteMappedSnapshots(rows []MappedRow, mean float64, workers int) error {
 	b := obs.NewBench("mapped_suite")
 	b.Set("workers", float64(workers), "cores")
 	b.Set("mapped_speedup_geomean_x", mean, "x")
+	if _, err := b.WriteFile(JSONDir); err != nil {
+		return err
+	}
+	return WriteSWPSnapshot(rows, workers)
+}
+
+// MappedSWPBench runs the focused software-pipelining comparison: every
+// suite app under task, task+data, and both pipelined strategies (no
+// per-filter baseline, no fine-grained fission — the lockstep plans the
+// pipelined ones are judged against). The returned means are the geomean
+// ratio of the best pipelined strategy over task+data and over task.
+func MappedSWPBench(workers int) ([]MappedRow, float64, float64, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	strats := []partition.Strategy{partition.StratTask, partition.StratCoarseData,
+		partition.StratSWP, partition.StratCombined}
+	var rows []MappedRow
+	for _, app := range apps.Suite() {
+		row := MappedRow{Name: app.Name, Rates: map[partition.Strategy]float64{}}
+		for _, strat := range strats {
+			rate, err := measureMapped(app, strat, workers)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("%s %s: %w", app.Name, strat, err)
+			}
+			row.Rates[strat] = rate
+		}
+		rows = append(rows, row)
+	}
+	vsTaskdata, vsTask := swpRatios(rows)
+	return rows, GeoMean(vsTaskdata), GeoMean(vsTask), nil
+}
+
+// swpRatios computes, per app, the best pipelined rate over the task+data
+// and task rates.
+func swpRatios(rows []MappedRow) (vsTaskdata, vsTask []float64) {
+	for _, r := range rows {
+		swp := r.Rates[partition.StratSWP]
+		if c := r.Rates[partition.StratCombined]; c > swp {
+			swp = c
+		}
+		if td := r.Rates[partition.StratCoarseData]; td > 0 {
+			vsTaskdata = append(vsTaskdata, swp/td)
+		}
+		if tk := r.Rates[partition.StratTask]; tk > 0 {
+			vsTask = append(vsTask, swp/tk)
+		}
+	}
+	return vsTaskdata, vsTask
+}
+
+// WriteSWPSnapshot persists the software-pipelining comparison
+// (BENCH_mapped_swp.json): the headline geomean ratio of the best
+// pipelined strategy (task+swp or task+data+swp, whichever wins per app)
+// over the task+data plan, and the same ratio over plain task.
+func WriteSWPSnapshot(rows []MappedRow, workers int) error {
+	if JSONDir == "" {
+		return nil
+	}
+	vsTaskdata, vsTask := swpRatios(rows)
+	b := obs.NewBench("mapped_swp")
+	b.Set("workers", float64(workers), "cores")
+	b.Set("apps", float64(len(rows)), "count")
+	b.Set("swp_vs_taskdata_geomean_x", GeoMean(vsTaskdata), "x")
+	b.Set("swp_vs_task_geomean_x", GeoMean(vsTask), "x")
 	_, err := b.WriteFile(JSONDir)
 	return err
 }
@@ -182,15 +259,17 @@ func PrintMapped(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "Table mapped: host-mapped engine, sink items/sec (%d workers)\n", workers)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Benchmark\tper-filter\ttask\tfine-grained data\ttask+data\tspeedup")
+	fmt.Fprintln(tw, "Benchmark\tper-filter\ttask\tfine-grained data\ttask+data\ttask+swp\ttask+data+swp\tspeedup")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.2fx\n",
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.2fx\n",
 			r.Name, r.Parallel,
 			r.Rates[partition.StratTask],
 			r.Rates[partition.StratFineData],
 			r.Rates[partition.StratCoarseData],
+			r.Rates[partition.StratSWP],
+			r.Rates[partition.StratCombined],
 			r.Speedup)
 	}
-	fmt.Fprintf(tw, "geometric mean\t\t\t\t\t%.2fx\n", mean)
+	fmt.Fprintf(tw, "geometric mean\t\t\t\t\t\t\t%.2fx\n", mean)
 	return tw.Flush()
 }

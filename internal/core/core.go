@@ -70,9 +70,10 @@ type RunOptions struct {
 	// runtime.GOMAXPROCS).
 	Workers int
 	// MapStrategy selects the mapped engine's graph rewrite: task (no
-	// rewrite), fine-grained data (replicate every stateless filter), or
-	// task+data (fuse stateless regions, then judicious fission). The zero
-	// value is task+data.
+	// rewrite), fine-grained data (replicate every stateless filter),
+	// task+data (fuse stateless regions, then judicious fission), or the
+	// pipelined forms task+swp (no rewrite, stage-skewed execution) and
+	// task+data+swp (rewrite plus stage skew). The zero value is task+data.
 	MapStrategy partition.Strategy
 	// MeasuredWorkNS feeds profiled per-firing work (see ProfileWork) back
 	// into the mapped rewrite and worker assignment in place of the static
@@ -243,7 +244,16 @@ func (c *Compiled) MappedEngineOpts(opts RunOptions) (*exec.MappedEngine, error)
 	if err != nil {
 		return nil, fmt.Errorf("core: scheduling mapped rewrite: %w", err)
 	}
-	me, err := exec.NewMappedOpts(g2, s2, plan.Assign(g2, s2), plan.Workers, opts.execOptions())
+	eopts := opts.execOptions()
+	if plan.Pipelined {
+		st, err := partition.PipelineStages(g2)
+		if err != nil {
+			return nil, fmt.Errorf("core: staging mapped rewrite: %w", err)
+		}
+		eopts.Stages = st.Levels
+		eopts.StageClusters = st.Clusters
+	}
+	me, err := exec.NewMappedOpts(g2, s2, plan.Assign(g2, s2), plan.Workers, eopts)
 	if err != nil {
 		return nil, err
 	}
@@ -307,9 +317,12 @@ func (c *Compiled) concurrencyBlocker() string {
 // Runner builds the requested engine. Programs whose features the
 // concurrent engines cannot execute (feedback loops, teleport messaging)
 // are detected up front and fall back to the sequential engine with a
-// logged note instead of failing engine construction.
+// logged note instead of failing engine construction. The mapped engine
+// under a pipelined strategy (RunOptions.MapStrategy task+swp or
+// task+data+swp) hosts both features in stage clusters, so it never falls
+// back.
 func (c *Compiled) Runner(kind EngineKind, opts RunOptions) (Runner, error) {
-	if kind != EngineSequential {
+	if kind != EngineSequential && !(kind == EngineMapped && opts.MapStrategy.Pipelined()) {
 		if why := c.concurrencyBlocker(); why != "" {
 			opts.logf("core: %s engine unavailable for %s (%s); falling back to sequential", kind, c.Program.Name, why)
 			kind = EngineSequential

@@ -269,6 +269,46 @@ func TestRunnerFeedbackFallback(t *testing.T) {
 	}
 }
 
+// TestRunnerPipelinedNoFallback: under a pipelined mapped strategy the
+// fallback is lifted — feedback-loop and teleport-messaging programs run
+// on the real *exec.MappedEngine with no fallback note logged. (Value
+// conformance for these workloads lives in the exec package's
+// TestMappedPipelinedFeedback/Teleport.)
+func TestRunnerPipelinedNoFallback(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *ir.Program
+	}{
+		{"feedback", func() *ir.Program { return apps.Reverb(4, 0.5) }},
+		{"teleport", func() *ir.Program { return apps.FreqHoppingRadio(true) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Compile(tc.build(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, strat := range []partition.Strategy{partition.StratSWP, partition.StratCombined} {
+				var notes []string
+				r, err := c.Run(EngineMapped, 4, RunOptions{
+					Workers: 3, MapStrategy: strat,
+					Log: func(format string, args ...any) {
+						notes = append(notes, fmt.Sprintf(format, args...))
+					}})
+				if err != nil {
+					t.Fatalf("%s: pipelined mapped run failed: %v", strat, err)
+				}
+				if _, ok := r.(*exec.MappedEngine); !ok {
+					t.Fatalf("%s: runner is %T, want *exec.MappedEngine", strat, r)
+				}
+				if len(notes) != 0 {
+					t.Fatalf("%s: unexpected fallback notes: %v", strat, notes)
+				}
+			}
+		})
+	}
+}
+
 // TestRunnerKinds: each engine kind constructs its own engine type when the
 // program supports it, and runs produce no error.
 func TestRunnerKinds(t *testing.T) {

@@ -32,14 +32,25 @@ import (
 //	per node: u32 message count, per message:
 //	    u32 handler len, bytes, u32 arg count, f64 args...,
 //	    i64 target, u8 upstream, u8 bestEffort
+//	optional trailer, only for mid-segment software-pipelined barriers:
+//	    magic "SWPS" | i64 base | i64 segIters | i64 cycles |
+//	    u32 batch | u32 level count, u32 levels...
 //
 // Every count is validated against the remaining data before allocation,
 // and shapes are re-validated against the engine's graph at apply time, so
 // corrupt or truncated images produce errors, never panics or huge
 // allocations.
+//
+// Images without the SWPS trailer are uniform: every node sits at the same
+// logical iteration, and any engine over the fingerprinted graph can
+// restore them. The trailer marks a stage-skewed pipelined barrier — nodes
+// at stage s have run `cycles - s` macro-cycles of a segment of segIters
+// iterations started at logical iteration base — which only a mapped
+// engine running the same stage schedule can resume.
 const (
 	checkpointMagic   = "STRMCKPT"
 	checkpointVersion = 1
+	swpMagic          = "SWPS"
 )
 
 // graphFingerprint hashes a graph and schedule structure (FNV-1a). A
@@ -94,6 +105,17 @@ type ckptImage struct {
 	nodes     []ckptNode
 	edges     []ckptEdge
 	pending   [][]*message // per node; empty for engines without messaging
+	swp       *ckptSWP     // stage-skew trailer; nil for uniform images
+}
+
+// ckptSWP records a software-pipelined barrier's position in its segment
+// plus the stage schedule it was taken under (validated on restore).
+type ckptSWP struct {
+	base     int64 // logical iterations completed before this segment
+	segIters int64 // logical iterations this segment runs
+	cycles   int64 // macro-cycles completed within the segment
+	batch    int   // flush interval / stage distance in cycles
+	levels   []int // per-node stage levels
 }
 
 type ckptNode struct {
@@ -191,6 +213,17 @@ func writeImage(w io.Writer, fp uint64, img *ckptImage) error {
 				b = 1
 			}
 			c.u8(b)
+		}
+	}
+	if sw := img.swp; sw != nil {
+		c.bytes([]byte(swpMagic))
+		c.i64(sw.base)
+		c.i64(sw.segIters)
+		c.i64(sw.cycles)
+		c.u32(uint32(sw.batch))
+		c.u32(uint32(len(sw.levels)))
+		for _, lv := range sw.levels {
+			c.u32(uint32(lv))
 		}
 	}
 	return c.err
@@ -408,6 +441,55 @@ func readImage(data []byte, wantFP uint64) (*ckptImage, error) {
 			})
 		}
 	}
+	if c.remaining() > 0 {
+		magic, err := c.take(len(swpMagic))
+		if err != nil {
+			return nil, err
+		}
+		if string(magic) != swpMagic {
+			return nil, fmt.Errorf("exec: %d trailing bytes after checkpoint image", c.remaining()+len(swpMagic))
+		}
+		sw := &ckptSWP{}
+		if sw.base, err = c.i64(); err != nil {
+			return nil, err
+		}
+		if sw.segIters, err = c.i64(); err != nil {
+			return nil, err
+		}
+		if sw.cycles, err = c.i64(); err != nil {
+			return nil, err
+		}
+		batch, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		sw.batch = int(batch)
+		numLevels, err := c.count(4, "stage level")
+		if err != nil {
+			return nil, err
+		}
+		if numLevels != int(numNodes) {
+			return nil, fmt.Errorf("exec: checkpoint stage trailer has %d levels for %d nodes", numLevels, numNodes)
+		}
+		sw.levels = make([]int, numLevels)
+		maxLevel := 0
+		for i := range sw.levels {
+			lv, err := c.u32()
+			if err != nil {
+				return nil, err
+			}
+			sw.levels[i] = int(lv)
+			if int(lv) > maxLevel {
+				maxLevel = int(lv)
+			}
+		}
+		if sw.batch < 1 || sw.base < 0 || sw.segIters < 1 || sw.cycles < 1 ||
+			sw.cycles >= sw.segIters+int64(maxLevel)*int64(sw.batch) {
+			return nil, fmt.Errorf("exec: checkpoint stage trailer out of range (base %d, segment %d, cycle %d, batch %d)",
+				sw.base, sw.segIters, sw.cycles, sw.batch)
+		}
+		img.swp = sw
+	}
 	if c.remaining() != 0 {
 		return nil, fmt.Errorf("exec: %d trailing bytes after checkpoint image", c.remaining())
 	}
@@ -447,6 +529,9 @@ func (e *Engine) RestoreCheckpoint(data []byte) (int64, error) {
 	img, err := readImage(data, e.Fingerprint())
 	if err != nil {
 		return 0, err
+	}
+	if img.swp != nil {
+		return 0, fmt.Errorf("exec: checkpoint is a stage-skewed software-pipelining barrier; only a pipelined mapped engine can resume it")
 	}
 	if len(img.nodes) != len(e.nodes) {
 		return 0, fmt.Errorf("exec: checkpoint has %d nodes, engine has %d", len(img.nodes), len(e.nodes))

@@ -161,10 +161,11 @@ func collectSends(f *wfunc.Func) []*wfunc.Send {
 	return out
 }
 
-// progressTape returns the tape that measures a node's execution progress
+// progressTapeOf returns the tape that measures a node's execution progress
 // for messaging purposes: its output tape, or — for sinks, which the paper's
-// MAX_LATENCY example uses as endpoints — its input tape.
-func (e *Engine) progressTape(n *ir.Node) (*ir.Edge, error) {
+// MAX_LATENCY example uses as endpoints — its input tape. Shared by the
+// sequential engine and the pipelined mapped engine.
+func progressTapeOf(n *ir.Node) (*ir.Edge, error) {
 	if edge := n.OutEdge(); edge != nil {
 		return edge, nil
 	}
@@ -174,8 +175,8 @@ func (e *Engine) progressTape(n *ir.Node) (*ir.Edge, error) {
 	return nil, fmt.Errorf("%s has no tapes; it cannot be a messaging endpoint", n.Name)
 }
 
-// progressRate is the per-firing advance of the node's progress tape.
-func (e *Engine) progressRate(n *ir.Node) int64 {
+// progressRateOf is the per-firing advance of the node's progress tape.
+func progressRateOf(n *ir.Node) int64 {
 	if n.OutEdge() != nil {
 		return int64(n.TotalPush())
 	}
@@ -356,18 +357,18 @@ func (e *Engine) constraintsAllow(n *ir.Node) (bool, error) {
 		if c.receiver != n {
 			continue
 		}
-		oB, err := e.progressTape(c.receiver)
+		oB, err := progressTapeOf(c.receiver)
 		if err != nil {
 			return false, err
 		}
-		oA, err := e.progressTape(c.sender)
+		oA, err := progressTapeOf(c.sender)
 		if err != nil {
 			return false, err
 		}
-		pushA := e.progressRate(c.sender)
+		pushA := progressRateOf(c.sender)
 		nOB := e.progress(c.receiver)
 		nOA := e.progress(c.sender)
-		pushB := e.progressRate(n)
+		pushB := progressRateOf(n)
 		if c.upstream {
 			bound, err := e.miTapes(oB, oA, c.sender, nOA+pushA*int64(c.latency))
 			if err != nil {

@@ -48,6 +48,18 @@ import (
 // capacity — it can always progress. A watchdog still supervises the run
 // (fault injection can wedge it deliberately) and attributes blocked
 // edges to workers in its DeadlockError.
+//
+// Software pipelining (Options.Stages): instead of the lockstep iteration
+// schedule, workers run stage-skewed macro-cycles — a node at stage level
+// l fires logical iteration t-l*StageBatch at cycle t, so producers work
+// on later iterations while consumers still drain earlier ones, and
+// cross-worker transfers flush once per StageBatch cycles instead of once
+// per iteration. Feedback loops and teleport messaging, which the
+// lockstep schedule cannot host, run inside single-worker stage clusters
+// at firing granularity (mapped_swp.go), so the pipelined engine lifts
+// both restrictions. Epoch barriers fall on cycle boundaries; the
+// checkpoint image then carries an SWPS trailer recording the skew plus
+// any unflushed staging residue, and rolls back/resumes exactly.
 type MappedEngine struct {
 	G   *ir.Graph
 	Sch *sched.Schedule
@@ -79,6 +91,10 @@ type MappedEngine struct {
 	Replan func(workers int) []int
 
 	sup *supervisor
+
+	// swp holds the software-pipelining runtime (stage levels, clusters,
+	// messaging state, segment position); nil for lockstep plans.
+	swp *swpState
 
 	nodes []*pnodeRT
 	order [][]*ir.Node // per-worker node lists in topological order
@@ -119,20 +135,24 @@ func NewMapped(g *ir.Graph, s *sched.Schedule, assign []int, workers int) (*Mapp
 	return NewMappedOpts(g, s, assign, workers, Options{Backend: BackendVM})
 }
 
-// NewMappedOpts is the full-option constructor. The graph restrictions
-// match the parallel engine's: no teleport messaging, no feedback loops.
+// NewMappedOpts is the full-option constructor. Without Options.Stages the
+// graph restrictions match the parallel engine's — no teleport messaging,
+// no feedback loops; a pipelined plan (Options.Stages set) lifts both,
+// hosting them inside single-worker stage clusters.
 func NewMappedOpts(g *ir.Graph, s *sched.Schedule, assign []int, workers int, opts Options) (*MappedEngine, error) {
-	if len(g.Portals) > 0 || len(g.Constraints) > 0 {
-		return nil, fmt.Errorf("exec: the mapped backend does not support teleport messaging; use the sequential Engine")
-	}
-	for _, e := range g.Edges {
-		if e.Back {
-			return nil, fmt.Errorf("exec: feedback loops need finer-than-batch interleaving; use the sequential Engine")
+	if opts.Stages == nil {
+		if len(g.Portals) > 0 || len(g.Constraints) > 0 {
+			return nil, fmt.Errorf("exec: the mapped backend does not support teleport messaging; use a pipelined plan or the sequential Engine")
 		}
-	}
-	for _, n := range g.Nodes {
-		if n.Kind == ir.NodeFilter && wfunc.SendsMessages(n.Filter.Kernel.Work) {
-			return nil, fmt.Errorf("exec: filter %s sends messages; use the sequential Engine", n.Name)
+		for _, e := range g.Edges {
+			if e.Back {
+				return nil, fmt.Errorf("exec: feedback loops need finer-than-batch interleaving; use a pipelined plan or the sequential Engine")
+			}
+		}
+		for _, n := range g.Nodes {
+			if n.Kind == ir.NodeFilter && wfunc.SendsMessages(n.Filter.Kernel.Work) {
+				return nil, fmt.Errorf("exec: filter %s sends messages; use a pipelined plan or the sequential Engine", n.Name)
+			}
 		}
 	}
 	if workers <= 0 {
@@ -159,6 +179,13 @@ func NewMappedOpts(g *ir.Graph, s *sched.Schedule, assign []int, workers int, op
 	me := &MappedEngine{G: g, Sch: s, Backend: opts.Backend, Workers: workers,
 		Assign: append([]int(nil), assign...), Depth: depth,
 		Watchdog: opts.Watchdog, CheckpointEvery: opts.CheckpointEvery, rec: opts.Trace}
+	if opts.Stages != nil {
+		sw, err := newSWPState(g, s, opts, me.Assign)
+		if err != nil {
+			return nil, err
+		}
+		me.swp = sw
+	}
 	if opts.Profile {
 		me.prof = obs.NewProfiler(nodeNames(g))
 	}
@@ -220,6 +247,11 @@ type mnodeCtx struct {
 	produce   []int
 	reps      int
 	pst       *obs.FilterStats
+	// msg and partial are set only on message-sending filters of pipelined
+	// plans: the messenger handed to the work runner, and the node's
+	// mid-firing progress-tape movement (swpState.partial slot).
+	msg     wfunc.Messenger
+	partial *int64
 }
 
 // workerCrash is the panic payload of an injected worker crash. The
@@ -242,6 +274,10 @@ func (c *workerCrash) Error() string {
 func (me *MappedEngine) Run(iters int) error {
 	if err := me.setup(); err != nil {
 		return err
+	}
+	if sw := me.swp; sw != nil {
+		sw.base, sw.segIters = 0, int64(iters)
+		return me.runCycles()
 	}
 	return me.runSteady(iters)
 }
@@ -281,6 +317,18 @@ func (me *MappedEngine) setup() error {
 		}
 		q := me.queues[e.ID]
 		q.buf, q.head = buf, 0
+	}
+	if sw := me.swp; sw != nil {
+		// Initialization may leave teleport messages in flight; adopt them
+		// from the scratch engine, and zero the mid-firing progress counters.
+		if sw.pending != nil {
+			for i := range sw.pending {
+				sw.pending[i] = append([]*message(nil), seq.pending[i]...)
+			}
+		}
+		for i := range sw.partial {
+			sw.partial[i] = 0
+		}
 	}
 	me.iter = 0
 	me.lastImg = nil
@@ -323,6 +371,13 @@ func (me *MappedEngine) buildTopology() error {
 // runSteady drives iters steady iterations from the current position in
 // checkpointed epochs, recovering from injected worker crashes.
 func (me *MappedEngine) runSteady(iters int) error {
+	return me.driveTo(me.iter + int64(iters))
+}
+
+// driveTo runs epochs until me.iter reaches end — steady iterations on
+// lockstep plans, macro-cycles on pipelined ones — rolling back to the
+// last coordinated checkpoint on injected worker crashes.
+func (me *MappedEngine) driveTo(end int64) error {
 	every := me.CheckpointEvery
 	if every <= 0 && me.sup.hasWorkerFaults() {
 		// Crash recovery needs a rollback target; default to the finest
@@ -334,7 +389,6 @@ func (me *MappedEngine) runSteady(iters int) error {
 			return err
 		}
 	}
-	end := me.iter + int64(iters)
 	for me.iter < end {
 		n := int(end - me.iter)
 		if every > 0 && n > every {
@@ -473,7 +527,7 @@ func (me *MappedEngine) recoverFromCrash(wc *workerCrash) error {
 	if me.Replan != nil {
 		assign = me.Replan(survivors)
 	}
-	if !validAssign(assign, len(me.G.Nodes), survivors) {
+	if !validAssign(assign, len(me.G.Nodes), survivors) || !me.clustersIntact(assign) {
 		assign = me.reassignWithout(wc.worker)
 	}
 	me.Workers = survivors
@@ -501,9 +555,26 @@ func validAssign(assign []int, nodes, workers int) bool {
 	return true
 }
 
+// clustersIntact reports whether a replanned assignment keeps every stage
+// cluster on a single worker (vacuously true for lockstep plans).
+func (me *MappedEngine) clustersIntact(assign []int) bool {
+	if me.swp == nil {
+		return true
+	}
+	for _, members := range me.swp.clusters {
+		for _, id := range members[1:] {
+			if assign[id] != assign[members[0]] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // reassignWithout is the fallback re-plan: the dead worker's nodes move to
 // the least-loaded survivors (by node count) and the survivors renumber
-// densely to 0..Workers-2.
+// densely to 0..Workers-2. Pipelined stage clusters move as a unit so they
+// stay on one worker.
 func (me *MappedEngine) reassignWithout(dead int) []int {
 	load := make([]int, me.Workers)
 	for _, w := range me.Assign {
@@ -519,10 +590,31 @@ func (me *MappedEngine) reassignWithout(dead int) []int {
 		renum[w] = next
 		next++
 	}
+	unitOf := func(id int) []int {
+		if me.swp != nil {
+			if ci := me.swp.clusterOf[id]; ci >= 0 {
+				return me.swp.clusters[ci]
+			}
+		}
+		return nil
+	}
 	assign := make([]int, len(me.Assign))
+	seen := make([]bool, len(me.Assign))
 	for id, w := range me.Assign {
+		if seen[id] {
+			continue
+		}
+		unit := unitOf(id)
+		if unit == nil {
+			unit = []int{id}
+		}
+		for _, m := range unit {
+			seen[m] = true
+		}
 		if w != dead {
-			assign[id] = renum[w]
+			for _, m := range unit {
+				assign[m] = renum[w]
+			}
 			continue
 		}
 		best := -1
@@ -534,15 +626,20 @@ func (me *MappedEngine) reassignWithout(dead int) []int {
 				best = sw
 			}
 		}
-		load[best]++
-		assign[id] = renum[best]
+		load[best] += len(unit)
+		for _, m := range unit {
+			assign[m] = renum[best]
+		}
 	}
 	return assign
 }
 
 // runWorker drives one worker's node list through iters steady iterations
-// of the current epoch.
+// (or, pipelined, iters macro-cycles) of the current epoch.
 func (me *MappedEngine) runWorker(w, lane, iters int) error {
+	if me.swp != nil {
+		return me.runWorkerSWP(w, lane, iters)
+	}
 	ctxs := make([]*mnodeCtx, 0, len(me.order[w]))
 	// compact lists this worker's purely-local queues: only their owner
 	// touches them, and their per-item Push/Pop traffic never passes
@@ -676,6 +773,21 @@ func (me *MappedEngine) prepareNode(n *ir.Node) *mnodeCtx {
 			}
 		}
 	}
+	if sw := me.swp; sw != nil && n.Kind == ir.NodeFilter && sw.sends[n.ID] {
+		// Message sends compute sdep windows from live progress counters;
+		// partialTape counts the progress tape's movement inside the
+		// current firing so mid-firing sends see the sequential engine's
+		// exact counter values.
+		c.msg = &msender{me: me, node: n}
+		c.partial = &sw.partial[n.ID]
+		if n.OutEdge() != nil {
+			if c.tOut != nil {
+				c.tOut = &partialTape{inner: c.tOut, count: c.partial}
+			}
+		} else if c.tIn != nil {
+			c.tIn = &partialTape{inner: c.tIn, count: c.partial, pops: true}
+		}
+	}
 	return c
 }
 
@@ -695,28 +807,8 @@ func (me *MappedEngine) stepNode(c *mnodeCtx) error {
 		c.in[p].Append(batch)
 	}
 	for r := 0; r < c.reps; r++ {
-		if c.pst == nil && me.rec == nil {
-			if err := me.fireOnce(c, st); err != nil {
-				return err
-			}
-		} else {
-			start := time.Now()
-			err := me.fireOnce(c, st)
-			d := time.Since(start)
-			if c.pst != nil {
-				if n.Kind == ir.NodeFilter {
-					c.pst.AddWork(d)
-				} else {
-					profileSJ(c.pst, n)
-				}
-			}
-			if me.rec != nil && n.Kind == ir.NodeFilter {
-				end := me.rec.Stamp()
-				me.rec.Slice(n.ID, n.Name, "firing", end-d, end)
-			}
-			if err != nil {
-				return err
-			}
+		if err := me.fireTimed(c, st); err != nil {
+			return err
 		}
 		if c.pst != nil {
 			c.pst.AddFiring()
@@ -784,6 +876,30 @@ func (me *MappedEngine) sendBatch(e *ir.Edge, ch chan []float64, batch []float64
 	}
 }
 
+// fireTimed is fireOnce under the observability stamps (work time, firing
+// slices) shared by the lockstep and pipelined stepping paths.
+func (me *MappedEngine) fireTimed(c *mnodeCtx, st *nodeStatus) error {
+	if c.pst == nil && me.rec == nil {
+		return me.fireOnce(c, st)
+	}
+	n := c.rt.node
+	start := time.Now()
+	err := me.fireOnce(c, st)
+	d := time.Since(start)
+	if c.pst != nil {
+		if n.Kind == ir.NodeFilter {
+			c.pst.AddWork(d)
+		} else {
+			profileSJ(c.pst, n)
+		}
+	}
+	if me.rec != nil && n.Kind == ir.NodeFilter {
+		end := me.rec.Stamp()
+		me.rec.Slice(n.ID, n.Name, "firing", end-d, end)
+	}
+	return err
+}
+
 // fireOnce executes one firing of the node on its queues (mirroring the
 // parallel engine's firing semantics, including supervision).
 func (me *MappedEngine) fireOnce(c *mnodeCtx, st *nodeStatus) error {
@@ -793,11 +909,14 @@ func (me *MappedEngine) fireOnce(c *mnodeCtx, st *nodeStatus) error {
 		if me.sup != nil {
 			return me.fireFilterSupervised(c, st)
 		}
+		if c.partial != nil {
+			*c.partial = 0
+		}
 		if n.Filter.WorkFn != nil {
 			n.Filter.WorkFn(c.tIn, c.tOut, c.rt.state)
 			return nil
 		}
-		if err := c.runner.run(c.tIn, c.tOut, nil, nil); err != nil {
+		if err := c.runner.run(c.tIn, c.tOut, c.msg, nil); err != nil {
 			return &ExecError{Filter: n.Name, Op: "work", Iteration: c.rt.fired, Err: err}
 		}
 		return nil
@@ -901,6 +1020,11 @@ func (me *MappedEngine) fireFilterSupervised(c *mnodeCtx, st *nodeStatus) error 
 				return errStopped
 			}
 		}
+		// Each attempt starts with a clean mid-firing progress counter
+		// (rollback rewound the tapes it mirrors).
+		if c.partial != nil {
+			*c.partial = 0
+		}
 		wOut := c.tOut
 		if injected && fault.Kind == faults.Corrupt {
 			wOut = corruptOut(wOut)
@@ -909,7 +1033,7 @@ func (me *MappedEngine) fireFilterSupervised(c *mnodeCtx, st *nodeStatus) error 
 			n.Filter.WorkFn(c.tIn, wOut, rt.state)
 			return nil
 		}
-		if err := c.runner.run(c.tIn, wOut, nil, nil); err != nil {
+		if err := c.runner.run(c.tIn, wOut, c.msg, nil); err != nil {
 			return &ExecError{Filter: name, Op: "work", Iteration: rt.fired, Err: err}
 		}
 		return nil

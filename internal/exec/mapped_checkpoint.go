@@ -17,7 +17,21 @@ import (
 //	pushed(e) = initPushed(e) + (fired(src) - initFired(src)) * rate(e)
 //	popped(e) = pushed(e) - buffered(e)
 //
-// where initFired/initPushed are the schedule's initialization totals.
+// where initFired/initPushed are the schedule's initialization totals
+// (initPushed includes an edge's pre-loaded delay items, which the channel
+// counters count as pushes).
+//
+// Pipelined engines add two wrinkles. An edge's buffered items split
+// between the consumer's queue and the producer's unflushed staging
+// residue; the image concatenates them (consumer queue first — it holds
+// the older items), and a skewed restore re-derives the split from the
+// flush schedule. And between segment boundaries the barrier is
+// stage-skewed — each node has completed cycle-stage iterations, not a
+// common count — so the image carries the SWPS trailer (checkpoint.go)
+// recording the segment position and stage schedule; only a pipelined
+// mapped engine with the same schedule can resume it. Boundary images
+// (cycle 0 or segIters+maxStage) are uniform and interchange with the
+// sequential engine like lockstep images do.
 
 // Fingerprint hashes the engine's graph and schedule structure; it equals
 // the sequential engine's fingerprint over the same graph and schedule.
@@ -33,12 +47,17 @@ func (me *MappedEngine) initCounters() {
 	}
 	me.initPushed = make([]int64, len(me.G.Edges))
 	for _, e := range me.G.Edges {
-		me.initPushed[e.ID] = me.initFired[e.Src.ID] * int64(e.Src.PushPort(e.SrcPort))
+		me.initPushed[e.ID] = me.initFired[e.Src.ID]*int64(e.Src.PushPort(e.SrcPort)) +
+			int64(len(e.Initial))
 	}
 }
 
 // image captures the engine-neutral checkpoint at the current barrier.
 func (me *MappedEngine) image(iteration int64) *ckptImage {
+	sw := me.swp
+	if sw != nil {
+		iteration = sw.base + sw.completed(me.iter)
+	}
 	img := &ckptImage{
 		iteration: iteration,
 		nodes:     make([]ckptNode, len(me.nodes)),
@@ -51,20 +70,40 @@ func (me *MappedEngine) image(iteration int64) *ckptImage {
 	}
 	for _, e := range me.G.Edges {
 		q := me.queues[e.ID]
-		items := make([]float64, q.Len())
-		for i := range items {
-			items[i] = q.Peek(i)
+		items := make([]float64, 0, q.Len())
+		for i := 0; i < q.Len(); i++ {
+			items = append(items, q.Peek(i))
+		}
+		if st := me.stage[e.ID]; st != nil {
+			// Unflushed staging residue follows the consumer queue's items
+			// (it is the newest stretch of the edge's content).
+			for i := 0; i < st.Len(); i++ {
+				items = append(items, st.Peek(i))
+			}
 		}
 		pushed := me.initPushed[e.ID] +
 			(me.nodes[e.Src.ID].fired-me.initFired[e.Src.ID])*int64(e.Src.PushPort(e.SrcPort))
 		img.edges[e.ID] = ckptEdge{pushed: pushed, popped: pushed - int64(len(items)), items: items}
+	}
+	if sw != nil {
+		if sw.pending != nil {
+			for i := range sw.pending {
+				img.pending[i] = append([]*message(nil), sw.pending[i]...)
+			}
+		}
+		if me.iter > 0 && me.iter < sw.segIters+sw.maxStage() {
+			img.swp = &ckptSWP{base: sw.base, segIters: sw.segIters, cycles: me.iter,
+				batch: int(sw.batch), levels: append([]int(nil), sw.levels...)}
+		}
 	}
 	return img
 }
 
 // WriteCheckpoint serializes the engine's execution state at an iteration
 // boundary. The engine must have completed a Run or a RestoreCheckpoint
-// (steady state quiesced: all workers joined, channels drained).
+// (steady state quiesced: all workers joined, channels drained). On
+// pipelined engines the recorded iteration is derived from the cycle
+// position (retired iterations), superseding the argument.
 func (me *MappedEngine) WriteCheckpoint(w io.Writer, iteration int64) error {
 	if !me.ready {
 		return fmt.Errorf("exec: mapped engine has no state to checkpoint; run it (or restore into it) first")
@@ -74,8 +113,10 @@ func (me *MappedEngine) WriteCheckpoint(w io.Writer, iteration int64) error {
 
 // RestoreCheckpoint loads a checkpoint image taken over the same graph and
 // schedule (by a mapped or sequential engine), replacing the engine's
-// execution state. It returns the iteration recorded at checkpoint time.
-// On error the engine's state is unspecified and it must not be run.
+// execution state. It returns the logical iteration recorded at checkpoint
+// time (on pipelined engines, the retired-iteration count of a skewed
+// barrier). On error the engine's state is unspecified and it must not be
+// run.
 func (me *MappedEngine) RestoreCheckpoint(data []byte) (int64, error) {
 	if !me.ready {
 		// The constructor already initialized states and topology; the
@@ -88,6 +129,9 @@ func (me *MappedEngine) RestoreCheckpoint(data []byte) (int64, error) {
 		return 0, err
 	}
 	me.lastImg = append([]byte(nil), data...)
+	if sw := me.swp; sw != nil {
+		return sw.base + sw.completed(me.iter), nil
+	}
 	return me.iter, nil
 }
 
@@ -97,15 +141,35 @@ func (me *MappedEngine) applyImage(data []byte) error {
 	if err != nil {
 		return err
 	}
+	sw := me.swp
 	if len(img.nodes) != len(me.nodes) {
 		return fmt.Errorf("exec: checkpoint has %d nodes, engine has %d", len(img.nodes), len(me.nodes))
 	}
 	if len(img.edges) != len(me.G.Edges) {
 		return fmt.Errorf("exec: checkpoint has %d edges, engine has %d", len(img.edges), len(me.G.Edges))
 	}
-	for _, msgs := range img.pending {
-		if len(msgs) > 0 {
-			return fmt.Errorf("exec: checkpoint carries pending teleport messages; the mapped engine does not support messaging")
+	if img.swp != nil {
+		if sw == nil {
+			return fmt.Errorf("exec: checkpoint is a stage-skewed software-pipelining barrier; only a pipelined mapped engine can resume it")
+		}
+		if int64(img.swp.batch) != sw.batch {
+			return fmt.Errorf("exec: checkpoint stage batch %d does not match the engine's %d", img.swp.batch, sw.batch)
+		}
+		for id, lv := range img.swp.levels {
+			if lv != sw.levels[id] {
+				return fmt.Errorf("exec: checkpoint stage level %d of node %d does not match the engine's %d", lv, id, sw.levels[id])
+			}
+		}
+	}
+	for i, msgs := range img.pending {
+		if len(msgs) == 0 {
+			continue
+		}
+		if sw == nil {
+			return fmt.Errorf("exec: checkpoint carries pending teleport messages; the mapped engine needs a pipelined plan for messaging")
+		}
+		if sw.pending == nil {
+			return fmt.Errorf("exec: checkpoint carries pending teleport messages for node %d, but this graph has no messaging", i)
 		}
 	}
 	// Validate shapes and invariants fully before mutating anything.
@@ -116,6 +180,27 @@ func (me *MappedEngine) applyImage(data []byte) error {
 		}
 		if in.fired < me.initFired[i] {
 			return fmt.Errorf("exec: checkpoint fired count %d of node %s below its initialization count %d", in.fired, rt.node.Name, me.initFired[i])
+		}
+		if sw != nil {
+			// Pipelined gating targets are derived from the segment position,
+			// so firing counts must sit exactly on the stage schedule (skewed
+			// images) or on a common iteration boundary (uniform images).
+			want := me.initFired[i]
+			if img.swp != nil {
+				done := img.swp.cycles - int64(img.swp.levels[i])*int64(img.swp.batch)
+				if done < 0 {
+					done = 0
+				}
+				if done > img.swp.segIters {
+					done = img.swp.segIters
+				}
+				want += (img.swp.base + done) * int64(me.Sch.Reps[i])
+			} else {
+				want += img.iteration * int64(me.Sch.Reps[i])
+			}
+			if in.fired != want {
+				return fmt.Errorf("exec: checkpoint fired count %d of node %s off the pipelined stage schedule (want %d)", in.fired, rt.node.Name, want)
+			}
 		}
 		if in.state == nil {
 			continue
@@ -132,12 +217,33 @@ func (me *MappedEngine) applyImage(data []byte) error {
 			}
 		}
 	}
+	staged := make([]int, len(me.G.Edges))
 	for _, e := range me.G.Edges {
 		ie := img.edges[e.ID]
 		want := me.initPushed[e.ID] +
 			(img.nodes[e.Src.ID].fired-me.initFired[e.Src.ID])*int64(e.Src.PushPort(e.SrcPort))
 		if ie.pushed != want {
 			return fmt.Errorf("exec: checkpoint edge %s pushed counter %d disagrees with its source's firing count (want %d)", e, ie.pushed, want)
+		}
+		if img.swp != nil && me.stage[e.ID] != nil {
+			// Re-derive the producer's unflushed staging residue from the
+			// flush schedule: everything produced since its last flush point.
+			K := int64(img.swp.batch)
+			iseg := img.swp.cycles - int64(img.swp.levels[e.Src.ID])*K
+			if iseg < 0 {
+				iseg = 0
+			}
+			if iseg > img.swp.segIters {
+				iseg = img.swp.segIters
+			}
+			flushed := iseg / K * K
+			if iseg == img.swp.segIters {
+				flushed = iseg
+			}
+			staged[e.ID] = int(iseg-flushed) * e.Src.PushPort(e.SrcPort)
+			if staged[e.ID] > len(ie.items) {
+				return fmt.Errorf("exec: checkpoint edge %s buffers %d items, fewer than its %d-item staging residue", e, len(ie.items), staged[e.ID])
+			}
 		}
 	}
 	for i, rt := range me.nodes {
@@ -150,18 +256,45 @@ func (me *MappedEngine) applyImage(data []byte) error {
 	}
 	for _, e := range me.G.Edges {
 		ie := img.edges[e.ID]
+		split := len(ie.items) - staged[e.ID]
 		q := me.queues[e.ID]
-		q.buf = append([]float64(nil), ie.items...)
+		q.buf = append([]float64(nil), ie.items[:split]...)
 		q.head = 0
-		// Drop any cross-worker residue from an aborted epoch.
 		if st := me.stage[e.ID]; st != nil {
-			st.buf, st.head = nil, 0
+			st.buf = append([]float64(nil), ie.items[split:]...)
+			st.head = 0
 		}
 		if ch := me.chans[e.ID]; ch != nil {
 			for len(ch) > 0 {
 				<-ch
 			}
 		}
+	}
+	if sw != nil {
+		if sw.pending != nil {
+			for i := range sw.pending {
+				sw.pending[i] = append([]*message(nil), img.pending[i]...)
+			}
+		}
+		for i := range sw.partial {
+			sw.partial[i] = 0
+		}
+		switch {
+		case img.swp != nil:
+			sw.base, sw.segIters = img.swp.base, img.swp.segIters
+			me.iter = img.swp.cycles
+		case sw.segIters > 0 && img.iteration == sw.base:
+			// Rollback to the running segment's start barrier.
+			me.iter = 0
+		case sw.segIters > 0 && img.iteration == sw.base+sw.segIters:
+			me.iter = sw.segIters + sw.maxStage()
+		default:
+			// A foreign uniform image starts a fresh segment here; the next
+			// RunFromCheckpoint sets the segment length.
+			sw.base, sw.segIters = img.iteration, 0
+			me.iter = 0
+		}
+		return nil
 	}
 	me.iter = img.iteration
 	return nil
@@ -170,7 +303,8 @@ func (me *MappedEngine) applyImage(data []byte) error {
 // RunFromCheckpoint restores data into the engine and runs the remaining
 // steady-state iterations up to total (the run's original iteration
 // count). Initialization is not replayed — its effects are part of the
-// checkpointed state.
+// checkpointed state. A skewed pipelined checkpoint resumes its original
+// segment, so total must equal that segment's final iteration count.
 func (me *MappedEngine) RunFromCheckpoint(data []byte, total int) error {
 	it, err := me.RestoreCheckpoint(data)
 	if err != nil {
@@ -178,6 +312,17 @@ func (me *MappedEngine) RunFromCheckpoint(data []byte, total int) error {
 	}
 	if int64(total) < it {
 		return fmt.Errorf("exec: checkpoint is at iteration %d, past the requested total %d", it, total)
+	}
+	if sw := me.swp; sw != nil {
+		if sw.segIters > 0 {
+			if int64(total) != sw.base+sw.segIters {
+				return fmt.Errorf("exec: pipelined checkpoint resumes a segment running to iteration %d; caller asked for %d", sw.base+sw.segIters, total)
+			}
+		} else {
+			sw.segIters = int64(total) - sw.base
+			me.iter = 0
+		}
+		return me.runCycles()
 	}
 	return me.runSteady(total - int(it))
 }

@@ -93,7 +93,8 @@ func sinkItemsPerIter(t *testing.T, g *ir.Graph, s *sched.Schedule, fs []*ir.Fil
 // rewritten graph's steady iteration covers an integer multiple of the
 // original's, so the sequential reference runs scaled-up iterations.
 func TestMappedConformance(t *testing.T) {
-	strategies := []partition.Strategy{partition.StratTask, partition.StratFineData, partition.StratCoarseData}
+	strategies := []partition.Strategy{partition.StratTask, partition.StratFineData,
+		partition.StratCoarseData, partition.StratSWP, partition.StratCombined}
 	backends := []Backend{BackendVM, BackendInterp}
 	for _, app := range apps.Suite() {
 		app := app
@@ -137,7 +138,16 @@ func runMappedConformance(t *testing.T, app apps.App, strat partition.Strategy, 
 	if err != nil {
 		t.Fatalf("scheduling rewritten program: %v", err)
 	}
-	me, err := NewMappedOpts(g2, s2, plan.Assign(g2, s2), plan.Workers, Options{Backend: backend})
+	mopts := Options{Backend: backend}
+	if plan.Pipelined {
+		st, err := partition.PipelineStages(g2)
+		if err != nil {
+			t.Fatalf("staging rewritten program: %v", err)
+		}
+		mopts.Stages = st.Levels
+		mopts.StageClusters = st.Clusters
+	}
+	me, err := NewMappedOpts(g2, s2, plan.Assign(g2, s2), plan.Workers, mopts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,5 +204,29 @@ func runMappedConformance(t *testing.T, app apps.App, strat partition.Strategy, 
 					i, refFs[i].Kernel.Name, j, rv[j], mv[j], strat, plan.Fused, plan.Replicas)
 			}
 		}
+	}
+
+	// Per-node firing counts, per-edge pushed/popped counters, filter
+	// states, and channel residue must all match a sequential engine over
+	// the same rewritten graph — asserted through the engines' checkpoint
+	// images, which serialize exactly that state. (This run appends to the
+	// mapped collectors again; outputs were compared above.)
+	seq2, err := NewFromGraphBackend(g2, s2, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq2.Run(confIters); err != nil {
+		t.Fatalf("sequential counter reference: %v", err)
+	}
+	var wantImg, gotImg sliceBuffer
+	if err := seq2.WriteCheckpoint(&wantImg, confIters); err != nil {
+		t.Fatal(err)
+	}
+	if err := me.WriteCheckpoint(&gotImg, confIters); err != nil {
+		t.Fatal(err)
+	}
+	if string(wantImg) != string(gotImg) {
+		t.Fatalf("mapped engine state diverged from sequential over the rewritten graph (strategy %s): %d- vs %d-byte images differ",
+			strat, len(wantImg), len(gotImg))
 	}
 }

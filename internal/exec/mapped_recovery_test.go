@@ -29,6 +29,7 @@ type mappedBuild struct {
 	assign  []int
 	workers int
 	outs    []*[]float64
+	stages  *partition.StagePlan // non-nil for pipelined strategies
 }
 
 func buildMapped(tb testing.TB, build func() *ir.Program, strat partition.Strategy) *mappedBuild {
@@ -57,11 +58,23 @@ func buildMapped(tb testing.TB, build func() *ir.Program, strat partition.Strate
 	if err != nil {
 		tb.Fatalf("scheduling rewritten program: %v", err)
 	}
-	return &mappedBuild{g2: g2, s2: s2, assign: plan.Assign(g2, s2), workers: plan.Workers, outs: outs}
+	mb := &mappedBuild{g2: g2, s2: s2, assign: plan.Assign(g2, s2), workers: plan.Workers, outs: outs}
+	if plan.Pipelined {
+		st, err := partition.PipelineStages(g2)
+		if err != nil {
+			tb.Fatalf("staging rewritten program: %v", err)
+		}
+		mb.stages = st
+	}
+	return mb
 }
 
 func (mb *mappedBuild) engine(tb testing.TB, opts Options) *MappedEngine {
 	tb.Helper()
+	if mb.stages != nil {
+		opts.Stages = mb.stages.Levels
+		opts.StageClusters = mb.stages.Clusters
+	}
 	me, err := NewMappedOpts(mb.g2, mb.s2, mb.assign, mb.workers, opts)
 	if err != nil {
 		tb.Fatal(err)
@@ -103,7 +116,8 @@ func compareOuts(t *testing.T, want, got []*[]float64, label string) {
 // Byte equality of the final image covers every queue's contents and
 // counters, every filter field, and every firing count.
 func TestMappedCheckpointConformance(t *testing.T) {
-	strategies := []partition.Strategy{partition.StratTask, partition.StratFineData, partition.StratCoarseData}
+	strategies := []partition.Strategy{partition.StratTask, partition.StratFineData,
+		partition.StratCoarseData, partition.StratSWP, partition.StratCombined}
 	backends := []Backend{BackendVM, BackendInterp}
 	for _, app := range apps.Suite() {
 		app := app
@@ -243,7 +257,7 @@ func TestMappedFaultPolicyMatrix(t *testing.T) {
 			for _, kind := range kinds {
 				for _, policy := range policies {
 					t.Run(kind+"/"+policy, func(t *testing.T) {
-						runMappedFaultPolicy(t, app, kind, policy)
+						runMappedFaultPolicy(t, app, partition.StratTask, kind, policy)
 					})
 				}
 			}
@@ -251,10 +265,32 @@ func TestMappedFaultPolicyMatrix(t *testing.T) {
 	}
 }
 
-func runMappedFaultPolicy(t *testing.T, app apps.App, kind, policy string) {
+// TestMappedSWPFaultPolicyMatrix: the same fault-kind × recovery-policy
+// matrix on pipelined plans — the injected filter faults land mid-segment,
+// where stages are skewed, and every policy must still land bit-identical
+// to the supervised sequential engine over the same rewritten graph.
+func TestMappedSWPFaultPolicyMatrix(t *testing.T) {
+	kinds := []string{"panic", "stall", "corrupt"}
+	policies := []string{"retry", "skip", "restart"}
+	for _, app := range apps.Suite()[:2] {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, kind := range kinds {
+				for _, policy := range policies {
+					t.Run(kind+"/"+policy, func(t *testing.T) {
+						runMappedFaultPolicy(t, app, partition.StratSWP, kind, policy)
+					})
+				}
+			}
+		})
+	}
+}
+
+func runMappedFaultPolicy(t *testing.T, app apps.App, strat partition.Strategy, kind, policy string) {
 	t.Helper()
 	const iters = 4
-	mb := buildMapped(t, app.Build, partition.StratTask)
+	mb := buildMapped(t, app.Build, strat)
 	target, firing := midTarget(t, mb.g2, mb.s2)
 	spec := fmt.Sprintf("%s:%s@%d", kind, target, firing)
 
@@ -270,7 +306,7 @@ func runMappedFaultPolicy(t *testing.T, app apps.App, kind, policy string) {
 		t.Fatalf("mapped run never injected %s", spec)
 	}
 
-	sb := buildMapped(t, app.Build, partition.StratTask)
+	sb := buildMapped(t, app.Build, strat)
 	se, err := NewFromGraphOpts(sb.g2, sb.s2, Options{Faults: mustPlan(t, spec), OnError: mustPolicies(t, policy)})
 	if err != nil {
 		t.Fatal(err)

@@ -41,16 +41,16 @@ func (s *sender) Send(portal int, handler string, args []float64, minLat, maxLat
 		}
 		m := &message{handler: handler, args: args, bestEffort: bestEffort}
 		if !bestEffort {
-			oA, err := e.progressTape(s.node)
+			oA, err := progressTapeOf(s.node)
 			if err != nil {
 				return err
 			}
-			oB, err := e.progressTape(r)
+			oB, err := progressTapeOf(r)
 			if err != nil {
 				return err
 			}
 			sCount := e.progress(s.node)
-			pushA := e.progressRate(s.node)
+			pushA := progressRateOf(s.node)
 			lam := int64(minLat)
 			switch {
 			case e.G.Downstream(r, s.node): // receiver upstream
@@ -91,7 +91,7 @@ func (e *Engine) deliverDue(n *ir.Node, before bool) error {
 	}
 	var keep []*message
 	nOB := e.progress(n)
-	pushB := e.progressRate(n)
+	pushB := progressRateOf(n)
 	for _, m := range msgs {
 		due := false
 		switch {

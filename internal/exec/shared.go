@@ -173,18 +173,30 @@ func (sh *Shared) NewEngine(opts Options) (*Engine, error) {
 // combines them with portal registrations and MAX_LATENCY directives to
 // produce the schedule constraints of the paper's operational semantics.
 func (sh *Shared) deriveConstraints() error {
+	cs, err := deriveConstraints(sh.G)
+	if err != nil {
+		return err
+	}
+	sh.constraints = cs
+	return nil
+}
+
+// deriveConstraints is the graph-level derivation, shared between the
+// sequential/dynamic engine (via Shared) and the pipelined mapped engine.
+func deriveConstraints(g *ir.Graph) ([]constraint, error) {
+	var out []constraint
 	// Map portal ID -> receiver nodes.
 	recvs := map[int][]*ir.Node{}
-	for _, p := range sh.G.Portals {
+	for _, p := range g.Portals {
 		for _, f := range p.Receivers {
-			n := sh.G.FilterNode[f]
+			n := g.FilterNode[f]
 			if n == nil {
-				return fmt.Errorf("portal %s receiver %s not in graph", p.Name, f.Kernel.Name)
+				return nil, fmt.Errorf("portal %s receiver %s not in graph", p.Name, f.Kernel.Name)
 			}
 			recvs[p.ID] = append(recvs[p.ID], n)
 		}
 	}
-	for _, n := range sh.G.Nodes {
+	for _, n := range g.Nodes {
 		if n.Kind != ir.NodeFilter {
 			continue
 		}
@@ -195,34 +207,34 @@ func (sh *Shared) deriveConstraints() error {
 			}
 			for _, r := range recvs[s.Portal] {
 				if r == n {
-					return fmt.Errorf("filter %s sends messages to itself", n.Name)
+					return nil, fmt.Errorf("filter %s sends messages to itself", n.Name)
 				}
-				up := sh.G.Downstream(r, n)
-				down := sh.G.Downstream(n, r)
+				up := g.Downstream(r, n)
+				down := g.Downstream(n, r)
 				if !up && !down {
-					return fmt.Errorf("message from %s to %s: receivers running in parallel with the sender are not supported", n.Name, r.Name)
+					return nil, fmt.Errorf("message from %s to %s: receivers running in parallel with the sender are not supported", n.Name, r.Name)
 				}
-				sh.constraints = append(sh.constraints, constraint{
+				out = append(out, constraint{
 					sender: n, receiver: r, latency: s.MinLatency, upstream: up,
 				})
 			}
 		}
 	}
-	for _, lc := range sh.G.Constraints {
-		a := sh.G.FilterNode[lc.Upstream]
-		b := sh.G.FilterNode[lc.Downstream]
+	for _, lc := range g.Constraints {
+		a := g.FilterNode[lc.Upstream]
+		b := g.FilterNode[lc.Downstream]
 		if a == nil || b == nil {
-			return fmt.Errorf("MAX_LATENCY references a filter outside the graph")
+			return nil, fmt.Errorf("MAX_LATENCY references a filter outside the graph")
 		}
-		if !sh.G.Downstream(a, b) {
-			return fmt.Errorf("MAX_LATENCY(%s, %s): first filter must be upstream of second", a.Name, b.Name)
+		if !g.Downstream(a, b) {
+			return nil, fmt.Errorf("MAX_LATENCY(%s, %s): first filter must be upstream of second", a.Name, b.Name)
 		}
 		// MAX_LATENCY(A,B,n) acts as a message from B to upstream A.
-		sh.constraints = append(sh.constraints, constraint{
+		out = append(out, constraint{
 			sender: b, receiver: a, latency: lc.Latency, upstream: true,
 		})
 	}
-	return nil
+	return out, nil
 }
 
 // OverrideWork replaces the named filter's work function for this engine

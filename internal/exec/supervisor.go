@@ -37,6 +37,23 @@ type Options struct {
 	// worker-crash recovery). 0 checkpoints only when a worker fault is
 	// scheduled; the other engines ignore it.
 	CheckpointEvery int
+	// Stages enables coarse-grained software pipelining on the mapped
+	// engine: Stages[n.ID] is the node's pipeline stage level (typically
+	// partition.PipelineStages over the plan's rewritten graph). Workers
+	// skew by stage — a producer runs macro-cycle i while its consumer
+	// still runs i-StageBatch — with cross-worker transfers batched every
+	// StageBatch cycles. nil keeps the classic lockstep iteration
+	// schedule; the other engines ignore it.
+	Stages []int
+	// StageClusters lists node groups (by node ID) that must fire
+	// together at firing granularity under pipelining — feedback loops
+	// and teleport-messaging hulls. Each group must sit on one worker at
+	// one stage level. Only meaningful with Stages.
+	StageClusters [][]int
+	// StageBatch is the pipelined cross-worker flush interval in
+	// macro-cycles (and the stage distance between adjacent levels).
+	// 0 selects DefaultStageBatch. Only meaningful with Stages.
+	StageBatch int
 	// Profile enables the per-filter profiler (internal/obs): firings,
 	// tape traffic, work/stall time, and buffer high-water marks,
 	// retrievable via the engine's Profile method.

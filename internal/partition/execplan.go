@@ -15,9 +15,11 @@ import (
 // mapped host engine.
 type ExecPlanOptions struct {
 	// Strategy selects the transformation: StratTask (no rewrite),
-	// StratFineData (replicate every stateless filter), or StratCoarseData
-	// (fuse stateless regions, then judicious fission). The simulation-only
-	// strategies (software pipelining, space) are rejected.
+	// StratFineData (replicate every stateless filter), StratCoarseData
+	// (fuse stateless regions, then judicious fission), or the pipelined
+	// variants StratSWP (no rewrite, stage-assigned) and StratCombined
+	// (coarsen+fission plus stages). The simulation-only space strategy is
+	// rejected.
 	Strategy Strategy
 	// Workers is the target core count; 0 selects runtime.GOMAXPROCS(0).
 	Workers int
@@ -47,6 +49,10 @@ type ExecPlan struct {
 	// fission replicas created.
 	Fused    int
 	Replicas int
+	// Pipelined marks software-pipelined plans (StratSWP/StratCombined):
+	// the mapped engine runs them with stage-skewed workers, using
+	// PipelineStages over the rewritten flat graph for the stage map.
+	Pipelined bool
 }
 
 // BuildExecPlan rewrites prog for execution on workers cores. g and s are
@@ -54,13 +60,14 @@ type ExecPlan struct {
 // estimation only; the rewritten program is re-flattened by the caller).
 func BuildExecPlan(prog *ir.Program, g *ir.Graph, s *sched.Schedule, opts ExecPlanOptions) (*ExecPlan, error) {
 	switch opts.Strategy {
-	case StratTask, StratFineData, StratCoarseData:
+	case StratTask, StratFineData, StratCoarseData, StratSWP, StratCombined:
 	default:
-		return nil, fmt.Errorf("partition: strategy %q is not host-executable (use %q, %q, or %q)",
-			opts.Strategy, StratTask, StratFineData, StratCoarseData)
+		return nil, fmt.Errorf("partition: strategy %q is not host-executable (use %q, %q, %q, %q, or %q)",
+			opts.Strategy, StratTask, StratFineData, StratCoarseData, StratSWP, StratCombined)
 	}
-	if hasFeedback(prog.Top) {
-		return nil, fmt.Errorf("partition: feedback loops need finer-than-batch interleaving; the mapped engine cannot run %s", prog.Name)
+	pipelined := opts.Strategy == StratSWP || opts.Strategy == StratCombined
+	if hasFeedback(prog.Top) && !pipelined {
+		return nil, fmt.Errorf("partition: feedback loops need finer-than-batch interleaving; the mapped engine cannot run %s (use a pipelined strategy)", prog.Name)
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -78,12 +85,19 @@ func BuildExecPlan(prog *ir.Program, g *ir.Graph, s *sched.Schedule, opts ExecPl
 		pg:       pg,
 		total:    pg.TotalWork(),
 		plan: &ExecPlan{
-			Strategy: opts.Strategy,
-			Workers:  workers,
-			Work:     map[*ir.Filter]int64{},
+			Strategy:  opts.Strategy,
+			Workers:   workers,
+			Work:      map[*ir.Filter]int64{},
+			Pipelined: pipelined,
 		},
 	}
-	if opts.Strategy == StratTask {
+	// StratTask and StratSWP keep the program untouched. StratCombined also
+	// skips the rewrite for teleport-messaging programs: sdep delivery
+	// windows are computed on the executing graph, so rewriting the nodes
+	// between messaging endpoints could move deliveries to different firing
+	// boundaries than the sequential reference on the original program.
+	if opts.Strategy == StratTask || opts.Strategy == StratSWP ||
+		(pipelined && (len(prog.Portals) > 0 || len(prog.Constraints) > 0)) {
 		b.plan.Program = prog
 		return b.plan, nil
 	}
@@ -213,6 +227,13 @@ func (b *planBuilder) rewrite(s ir.Stream) (ir.Stream, error) {
 		}
 		return nsj, nil
 	case *ir.FeedbackLoop:
+		if b.strategy == StratCombined {
+			// The loop rides through untouched: its nodes form one pipeline
+			// cluster firing at sequential granularity on a single worker,
+			// so rewriting inside it buys nothing and risks reordering the
+			// back-edge interleave.
+			return s, nil
+		}
 		return nil, fmt.Errorf("partition: feedback loop %s reached the rewriter", s.Name)
 	}
 	return nil, fmt.Errorf("partition: unknown stream kind %T", s)
@@ -558,11 +579,7 @@ func (p *ExecPlan) AssignN(g2 *ir.Graph, s2 *sched.Schedule, workers int) []int 
 	if workers < 1 {
 		workers = 1
 	}
-	type nw struct {
-		id int
-		w  int64
-	}
-	weights := make([]nw, 0, len(g2.Nodes))
+	nodeW := make([]int64, len(g2.Nodes))
 	for _, n := range g2.Nodes {
 		var w int64
 		switch n.Kind {
@@ -582,20 +599,48 @@ func (p *ExecPlan) AssignN(g2 *ir.Graph, s2 *sched.Schedule, workers int) []int 
 		if w < 1 {
 			w = 1 // zero-work endpoints still spread across workers
 		}
-		weights = append(weights, nw{id: n.ID, w: w})
+		nodeW[n.ID] = w
 	}
-	sort.SliceStable(weights, func(i, j int) bool { return weights[i].w > weights[j].w })
+	// Packing units: single nodes, except that pipelined plans keep every
+	// stage cluster (feedback cycles, messaging hulls) whole — its members
+	// must fire as a unit on one worker.
+	type unit struct {
+		members []int
+		w       int64
+	}
+	var units []unit
+	grouped := make([]bool, len(g2.Nodes))
+	if p.Pipelined {
+		if sp, err := PipelineStages(g2); err == nil {
+			for _, c := range sp.Clusters {
+				u := unit{members: c}
+				for _, id := range c {
+					u.w += nodeW[id]
+					grouped[id] = true
+				}
+				units = append(units, u)
+			}
+		}
+	}
+	for _, n := range g2.Nodes {
+		if !grouped[n.ID] {
+			units = append(units, unit{members: []int{n.ID}, w: nodeW[n.ID]})
+		}
+	}
+	sort.SliceStable(units, func(i, j int) bool { return units[i].w > units[j].w })
 	loads := make([]int64, workers)
 	assign := make([]int, len(g2.Nodes))
-	for _, x := range weights {
+	for _, u := range units {
 		best := 0
 		for w := 1; w < len(loads); w++ {
 			if loads[w] < loads[best] {
 				best = w
 			}
 		}
-		assign[x.id] = best
-		loads[best] += x.w
+		for _, id := range u.members {
+			assign[id] = best
+		}
+		loads[best] += u.w
 	}
 	return assign
 }

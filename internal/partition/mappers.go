@@ -21,6 +21,11 @@ const (
 	StratSpace      Strategy = "space (prior work)"
 )
 
+// Pipelined reports whether the strategy produces stage-assigned
+// software-pipelined execution plans (BuildExecPlan sets ExecPlan.Pipelined
+// and the mapped engine runs stage-skewed macro-cycles).
+func (s Strategy) Pipelined() bool { return s == StratSWP || s == StratCombined }
+
 // Plan is a mapped, weighted steady-state graph ready for simulation.
 type Plan struct {
 	Strategy Strategy
