@@ -307,6 +307,36 @@ func BenchmarkMappedRecovery(b *testing.B) {
 	b.ReportMetric(res.RecoveryMS, "ms-crash-recover")
 }
 
+// BenchmarkMappedElastic measures elastic runtime re-planning on the
+// skewed synthetic pipeline: throughput under the mis-planned static
+// assignment, under the elastic engine that re-packs from its live
+// profile, and under the oracle assignment built with perfect per-firing
+// measurements (acceptance: elastic within ~10% of oracle), plus the
+// mid-run resize bit-identity check. With STREAMIT_BENCH_JSON=dir, a
+// streamit-bench/v1 snapshot lands in dir/BENCH_mapped_elastic.json.
+func BenchmarkMappedElastic(b *testing.B) {
+	prevProcs := runtime.GOMAXPROCS(bench.ElasticWorkers + 1)
+	defer runtime.GOMAXPROCS(prevProcs)
+	prevDir := bench.JSONDir
+	bench.JSONDir = os.Getenv("STREAMIT_BENCH_JSON")
+	defer func() { bench.JSONDir = prevDir }()
+
+	var res *bench.ElasticResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.ElasticBench(bench.ElasticWorkers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bench.WriteElasticSnapshot(res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.ElasticRate, "items/s-elastic")
+	b.ReportMetric(res.ConvergencePct, "%-vs-oracle")
+	b.ReportMetric(float64(res.Replans), "replans")
+}
+
 // BenchmarkServeSoak measures the multi-tenant streaming server: 10k
 // concurrent sessions (alternating the paper-suite Vocoder and FMRadio
 // applications) resident in one process, multiplexed onto a worker pool

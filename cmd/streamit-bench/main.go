@@ -7,7 +7,8 @@
 //	streamit-bench -table main     # one table: benchchar, main, finegrain,
 //	                               # softpipe, thruput, vsspace, linear,
 //	                               # teleport, scaling, commablation,
-//	                               # freqblocks, vm, mapped, recovery, serve
+//	                               # freqblocks, vm, mapped, recovery, serve,
+//	                               # serve-recovery, elastic
 //	streamit-bench -dur 500ms      # longer measurement windows for E7/E8
 //	streamit-bench -json out       # write BENCH_<app>.json snapshots to out/
 //	streamit-bench -validate 'out/BENCH_*.json'  # check snapshot schema
@@ -54,7 +55,7 @@ func validate(glob string) error {
 }
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, benchchar, main, finegrain, softpipe, thruput, vsspace, linear, teleport, scaling, commablation, freqblocks, vm, mapped, recovery, serve, serve-recovery")
+	table := flag.String("table", "all", "table to print: all, benchchar, main, finegrain, softpipe, thruput, vsspace, linear, teleport, scaling, commablation, freqblocks, vm, mapped, recovery, serve, serve-recovery, elastic")
 	dur := flag.Duration("dur", 150*time.Millisecond, "measurement window per configuration for the execution benchmarks")
 	jsonDir := flag.String("json", ".", "directory for BENCH_<app>.json snapshots (empty: do not write snapshots)")
 	check := flag.String("validate", "", "validate BENCH_*.json files matching this glob and exit")
@@ -106,6 +107,8 @@ func main() {
 		err = bench.PrintServe(os.Stdout)
 	case "serve-recovery":
 		err = bench.PrintServeRecovery(os.Stdout)
+	case "elastic":
+		err = bench.PrintElastic(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)

@@ -41,6 +41,15 @@
 //	-resume st.ckpt                        restore and finish the remaining iterations
 //	-checkpoint-every 100                  with -map: coordinated checkpoint cadence
 //	-queue-depth 2                         with -map: cross-worker channel capacity (batches)
+//	-elastic                               with -map: re-plan at barriers from live profiles
+//	-resize-at 500 -resize-to 2            with -elastic: change the worker count mid-run
+//
+// With -elastic, the mapped engine watches per-worker busy time over a
+// sliding window (-elastic-window, -elastic-threshold) and, when the load
+// skews — or when -resize-at/-resize-to ask for a different worker count —
+// re-packs the same rewritten graph from the measured work at the next
+// coordinated-checkpoint barrier and resumes from the in-memory image. No
+// restart, and the output stays bit-identical to an uninterrupted run.
 //
 // Checkpoints are engine-state images taken at iteration boundaries; a
 // resumed run is bit-identical to an uninterrupted one, on either backend.
@@ -73,6 +82,7 @@ import (
 	"time"
 
 	"streamit/internal/core"
+	"streamit/internal/exec"
 	"streamit/internal/faults"
 	"streamit/internal/linear"
 	"streamit/internal/machine"
@@ -121,6 +131,11 @@ func main() {
 	resumePath := flag.String("resume", "", "restore a checkpoint written by -checkpoint and run the remaining iterations (sequential and -map engines)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "with -map: take a coordinated checkpoint every N steady iterations (0 = only when worker faults are scheduled)")
 	queueDepth := flag.Int("queue-depth", 0, "with -map: cross-worker channel capacity in batches (0 = default)")
+	elastic := flag.Bool("elastic", false, "with -map: enable runtime re-planning from live profiles at checkpoint barriers")
+	elasticWindow := flag.Int("elastic-window", 0, "with -elastic: imbalance-observation window in steady iterations (0 = default)")
+	elasticThreshold := flag.Float64("elastic-threshold", 0, "with -elastic: max/mean worker-busy ratio that trips a re-plan (0 = default)")
+	resizeAt := flag.Int64("resize-at", 0, "with -elastic: re-plan onto -resize-to workers at the first barrier at or past this iteration")
+	resizeTo := flag.Int("resize-to", 0, "with -elastic: target worker count for -resize-at")
 	repeat := flag.Int("repeat", 1, "run the whole program N times on the sequential engine; compilation is cached, so repeats only stamp fresh engines")
 	flag.Parse()
 
@@ -253,6 +268,16 @@ func main() {
 			runOpts.Workers = *workers
 			runOpts.QueueDepth = *queueDepth
 			runOpts.CheckpointEvery = *ckptEvery
+			if (*resizeAt != 0 || *resizeTo != 0) && !*elastic {
+				fatal(fmt.Errorf("-resize-at/-resize-to need -elastic"))
+			}
+			runOpts.Elastic = *elastic
+			runOpts.ElasticWindow = *elasticWindow
+			runOpts.ElasticThreshold = *elasticThreshold
+			runOpts.ResizeAt = *resizeAt
+			runOpts.ResizeTo = *resizeTo
+		} else if *elastic || *resizeAt != 0 || *resizeTo != 0 {
+			fatal(fmt.Errorf("-elastic/-resize-at/-resize-to need -map"))
 		}
 		r, err := c.Runner(kind, runOpts)
 		if err != nil {
@@ -295,6 +320,9 @@ func main() {
 		dur := time.Since(start)
 		fmt.Printf("ran %d steady-state iterations on the %s backend in %v\n", *iters, label, dur.Round(time.Microsecond))
 		fmt.Printf("%.0f iterations/sec\n", float64(*iters)/dur.Seconds())
+		if me, ok := r.(*exec.MappedEngine); ok && *elastic {
+			fmt.Printf("elastic re-plans: %d (finished on %d workers)\n", me.Replans(), me.Workers)
+		}
 		report(r.SupervisionReport(), len(r.Degraded()) > 0)
 		finishObs(r, runOpts.TracePath)
 		return

@@ -88,6 +88,25 @@ type RunOptions struct {
 	// worker-crash recovery. 0 checkpoints only when a worker fault is
 	// scheduled (then every iteration).
 	CheckpointEvery int
+	// Elastic enables the mapped engine's runtime replan controller:
+	// windowed per-worker busy time from the profiler trips a re-plan of
+	// the same elaborated graph from live measured work, applied at a
+	// checkpoint barrier with no restart and bit-identical output. Implies
+	// Profile on the mapped engine.
+	Elastic bool
+	// ElasticWindow is the imbalance-observation window in steady
+	// iterations (macro-cycles on pipelined plans); 0 selects
+	// exec.DefaultElasticWindow.
+	ElasticWindow int
+	// ElasticThreshold is the max/mean per-worker busy ratio that trips a
+	// re-plan; 0 selects exec.DefaultElasticThreshold.
+	ElasticThreshold float64
+	// ResizeAt/ResizeTo schedule a one-shot elastic worker-count change:
+	// at the first barrier at or past iteration ResizeAt the engine
+	// re-plans onto ResizeTo workers. Zero values disable it; requires
+	// Elastic.
+	ResizeAt int64
+	ResizeTo int
 	// Log receives driver notes (engine fallbacks and the like). Nil logs
 	// through the standard logger.
 	Log func(format string, args ...any)
@@ -104,13 +123,18 @@ func (o RunOptions) logf(format string, args ...any) {
 // execOptions lowers driver-level run options to the engine layer.
 func (o RunOptions) execOptions() exec.Options {
 	opts := exec.Options{
-		Backend:         o.Backend,
-		Faults:          o.Faults,
-		OnError:         o.OnError,
-		Watchdog:        o.Watchdog,
-		Profile:         o.Profile,
-		QueueDepth:      o.QueueDepth,
-		CheckpointEvery: o.CheckpointEvery,
+		Backend:          o.Backend,
+		Faults:           o.Faults,
+		OnError:          o.OnError,
+		Watchdog:         o.Watchdog,
+		Profile:          o.Profile,
+		QueueDepth:       o.QueueDepth,
+		CheckpointEvery:  o.CheckpointEvery,
+		Elastic:          o.Elastic,
+		ElasticWindow:    o.ElasticWindow,
+		ElasticThreshold: o.ElasticThreshold,
+		ResizeAt:         o.ResizeAt,
+		ResizeTo:         o.ResizeTo,
 	}
 	if o.TracePath != "" {
 		opts.Trace = obs.NewRecorder()
@@ -262,7 +286,47 @@ func (c *Compiled) MappedEngineOpts(opts RunOptions) (*exec.MappedEngine, error)
 	// with it the graph and checkpoint fingerprint — depends on the worker
 	// count, so recovery must only re-assign).
 	me.Replan = func(workers int) []int { return plan.AssignN(g2, s2, workers) }
+	// The elastic controller re-packs from live measured work. The profile
+	// it hands over is keyed by the rewritten graph's node names, which is
+	// exactly the key space AssignMeasured expects — no demangling here
+	// (contrast MeasuredWorkFromMapped, which crosses back to the original
+	// flat names for a fresh compile).
+	me.ReplanMeasured = func(workers int, perFiringNS map[string]int64) []int {
+		return plan.AssignMeasured(g2, s2, workers, perFiringNS)
+	}
 	return me, nil
+}
+
+// MeasuredWorkFromMapped translates a work profile taken on a mapped
+// engine's rewritten graph back onto this program's flat filter names — the
+// key space RunOptions.MeasuredWorkNS consumes. The mapped engine runs the
+// plan's rewritten program, so its Profiler.WorkNSPerFiring keys are fused
+// segments and fission replicas ("lowpass+demod/f2#5"); feeding those
+// directly into MeasuredWorkNS silently matches nothing. This closes the
+// profile→partition feedback loop for mapped runs: fused segments are split
+// among their constituents, replicas summed, and everything re-expressed as
+// nanoseconds per original-node firing. strat and workers must match the
+// run that produced the profile.
+func (c *Compiled) MeasuredWorkFromMapped(strat partition.Strategy, workers int, perFiringNS map[string]int64) (map[string]int64, error) {
+	if strat == "" {
+		strat = partition.StratCoarseData
+	}
+	plan, err := partition.BuildExecPlan(c.Program, c.Graph, c.Schedule, partition.ExecPlanOptions{
+		Strategy: strat,
+		Workers:  workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g2, err := ir.Flatten(plan.Program)
+	if err != nil {
+		return nil, fmt.Errorf("core: flattening mapped rewrite: %w", err)
+	}
+	s2, err := sched.Compute(g2)
+	if err != nil {
+		return nil, fmt.Errorf("core: scheduling mapped rewrite: %w", err)
+	}
+	return partition.MeasuredFromMapped(c.Graph, c.Schedule, g2, s2, perFiringNS), nil
 }
 
 // EngineKind names an execution engine family for Runner.
@@ -437,6 +501,23 @@ func (c *Compiled) ProfileWork(iters int) (map[string]int64, error) {
 		return nil, err
 	}
 	return e.Profile().WorkNSPerFiring(), nil
+}
+
+// ProfileWorkMapped is ProfileWork on the mapped engine itself: it runs
+// iters steady-state iterations under the given strategy with profiling on,
+// then demangles the rewritten-graph profile back to flat filter names via
+// MeasuredWorkFromMapped. Use it when the deployment target is the mapped
+// engine — measuring on the topology that will actually run captures
+// fusion/fission overheads the sequential profile cannot see.
+func (c *Compiled) ProfileWorkMapped(strat partition.Strategy, workers, iters int) (map[string]int64, error) {
+	me, err := c.MappedEngineOpts(RunOptions{Profile: true, MapStrategy: strat, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	if err := me.Run(iters); err != nil {
+		return nil, err
+	}
+	return c.MeasuredWorkFromMapped(strat, workers, me.Profile().WorkNSPerFiring())
 }
 
 // MapOntoMeasured is MapOnto with profiler-measured per-firing work (see

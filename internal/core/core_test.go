@@ -420,3 +420,76 @@ func TestMappedCrashRecoveryDriver(t *testing.T) {
 		t.Errorf("supervision report does not count the crash:\n%s", rep)
 	}
 }
+
+// TestMappedProfileFeedback: the profile→partition feedback loop closes for
+// mapped runs. A mapped engine profiles the REWRITTEN graph — its counters
+// are keyed by fused-segment and fission-replica names — so before
+// ProfileWorkMapped existed, feeding a mapped profile into MeasuredWorkNS
+// silently matched no flat node and the measured bias was dropped.
+func TestMappedProfileFeedback(t *testing.T) {
+	c, err := Compile(apps.FMRadio(4, 16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const strat = partition.StratCoarseData
+	work, err := c.ProfileWorkMapped(strat, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(work) == 0 {
+		t.Fatal("mapped profile translated to no measurements")
+	}
+	flat := map[string]bool{}
+	for _, n := range c.Graph.Nodes {
+		flat[n.Name] = true
+	}
+	for name, ns := range work {
+		if !flat[name] {
+			t.Errorf("translated key %q is not a flat node name of the original graph", name)
+		}
+		if ns < 1 {
+			t.Errorf("translated work for %s = %d, want >= 1", name, ns)
+		}
+	}
+	// The translated profile must be consumable end to end: the next
+	// compile's mapped engine builds (and runs) with it installed.
+	r, err := c.Run(EngineMapped, 2, RunOptions{
+		Workers: 3, MapStrategy: strat, MeasuredWorkNS: work,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.(*exec.MappedEngine); !ok {
+		t.Fatalf("runner is %T, want *exec.MappedEngine", r)
+	}
+}
+
+// TestMappedElasticDriver: the driver lowers the elastic options and wires
+// the measured re-plan hook; a scheduled mid-run resize lands on the target
+// worker count.
+func TestMappedElasticDriver(t *testing.T) {
+	c, err := Compile(apps.FMRadio(4, 16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run(EngineMapped, 20, RunOptions{
+		Workers: 4, MapStrategy: partition.StratCoarseData,
+		Elastic: true, CheckpointEvery: 4, ResizeAt: 8, ResizeTo: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, ok := r.(*exec.MappedEngine)
+	if !ok {
+		t.Fatalf("runner is %T, want *exec.MappedEngine", r)
+	}
+	if me.ReplanMeasured == nil {
+		t.Error("driver did not install the measured re-planning hook")
+	}
+	if me.Workers != 2 {
+		t.Errorf("Workers = %d after scheduled resize, want 2", me.Workers)
+	}
+	if me.Replans() < 1 {
+		t.Error("scheduled resize never re-planned")
+	}
+}

@@ -90,6 +90,15 @@ type MappedEngine struct {
 	// worker's nodes onto the least-loaded survivors.
 	Replan func(workers int) []int
 
+	// ReplanMeasured recomputes an assignment from live measured work per
+	// firing (typically partition.ExecPlan.AssignMeasured) — the elastic
+	// controller's preferred packer. nil, or an invalid result, falls back
+	// to Replan and then to the engine's own measured packing.
+	ReplanMeasured func(workers int, perFiringNS map[string]int64) []int
+
+	// elastic is the runtime replan controller (nil unless Options.Elastic).
+	elastic *elasticState
+
 	sup *supervisor
 
 	// swp holds the software-pipelining runtime (stage levels, clusters,
@@ -186,7 +195,16 @@ func NewMappedOpts(g *ir.Graph, s *sched.Schedule, assign []int, workers int, op
 		}
 		me.swp = sw
 	}
-	if opts.Profile {
+	if opts.Elastic {
+		es, err := newElasticState(opts)
+		if err != nil {
+			return nil, err
+		}
+		me.elastic = es
+	}
+	if opts.Profile || opts.Elastic {
+		// The elastic detector reads the profiler's work counters, so
+		// Elastic forces profiling on.
 		me.prof = obs.NewProfiler(nodeNames(g))
 	}
 	sup, err := newSupervisor(g, opts)
@@ -384,6 +402,15 @@ func (me *MappedEngine) driveTo(end int64) error {
 		// granularity so a crash replays at most one iteration.
 		every = 1
 	}
+	if me.elastic != nil {
+		// Elastic re-plans happen at checkpoint barriers (the replan
+		// restores the barrier image onto the new topology), so the
+		// controller needs barriers at least every observation window.
+		if every <= 0 || int64(every) > me.elastic.window {
+			every = int(me.elastic.window)
+		}
+		me.elasticReset()
+	}
 	if every > 0 {
 		if err := me.snapshot(); err != nil {
 			return err
@@ -407,6 +434,11 @@ func (me *MappedEngine) driveTo(end int64) error {
 		me.iter += int64(n)
 		if every > 0 {
 			if err := me.snapshot(); err != nil {
+				return err
+			}
+		}
+		if me.elastic != nil && me.iter < end {
+			if err := me.elasticStep(); err != nil {
 				return err
 			}
 		}
@@ -912,6 +944,10 @@ func (me *MappedEngine) fireOnce(c *mnodeCtx, st *nodeStatus) error {
 		if c.partial != nil {
 			*c.partial = 0
 		}
+		if c.rt.override != nil {
+			c.rt.override(c.tIn, c.tOut)
+			return nil
+		}
 		if n.Filter.WorkFn != nil {
 			n.Filter.WorkFn(c.tIn, c.tOut, c.rt.state)
 			return nil
@@ -1028,6 +1064,10 @@ func (me *MappedEngine) fireFilterSupervised(c *mnodeCtx, st *nodeStatus) error 
 		wOut := c.tOut
 		if injected && fault.Kind == faults.Corrupt {
 			wOut = corruptOut(wOut)
+		}
+		if rt.override != nil {
+			rt.override(c.tIn, wOut)
+			return nil
 		}
 		if n.Filter.WorkFn != nil {
 			n.Filter.WorkFn(c.tIn, wOut, rt.state)

@@ -72,6 +72,10 @@ type pnodeRT struct {
 	carry [][]float64
 	// fired counts steady-state firings (the fault injector's index).
 	fired int64
+	// override, when set, fires in place of the kernel's work function
+	// during steady state (MappedEngine.OverrideWork; the parallel engine
+	// ignores it).
+	override func(in, out wfunc.Tape)
 }
 
 // NewParallel prepares a parallel engine for a scheduled graph on the

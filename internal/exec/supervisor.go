@@ -54,6 +54,29 @@ type Options struct {
 	// macro-cycles (and the stage distance between adjacent levels).
 	// 0 selects DefaultStageBatch. Only meaningful with Stages.
 	StageBatch int
+	// Elastic enables the mapped engine's runtime re-plan controller: the
+	// profiler's windowed per-worker busy time feeds an imbalance detector
+	// that, when it trips (or when Resize asks for a different worker
+	// count), quiesces at the next coordinated-checkpoint barrier,
+	// re-packs the same elaborated graph from the live measured work, and
+	// resumes from the in-memory image — no restart, bit-identical output.
+	// Forces Profile on; the other engines ignore it.
+	Elastic bool
+	// ElasticWindow is the observation window between imbalance checks, in
+	// steady iterations (macro-cycles on pipelined plans). 0 selects
+	// DefaultElasticWindow. Only meaningful with Elastic.
+	ElasticWindow int
+	// ElasticThreshold trips a re-plan when the busiest worker's windowed
+	// work exceeds the worker mean by this factor. 0 selects
+	// DefaultElasticThreshold; must exceed 1 otherwise. Only meaningful
+	// with Elastic.
+	ElasticThreshold float64
+	// ResizeAt/ResizeTo schedule a one-shot elastic resize: at the first
+	// checkpoint barrier at or past steady iteration (pipelined:
+	// macro-cycle) ResizeAt, the engine re-plans onto ResizeTo workers.
+	// Zero values disable it. Only meaningful with Elastic.
+	ResizeAt int64
+	ResizeTo int
 	// Profile enables the per-filter profiler (internal/obs): firings,
 	// tape traffic, work/stall time, and buffer high-water marks,
 	// retrievable via the engine's Profile method.

@@ -1,0 +1,135 @@
+package partition
+
+import (
+	"streamit/internal/faults"
+	"streamit/internal/ir"
+	"streamit/internal/sched"
+	"streamit/internal/wfunc"
+)
+
+// MeasuredFromMapped translates a work profile taken on a rewritten mapped
+// graph back onto the original flat graph's node names — the key space
+// BuildOptions.MeasuredWorkNS consumes.
+//
+// A mapped engine runs the ExecPlan's rewritten program, so its profiler
+// keys counters by fused-segment and fission-replica instance names
+// ("lowpass+demod/f2#5"); feeding those into MeasuredWorkNS, which matches
+// against the original flattening's names ("lowpass#3"), silently matches
+// nothing and drops the measured-work bias. This function closes that
+// loop: it resolves each rewritten instance back to its source-level
+// constituents (the same base-name/constituent resolution fault plans use),
+// splits each fused segment's measured time among its constituent filters
+// in proportion to their static work share inside one segment firing, sums
+// fission replicas, and re-expresses everything as nanoseconds per
+// original-node firing.
+//
+// g/s are the original program's flattening and schedule, g2/s2 the
+// rewritten plan's, and perFiringNS a profile of the rewritten graph (e.g.
+// Profiler.WorkNSPerFiring from a mapped run). Original nodes not covered
+// by the profile are absent from the result; BuildExecPlan's measured-work
+// blend handles partial coverage.
+func MeasuredFromMapped(g *ir.Graph, s *sched.Schedule, g2 *ir.Graph, s2 *sched.Schedule, perFiringNS map[string]int64) map[string]int64 {
+	// Original filters by source-level name. Identically-named instances
+	// (splitjoin branches flattened from one template) share each base's
+	// attribution — they are the same kernel, so the same per-firing cost.
+	type origSet struct {
+		nodes   []*ir.Node
+		firings float64 // per steady iteration, summed over instances
+		est     float64 // static per-firing cycle estimate
+	}
+	origs := map[string]*origSet{}
+	for _, n := range g.Nodes {
+		if n.Kind != ir.NodeFilter {
+			continue
+		}
+		pre := faults.BaseName(n.Name)
+		o := origs[pre]
+		if o == nil {
+			est := wfunc.EstimateKernel(n.Filter.Kernel)
+			o = &origSet{est: float64(est.Cycles)}
+			if o.est < 1 {
+				o.est = 1
+			}
+			origs[pre] = o
+		}
+		o.nodes = append(o.nodes, n)
+		o.firings += float64(s.Reps[n.ID])
+	}
+
+	// Walk the rewritten graph, splitting each instance's measured time per
+	// steady iteration among its constituents. Within one segment firing a
+	// constituent c fires localReps(c) = origFirings(c)/segFirings times, so
+	// its share of the segment's time is est(c)·origFirings(c) over the sum
+	// — the segment-firing totals cancel.
+	totalNS := map[string]float64{}
+	for _, m := range g2.Nodes {
+		if m.Kind != ir.NodeFilter {
+			continue
+		}
+		ns, ok := perFiringNS[m.Name]
+		if !ok || ns <= 0 {
+			continue
+		}
+		parts := faults.SplitConstituents(faults.BaseName(m.Name))
+		var wsum float64
+		for _, pre := range parts {
+			if o := origs[pre]; o != nil {
+				wsum += o.est * o.firings
+			}
+		}
+		if wsum <= 0 {
+			continue
+		}
+		segNS := float64(ns) * float64(s2.Reps[m.ID])
+		for _, pre := range parts {
+			if o := origs[pre]; o != nil {
+				totalNS[pre] += segNS * (o.est * o.firings) / wsum
+			}
+		}
+	}
+
+	// The rewritten graph's steady iteration may cover an integer multiple
+	// of the original's (fission scales repetition counts). totalNS was
+	// accumulated per s2-steady iteration while origFirings counts per
+	// s-steady iteration, so divide the multiplier back out. Any base that
+	// survived the rewrite unfused (standalone or as pure fission replicas)
+	// reveals it as the ratio of its firing totals; if everything was fused
+	// into one segment the multiplier is unrecoverable, but then the result
+	// is a single packing unit and only ratios matter anyway.
+	firings2 := map[string]float64{}
+	for _, m := range g2.Nodes {
+		if m.Kind != ir.NodeFilter {
+			continue
+		}
+		if parts := faults.SplitConstituents(faults.BaseName(m.Name)); len(parts) == 1 {
+			firings2[parts[0]] += float64(s2.Reps[m.ID])
+		}
+	}
+	mult := 1.0
+	for _, n := range g.Nodes {
+		if n.Kind != ir.NodeFilter {
+			continue
+		}
+		pre := faults.BaseName(n.Name)
+		if o := origs[pre]; o != nil && o.firings > 0 && firings2[pre] > 0 {
+			mult = firings2[pre] / o.firings
+			break
+		}
+	}
+
+	out := map[string]int64{}
+	for pre, nsTotal := range totalNS {
+		o := origs[pre]
+		if o == nil || o.firings <= 0 {
+			continue
+		}
+		per := int64(nsTotal / (o.firings * mult))
+		if per < 1 {
+			per = 1
+		}
+		for _, n := range o.nodes {
+			out[n.Name] = per
+		}
+	}
+	return out
+}

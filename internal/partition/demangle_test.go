@@ -1,0 +1,194 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"streamit/internal/faults"
+	"streamit/internal/ir"
+	"streamit/internal/sched"
+)
+
+// demanglePlan compiles a stateless pipeline and rewrites it with the given
+// strategy, returning both name spaces: the original flattening (g, s) and
+// the plan's rewritten flattening (g2, s2).
+func demanglePlan(t *testing.T, strat Strategy, workers int) (prog *ir.Program, g *ir.Graph, s *sched.Schedule, plan *ExecPlan, g2 *ir.Graph, s2 *sched.Schedule) {
+	t.Helper()
+	// The stateful filter in the middle splits the stateless regions, so
+	// coarse-grained fusion produces at least two separate segments (one
+	// per flank) instead of swallowing the whole pipeline.
+	prog = &ir.Program{Name: "dm", Top: ir.Pipe("main",
+		heavyFilter("src", 4, 0, 0, 1),
+		heavyFilter("a", 300, 1, 1, 1),
+		heavyFilter("b", 300, 1, 1, 1),
+		statefulFilter("mid", 100),
+		heavyFilter("c", 300, 1, 1, 1),
+		heavyFilter("d", 300, 1, 1, 1),
+		heavyFilter("snk", 4, 1, 1, 0))}
+	var err error
+	g, err = ir.Flatten(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = sched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = BuildExecPlan(prog, g, s, ExecPlanOptions{Strategy: strat, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err = ir.Flatten(plan.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err = sched.Compute(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+// flatNames collects a graph's filter-node names.
+func flatNames(g *ir.Graph) map[string]bool {
+	out := map[string]bool{}
+	for _, n := range g.Nodes {
+		if n.Kind == ir.NodeFilter {
+			out[n.Name] = true
+		}
+	}
+	return out
+}
+
+// TestMeasuredFromMappedTaskIdentity: under StratTask the plan runs the
+// original graph unrewritten, so the translation is the identity — every
+// profiled name maps straight back and per-firing values are preserved.
+func TestMeasuredFromMappedTaskIdentity(t *testing.T) {
+	_, g, s, _, g2, s2 := demanglePlan(t, StratTask, 4)
+	per := map[string]int64{}
+	for _, n := range g2.Nodes {
+		if n.Kind == ir.NodeFilter {
+			per[n.Name] = int64(100 * (n.ID + 1))
+		}
+	}
+	got := MeasuredFromMapped(g, s, g2, s2, per)
+	if len(got) != len(per) {
+		t.Fatalf("translated %d filters, profiled %d", len(got), len(per))
+	}
+	for name, ns := range per {
+		if got[name] != ns {
+			t.Errorf("%s: %d ns/firing, want identity %d", name, got[name], ns)
+		}
+	}
+}
+
+// TestMeasuredFromMappedRoundTrip: this is the profile→partition feedback
+// regression. A mapped profile is keyed by the REWRITTEN graph's fused and
+// fissioned instance names; fed raw into MeasuredWorkNS it matches nothing
+// and the measured-work bias silently evaporates. Routed through
+// MeasuredFromMapped it must land on the original flat names — and actually
+// change the plan the next compile produces.
+func TestMeasuredFromMappedRoundTrip(t *testing.T) {
+	_, g, s, _, g2, s2 := demanglePlan(t, StratCoarseData, 4)
+	orig := flatNames(g)
+
+	// Precondition of the bug: the rewrite mangled at least some names, so
+	// the raw profile would not land on the flat name space.
+	mangled := 0
+	per := map[string]int64{}
+	hot := ""
+	for _, n := range g2.Nodes {
+		if n.Kind != ir.NodeFilter {
+			continue
+		}
+		if !orig[n.Name] {
+			mangled++
+		}
+		ns := int64(1000)
+		for _, part := range faults.SplitConstituents(faults.BaseName(n.Name)) {
+			if part == "c" {
+				// Whatever instance filter c ended up in runs 50x hot.
+				ns, hot = 50000, n.Name
+			}
+		}
+		per[n.Name] = ns
+	}
+	if mangled == 0 {
+		t.Fatal("rewrite left every name intact; round-trip test needs fusion/fission")
+	}
+	if hot == "" {
+		t.Fatal("filter c missing from rewritten graph")
+	}
+
+	got := MeasuredFromMapped(g, s, g2, s2, per)
+	if len(got) == 0 {
+		t.Fatal("translation produced no measurements")
+	}
+	for name := range got {
+		if !orig[name] {
+			t.Errorf("translated key %q is not an original flat node name", name)
+		}
+	}
+
+	// The raw (mangled) profile leaves the plan at its static estimates —
+	// the silent no-op this fixes. The translated profile must not.
+	static, err := Build(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := BuildOpts(g, s, BuildOptions{MeasuredWorkNS: per})
+	if err != nil {
+		t.Fatal(err)
+	}
+	translated, err := BuildOpts(g, s, BuildOptions{MeasuredWorkNS: got})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, rw, tw := nodeWork(static), nodeWork(raw), nodeWork(translated)
+	for name, w := range sw {
+		if rw[name] != w {
+			t.Errorf("raw mangled profile moved %s: %d -> %d (keys should have matched nothing)", name, w, rw[name])
+		}
+	}
+	moved := 0
+	for name, w := range sw {
+		if tw[name] != w {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("translated profile left the plan identical to the static one")
+	}
+}
+
+// TestMeasuredFromMappedFission: fission replicas of one filter ("x/f0",
+// "x/f1", ...) fold back onto the one original filter; a uniform replica
+// profile preserves the per-firing cost exactly.
+func TestMeasuredFromMappedFission(t *testing.T) {
+	_, g, s, _, g2, s2 := demanglePlan(t, StratFineData, 4)
+	replicas := 0
+	per := map[string]int64{}
+	for _, n := range g2.Nodes {
+		if n.Kind != ir.NodeFilter {
+			continue
+		}
+		if strings.Contains(n.Name, "/f") {
+			replicas++
+		}
+		per[n.Name] = 2000
+	}
+	if replicas == 0 {
+		t.Skip("fine-grained data strategy produced no replicas here")
+	}
+	got := MeasuredFromMapped(g, s, g2, s2, per)
+	for name := range flatNames(g) {
+		ns, ok := got[name]
+		if !ok {
+			t.Errorf("original filter %s missing from translation", name)
+			continue
+		}
+		if ns != 2000 {
+			t.Errorf("%s: %d ns/firing, want 2000 (uniform replica profile)", name, ns)
+		}
+	}
+}

@@ -576,6 +576,20 @@ func (p *ExecPlan) Assign(g2 *ir.Graph, s2 *sched.Schedule) []int {
 // surviving workers without re-running the fusion/fission rewrite (the
 // graph, schedule, and checkpoint fingerprint all stay fixed).
 func (p *ExecPlan) AssignN(g2 *ir.Graph, s2 *sched.Schedule, workers int) []int {
+	return p.AssignMeasured(g2, s2, workers, nil)
+}
+
+// AssignMeasured is AssignN with live measurements: perFiringNS maps
+// rewritten-graph node names (g2 names — fused segments and fission
+// replicas, exactly the profiler's key space on a mapped engine) to
+// measured work per firing in nanoseconds, which overrides the plan's
+// static estimate for the nodes it covers. This is the elastic re-plan
+// entry point: the elaborated graph, its schedule, and therefore the
+// checkpoint fingerprint all stay fixed — only the packing moves.
+// Measured weights are rescaled so covered nodes keep the covered set's
+// total static weight, letting measured and estimated nodes pack on one
+// scale (the same discipline as BuildOptions.MeasuredWorkNS).
+func (p *ExecPlan) AssignMeasured(g2 *ir.Graph, s2 *sched.Schedule, workers int, perFiringNS map[string]int64) []int {
 	if workers < 1 {
 		workers = 1
 	}
@@ -600,6 +614,33 @@ func (p *ExecPlan) AssignN(g2 *ir.Graph, s2 *sched.Schedule, workers int) []int 
 			w = 1 // zero-work endpoints still spread across workers
 		}
 		nodeW[n.ID] = w
+	}
+	if len(perFiringNS) > 0 {
+		var sumStatic, sumNS float64
+		for _, n := range g2.Nodes {
+			if n.Kind != ir.NodeFilter || n.IsSource() || n.IsSink() {
+				continue
+			}
+			if ns, ok := perFiringNS[n.Name]; ok && ns > 0 {
+				sumStatic += float64(nodeW[n.ID])
+				sumNS += float64(ns) * float64(s2.Reps[n.ID])
+			}
+		}
+		if sumStatic > 0 && sumNS > 0 {
+			scale := sumStatic / sumNS
+			for _, n := range g2.Nodes {
+				if n.Kind != ir.NodeFilter || n.IsSource() || n.IsSink() {
+					continue
+				}
+				if ns, ok := perFiringNS[n.Name]; ok && ns > 0 {
+					w := int64(float64(ns) * float64(s2.Reps[n.ID]) * scale)
+					if w < 1 {
+						w = 1
+					}
+					nodeW[n.ID] = w
+				}
+			}
+		}
 	}
 	// Packing units: single nodes, except that pipelined plans keep every
 	// stage cluster (feedback cycles, messaging hulls) whole — its members
