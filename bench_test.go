@@ -410,3 +410,30 @@ func BenchmarkServeRecovery(b *testing.B) {
 	b.ReportMetric(res.BytesPerSession, "bytes/session")
 	b.ReportMetric(res.RestoredPerSec, "sessions/s-restored")
 }
+
+// BenchmarkDist measures distributed mapped execution over loopback TCP:
+// sharded vs single-process throughput of the same plan, the overhead of
+// a coordinated barrier every iteration, and the wall time of a sharded
+// run whose shard crashes mid-way and is recovered onto the survivors.
+// With STREAMIT_BENCH_JSON=dir, a streamit-bench/v1 snapshot lands in
+// dir/BENCH_dist.json.
+func BenchmarkDist(b *testing.B) {
+	prevDir := bench.JSONDir
+	bench.JSONDir = os.Getenv("STREAMIT_BENCH_JSON")
+	defer func() { bench.JSONDir = prevDir }()
+
+	var res *bench.DistResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.DistBench(2, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bench.WriteDistSnapshot(res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.ShardedRate, "iters/s-sharded")
+	b.ReportMetric(res.BarrierPct, "%barrier-overhead")
+	b.ReportMetric(res.RecoveryMS, "ms-crash-recover")
+}

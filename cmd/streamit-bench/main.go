@@ -55,7 +55,7 @@ func validate(glob string) error {
 }
 
 func main() {
-	table := flag.String("table", "all", "table to print: all, benchchar, main, finegrain, softpipe, thruput, vsspace, linear, teleport, scaling, commablation, freqblocks, vm, mapped, recovery, serve, serve-recovery, elastic")
+	table := flag.String("table", "all", "table to print: all, benchchar, main, finegrain, softpipe, thruput, vsspace, linear, teleport, scaling, commablation, freqblocks, vm, mapped, recovery, serve, serve-recovery, elastic, dist")
 	dur := flag.Duration("dur", 150*time.Millisecond, "measurement window per configuration for the execution benchmarks")
 	jsonDir := flag.String("json", ".", "directory for BENCH_<app>.json snapshots (empty: do not write snapshots)")
 	check := flag.String("validate", "", "validate BENCH_*.json files matching this glob and exit")
@@ -109,6 +109,8 @@ func main() {
 		err = bench.PrintServeRecovery(os.Stdout)
 	case "elastic":
 		err = bench.PrintElastic(os.Stdout)
+	case "dist":
+		err = bench.PrintDist(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
 		os.Exit(2)

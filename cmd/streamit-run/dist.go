@@ -1,0 +1,108 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	osexec "os/exec"
+	"time"
+
+	"streamit/internal/dist"
+	"streamit/internal/exec"
+	"streamit/internal/partition"
+)
+
+// distFlags carries the subset of the ordinary run flags that a
+// distributed run forwards into the coordinator's job.
+type distFlags struct {
+	top        string
+	iters      int
+	strategy   string
+	backend    string
+	queueDepth int
+	faults     string
+}
+
+// runDistributed coordinates a sharded run: it compiles the program,
+// listens for shard workers, re-executes this binary -shards times as
+// local worker processes joined with -join, and drives the epoch barrier
+// protocol across them. A shard process dying mid-run (including kill -9)
+// rolls the survivors back to the last barrier and the run completes on
+// whoever is left, bit-identically.
+func runDistributed(shards int, listenAddr string, perShard, epoch int, f distFlags) {
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	backend, err := exec.ParseBackend(f.backend)
+	if err != nil {
+		fatal(err)
+	}
+	strategy := partition.Strategy(f.strategy)
+	if f.strategy == "swp" {
+		strategy = partition.StratSWP // rejected below, but with the real name
+	}
+	cfg := dist.Config{
+		Shards:     shards,
+		PerShard:   perShard,
+		Strategy:   strategy,
+		Backend:    backend,
+		Epoch:      epoch,
+		QueueDepth: f.queueDepth,
+		Faults:     f.faults,
+	}
+	co, err := dist.NewCoordinator(dist.Spec{Source: string(src), Top: f.top}, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	addr, err := co.Listen(listenAddr)
+	if err != nil {
+		fatal(err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	cmds := make([]*osexec.Cmd, shards)
+	for i := range cmds {
+		cmd := osexec.Command(exe, "-join", addr)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds[:i] {
+				c.Process.Kill()
+			}
+			fatal(fmt.Errorf("spawning shard %d: %w", i, err))
+		}
+		cmds[i] = cmd
+	}
+	start := time.Now()
+	res, err := co.Run(f.iters)
+	if err != nil {
+		for _, c := range cmds {
+			c.Process.Kill()
+		}
+		fatal(err)
+	}
+	dur := time.Since(start)
+	for _, c := range cmds {
+		c.Wait()
+	}
+	fmt.Printf("ran %d steady-state iterations across %d shard processes in %v\n",
+		res.Iterations, shards, dur.Round(time.Microsecond))
+	fmt.Printf("%.0f iterations/sec\n", float64(res.Iterations)/dur.Seconds())
+	if res.Recoveries > 0 {
+		fmt.Printf("recovered %d time(s): lost shard(s) %v, %d generation(s) installed, finished on %d shard(s)\n",
+			res.Recoveries, res.Lost, res.Generations, shards-len(res.Lost))
+	}
+}
+
+// runShard is the -join worker mode: the process serves one coordinator
+// for one run — the program arrives over the wire, is compiled locally,
+// and must reproduce the coordinator's graph fingerprint.
+func runShard(addr string) {
+	host, _ := os.Hostname()
+	opts := dist.ShardOptions{Name: fmt.Sprintf("%s/%d", host, os.Getpid())}
+	if err := dist.Join(addr, opts); err != nil {
+		fatal(fmt.Errorf("shard: %w", err))
+	}
+}

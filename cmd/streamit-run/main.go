@@ -61,6 +61,23 @@
 // surviving workers, and resumes — degradation shows in the supervision
 // report.
 //
+// Distributed execution (-shards):
+//
+//	streamit-run -shards 3 [-per-shard 2] [-epoch 8] prog.str
+//
+// The process becomes the coordinator: it compiles the program, spawns N
+// copies of itself as shard worker processes (each re-joining with
+// -join), and drives them through coordinated epoch barriers over
+// loopback TCP. Every shard compiles the program independently and must
+// reproduce the coordinator's graph fingerprint, so the elaborated graph
+// never crosses the wire. A shard process dying mid-run — kill -9
+// included, or injected with -faults "crash:shardN@iter" (also
+// stall:shardN, partition:shardN) — rolls the survivors back to the last
+// barrier image, re-packs its partitions onto them, and the run finishes
+// bit-identically. -coordinator sets the listen address; -join is the
+// internal worker mode and can also point a manually started worker
+// (even on another machine) at a coordinator.
+//
 // Observability (internal/obs):
 //
 //	-profile            print a per-filter table after the run: firings,
@@ -137,12 +154,32 @@ func main() {
 	resizeAt := flag.Int64("resize-at", 0, "with -elastic: re-plan onto -resize-to workers at the first barrier at or past this iteration")
 	resizeTo := flag.Int("resize-to", 0, "with -elastic: target worker count for -resize-at")
 	repeat := flag.Int("repeat", 1, "run the whole program N times on the sequential engine; compilation is cached, so repeats only stamp fresh engines")
+	shards := flag.Int("shards", 0, "run distributed: spawn N local shard worker processes and coordinate them over TCP")
+	coordAddr := flag.String("coordinator", "", "with -shards: coordinator listen address (default 127.0.0.1: an ephemeral port)")
+	joinAddr := flag.String("join", "", "run as a shard worker: join the coordinator at this address (no program argument; the job arrives over the wire)")
+	perShard := flag.Int("per-shard", 0, "with -shards: engine workers per shard process (0 = default 2)")
+	epoch := flag.Int("epoch", 0, "with -shards: steady iterations per coordinated barrier — the rollback granularity (0 = default 8)")
 	flag.Parse()
 
+	if *joinAddr != "" {
+		runShard(*joinAddr)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: streamit-run [flags] prog.str")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *shards > 0 {
+		if *parallel || *dynamic || *strategy != "" || *repeat > 1 || *elastic ||
+			*ckptPath != "" || *resumePath != "" || *traceOut != "" || *profile {
+			fatal(fmt.Errorf("-shards runs the distributed engine; it composes with -map (strategy), -per-shard, -epoch, -queue-depth, and -faults only"))
+		}
+		runDistributed(*shards, *coordAddr, *perShard, *epoch, distFlags{
+			top: *top, iters: *iters, strategy: *mapStrat, backend: *backendName,
+			queueDepth: *queueDepth, faults: *faultSpec,
+		})
+		return
 	}
 	backend, err := core.ParseBackend(*backendName)
 	if err != nil {

@@ -33,6 +33,8 @@
 // HTTP listener closes. A second signal exits immediately. -batch-timeout
 // arms the stuck-session watchdog: a batch wedging a pool worker past the
 // deadline quarantines only that session and spawns a replacement worker.
+// The listener itself is hardened against slow or dead clients with
+// -read-header-timeout, -read-timeout, and -idle-timeout.
 package main
 
 import (
@@ -62,6 +64,9 @@ func main() {
 	snapshotDir := flag.String("snapshot-dir", "", "directory for session checkpoints (restore on start, snapshot on shutdown)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight sessions to finish")
 	batchTimeout := flag.Duration("batch-timeout", 0, "stuck-session watchdog deadline per batch (0 = disabled)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "max time to read a request's headers (0 = no limit)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max time to read an entire request, body included (0 = no limit)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time before a connection closes (0 = no limit)")
 	flag.Parse()
 
 	backend, err := exec.ParseBackend(*backendName)
@@ -109,7 +114,17 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Slowloris and dead-peer protection: a client trickling headers, a
+	// stalled body, or an abandoned keep-alive connection must not pin a
+	// conn goroutine forever. Responses stay unbounded — a long drain of a
+	// big session is legitimate — so WriteTimeout is deliberately not set.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Printf("streamit-serve listening on %s\n", *addr)

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"streamit/internal/apps"
+	"streamit/internal/dist"
+	"streamit/internal/exec"
+	"streamit/internal/ir"
+	"streamit/internal/obs"
+	"streamit/internal/partition"
+	"streamit/internal/sched"
+)
+
+// DistResult reports the costs of distributed mapped execution on one
+// app: single-process vs sharded-over-loopback-TCP throughput, the
+// overhead of per-iteration barriers, and the wall time of a run whose
+// shard crashes mid-way and is recovered onto the survivors.
+type DistResult struct {
+	App           string
+	Shards        int
+	PerShard      int
+	Iters         int     // iterations per throughput measurement
+	SingleRate    float64 // iterations/sec, single-process mapped engine
+	ShardedRate   float64 // iterations/sec, sharded over loopback TCP
+	DistPct       float64 // (single - sharded) / single * 100
+	BarrierRate   float64 // sharded iterations/sec with a barrier every iteration
+	BarrierPct    float64 // (sharded - barrier) / sharded * 100
+	RecoveryMS    float64 // wall ms of the crash-and-recover sharded run
+	RecoveryIters int
+}
+
+// distApp is the fixed program the distributed benchmark measures — the
+// same mid-sized FMRadio the mapped recovery benchmark uses, so the two
+// tables are comparable.
+func distApp() *ir.Program { return apps.FMRadio(4, 16) }
+
+const distAppName = "FMRadioDist"
+
+func distRegistry() map[string]func() *ir.Program {
+	return map[string]func() *ir.Program{distAppName: distApp}
+}
+
+// runSharded drives one distributed run with in-process shard workers
+// over loopback TCP and returns the result with its wall time.
+func runSharded(cfg dist.Config, total int) (*dist.Result, time.Duration, error) {
+	cfg.Registry = distRegistry()
+	cfg.Log = func(string, ...any) {}
+	co, err := dist.NewCoordinator(dist.Spec{App: distAppName}, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	addr, err := co.Listen("")
+	if err != nil {
+		return nil, 0, err
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// In-process workers: a crash fault must sever connections, not
+			// exit the benchmark process.
+			dist.Join(addr, dist.ShardOptions{
+				Name:     fmt.Sprintf("bench%d", i),
+				Registry: distRegistry(),
+				CrashFn:  func() {},
+				Log:      func(string, ...any) {},
+			})
+		}(i)
+	}
+	start := time.Now()
+	res, err := co.Run(total)
+	dur := time.Since(start)
+	wg.Wait()
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, dur, nil
+}
+
+// singleRate measures the same plan on a single-process mapped engine —
+// identical graph rewrite, all workers local, no wire.
+func singleRate(workers, total int) (float64, error) {
+	prog := distApp()
+	g, err := ir.Flatten(prog)
+	if err != nil {
+		return 0, err
+	}
+	s, err := sched.Compute(g)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := partition.BuildExecPlan(prog, g, s, partition.ExecPlanOptions{
+		Strategy: partition.StratCoarseData, Workers: workers,
+	})
+	if err != nil {
+		return 0, err
+	}
+	g2, err := ir.Flatten(plan.Program)
+	if err != nil {
+		return 0, err
+	}
+	s2, err := sched.Compute(g2)
+	if err != nil {
+		return 0, err
+	}
+	eng, err := exec.NewMappedOpts(g2, s2, plan.Assign(g2, s2), plan.Workers, exec.Options{})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := eng.Run(total); err != nil {
+		return 0, err
+	}
+	return float64(total) / time.Since(start).Seconds(), nil
+}
+
+// DistBench measures distributed execution with shards × perShard
+// workers (defaults 2 × 2; the crash measurement always uses one more
+// shard so survivors remain).
+func DistBench(shards, perShard int) (*DistResult, error) {
+	if shards < 2 {
+		shards = 2
+	}
+	if perShard < 1 {
+		perShard = 2
+	}
+	r := &DistResult{App: "FMRadio", Shards: shards, PerShard: perShard, Iters: 256}
+
+	var err error
+	if r.SingleRate, err = singleRate(shards*perShard, r.Iters); err != nil {
+		return nil, err
+	}
+
+	cfg := dist.Config{Shards: shards, PerShard: perShard, Strategy: partition.StratCoarseData, Epoch: 8}
+	res, dur, err := runSharded(cfg, r.Iters)
+	if err != nil {
+		return nil, err
+	}
+	r.ShardedRate = float64(res.Iterations) / dur.Seconds()
+	if r.SingleRate > 0 {
+		r.DistPct = (r.SingleRate - r.ShardedRate) / r.SingleRate * 100
+	}
+
+	cfg.Epoch = 1
+	if res, dur, err = runSharded(cfg, r.Iters); err != nil {
+		return nil, err
+	}
+	r.BarrierRate = float64(res.Iterations) / dur.Seconds()
+	if r.ShardedRate > 0 {
+		r.BarrierPct = (r.ShardedRate - r.BarrierRate) / r.ShardedRate * 100
+	}
+
+	// Crash-and-recover wall time: one shard of shards+1 dies at the run's
+	// midpoint, the survivors roll back to the last barrier and finish.
+	r.RecoveryIters = 64
+	crash := dist.Config{
+		Shards: shards + 1, PerShard: perShard, Strategy: partition.StratCoarseData,
+		Epoch:  8,
+		Faults: fmt.Sprintf("crash:shard1@%d", r.RecoveryIters/2),
+	}
+	res, dur, err = runSharded(crash, r.RecoveryIters)
+	if err != nil {
+		return nil, fmt.Errorf("crash-recovery run: %w", err)
+	}
+	if res.Recoveries < 1 {
+		return nil, fmt.Errorf("crash-recovery run finished without recovering")
+	}
+	r.RecoveryMS = float64(dur.Microseconds()) / 1000
+	return r, nil
+}
+
+// WriteDistSnapshot persists the measurements as BENCH_dist.json
+// (streamit-bench/v1).
+func WriteDistSnapshot(r *DistResult) error {
+	if JSONDir == "" {
+		return nil
+	}
+	b := obs.NewBench("dist")
+	b.Set("shards", float64(r.Shards), "processes")
+	b.Set("per_shard_workers", float64(r.PerShard), "cores")
+	b.Set("single_process_iters_per_sec", r.SingleRate, "iters/s")
+	b.Set("sharded_iters_per_sec", r.ShardedRate, "iters/s")
+	b.Set("distribution_overhead_pct", r.DistPct, "%")
+	b.Set("per_iter_barrier_iters_per_sec", r.BarrierRate, "iters/s")
+	b.Set("barrier_overhead_pct", r.BarrierPct, "%")
+	b.Set("crash_recovery_run_ms", r.RecoveryMS, "ms")
+	_, err := b.WriteFile(JSONDir)
+	return err
+}
+
+// PrintDist renders the distributed-execution cost table: sharded vs
+// single-process throughput, barrier overhead, and crash recovery.
+func PrintDist(w io.Writer) error {
+	r, err := DistBench(2, 2)
+	if err != nil {
+		return err
+	}
+	if err := WriteDistSnapshot(r); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table dist: distributed mapped execution (%s, %d shards × %d workers, loopback TCP)\n",
+		r.App, r.Shards, r.PerShard)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Metric\tValue")
+	fmt.Fprintf(tw, "single process\t%.0f iters/s\n", r.SingleRate)
+	fmt.Fprintf(tw, "sharded (epoch 8)\t%.0f iters/s\n", r.ShardedRate)
+	fmt.Fprintf(tw, "distribution overhead\t%.1f%%\n", r.DistPct)
+	fmt.Fprintf(tw, "sharded, barrier every iteration\t%.0f iters/s\n", r.BarrierRate)
+	fmt.Fprintf(tw, "barrier overhead\t%.1f%%\n", r.BarrierPct)
+	fmt.Fprintf(tw, "crash-and-recover run (%d iters, %d shards)\t%.1f ms\n",
+		r.RecoveryIters, r.Shards+1, r.RecoveryMS)
+	return tw.Flush()
+}

@@ -1,0 +1,527 @@
+package dist
+
+import (
+	"fmt"
+
+	"streamit/internal/exec"
+	"streamit/internal/wfunc"
+)
+
+// helloMsg is a shard's join handshake: its display name and the address
+// its data-plane listener accepts peer links on.
+type helloMsg struct {
+	Proto    uint32
+	Name     string
+	DataAddr string
+}
+
+// protoVersion guards against skew between coordinator and shard builds.
+const protoVersion = 1
+
+func (m *helloMsg) encode() []byte {
+	var b wbuf
+	b.u32(m.Proto)
+	b.str(m.Name)
+	b.str(m.DataAddr)
+	return b
+}
+
+func decodeHello(p []byte) (*helloMsg, error) {
+	r := &rbuf{b: p}
+	m := &helloMsg{}
+	var err error
+	if m.Proto, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if m.Name, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.DataAddr, err = r.str(); err != nil {
+		return nil, err
+	}
+	return m, r.done()
+}
+
+// jobMsg carries everything a shard needs to rebuild the coordinator's
+// exec plan locally: the program (source text, or a registered app name),
+// the plan options, and the fingerprint of the rewritten graph the local
+// compile must reproduce. ShardID is the shard's stable logical identity
+// — it survives re-plans, so fault targeting and logs stay coherent.
+type jobMsg struct {
+	ShardID     uint32
+	App         string
+	Source      string
+	Top         string
+	Strategy    string
+	Backend     uint8
+	Shards      uint32
+	PerShard    uint32
+	Epoch       uint32
+	QueueDepth  uint32
+	TapSinks    bool
+	Faults      string
+	Fingerprint uint64
+}
+
+func (m *jobMsg) encode() []byte {
+	var b wbuf
+	b.u32(m.ShardID)
+	b.str(m.App)
+	b.str(m.Source)
+	b.str(m.Top)
+	b.str(m.Strategy)
+	b.u8(m.Backend)
+	b.u32(m.Shards)
+	b.u32(m.PerShard)
+	b.u32(m.Epoch)
+	b.u32(m.QueueDepth)
+	if m.TapSinks {
+		b.u8(1)
+	} else {
+		b.u8(0)
+	}
+	b.str(m.Faults)
+	b.u64(m.Fingerprint)
+	return b
+}
+
+func decodeJob(p []byte) (*jobMsg, error) {
+	r := &rbuf{b: p}
+	m := &jobMsg{}
+	var err error
+	if m.ShardID, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if m.App, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.Source, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.Top, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.Strategy, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.Backend, err = r.u8(); err != nil {
+		return nil, err
+	}
+	if m.Shards, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if m.PerShard, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if m.Epoch, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if m.QueueDepth, err = r.u32(); err != nil {
+		return nil, err
+	}
+	tap, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.TapSinks = tap != 0
+	if m.Faults, err = r.str(); err != nil {
+		return nil, err
+	}
+	if m.Fingerprint, err = r.u64(); err != nil {
+		return nil, err
+	}
+	return m, r.done()
+}
+
+// assignMsg installs one generation's topology on a shard: the live shard
+// IDs in shard-index order, their data addresses, the node→global-worker
+// assignment, the iteration to resume from, and (after a recovery or for
+// late joiners) the barrier image to restore.
+type assignMsg struct {
+	Gen        uint32
+	StartIter  int64
+	LiveShards []uint32
+	Peers      []string
+	Assign     []uint32
+	Image      []byte
+}
+
+func (m *assignMsg) encode() []byte {
+	var b wbuf
+	b.u32(m.Gen)
+	b.i64(m.StartIter)
+	b.u32(uint32(len(m.LiveShards)))
+	for _, s := range m.LiveShards {
+		b.u32(s)
+	}
+	b.u32(uint32(len(m.Peers)))
+	for _, p := range m.Peers {
+		b.str(p)
+	}
+	b.u32(uint32(len(m.Assign)))
+	for _, w := range m.Assign {
+		b.u32(w)
+	}
+	b.bytes(m.Image)
+	return b
+}
+
+func decodeAssign(p []byte) (*assignMsg, error) {
+	r := &rbuf{b: p}
+	m := &assignMsg{}
+	var err error
+	if m.Gen, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if m.StartIter, err = r.i64(); err != nil {
+		return nil, err
+	}
+	n, err := r.count(4, "live shards")
+	if err != nil {
+		return nil, err
+	}
+	m.LiveShards = make([]uint32, n)
+	for i := range m.LiveShards {
+		if m.LiveShards[i], err = r.u32(); err != nil {
+			return nil, err
+		}
+	}
+	if n, err = r.count(4, "peers"); err != nil {
+		return nil, err
+	}
+	m.Peers = make([]string, n)
+	for i := range m.Peers {
+		if m.Peers[i], err = r.str(); err != nil {
+			return nil, err
+		}
+	}
+	if n, err = r.count(4, "assignments"); err != nil {
+		return nil, err
+	}
+	m.Assign = make([]uint32, n)
+	for i := range m.Assign {
+		if m.Assign[i], err = r.u32(); err != nil {
+			return nil, err
+		}
+	}
+	if m.Image, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	return m, r.done()
+}
+
+// sinkChunk is one epoch's captured output of one locally-owned sink.
+type sinkChunk struct {
+	Node  uint32
+	Items []float64
+}
+
+// barrierMsg is a shard's report at an epoch barrier: its generation and
+// iteration, the owned slice of the coordinated image, and the sink
+// output captured during the epoch (TapSinks mode).
+type barrierMsg struct {
+	Gen   uint32
+	Iter  int64
+	State *exec.ShardState
+	Sinks []sinkChunk
+}
+
+func (m *barrierMsg) encode() []byte {
+	var b wbuf
+	b.u32(m.Gen)
+	b.i64(m.Iter)
+	b.i64(m.State.Iteration)
+	b.u32(uint32(len(m.State.Nodes)))
+	for _, ns := range m.State.Nodes {
+		b.u32(uint32(ns.ID))
+		b.i64(ns.Fired)
+		if ns.State == nil {
+			b.u8(0)
+			continue
+		}
+		b.u8(1)
+		b.floats(ns.State.Scalars)
+		b.u32(uint32(len(ns.State.Arrays)))
+		for _, arr := range ns.State.Arrays {
+			b.floats(arr)
+		}
+	}
+	b.u32(uint32(len(m.State.Edges)))
+	for _, es := range m.State.Edges {
+		b.u32(uint32(es.ID))
+		b.floats(es.Items)
+	}
+	b.u32(uint32(len(m.Sinks)))
+	for _, sc := range m.Sinks {
+		b.u32(sc.Node)
+		b.floats(sc.Items)
+	}
+	return b
+}
+
+func decodeBarrier(p []byte) (*barrierMsg, error) {
+	r := &rbuf{b: p}
+	m := &barrierMsg{State: &exec.ShardState{}}
+	var err error
+	if m.Gen, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if m.Iter, err = r.i64(); err != nil {
+		return nil, err
+	}
+	if m.State.Iteration, err = r.i64(); err != nil {
+		return nil, err
+	}
+	n, err := r.count(13, "nodes")
+	if err != nil {
+		return nil, err
+	}
+	m.State.Nodes = make([]exec.ShardNodeState, n)
+	for i := range m.State.Nodes {
+		ns := &m.State.Nodes[i]
+		id, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		ns.ID = int(id)
+		if ns.Fired, err = r.i64(); err != nil {
+			return nil, err
+		}
+		has, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if has == 0 {
+			continue
+		}
+		st := &wfunc.State{}
+		if st.Scalars, err = r.floats(); err != nil {
+			return nil, err
+		}
+		na, err := r.count(4, "state arrays")
+		if err != nil {
+			return nil, err
+		}
+		st.Arrays = make([][]float64, na)
+		for k := range st.Arrays {
+			if st.Arrays[k], err = r.floats(); err != nil {
+				return nil, err
+			}
+		}
+		ns.State = st
+	}
+	if n, err = r.count(8, "edges"); err != nil {
+		return nil, err
+	}
+	m.State.Edges = make([]exec.ShardEdgeState, n)
+	for i := range m.State.Edges {
+		id, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		m.State.Edges[i].ID = int(id)
+		if m.State.Edges[i].Items, err = r.floats(); err != nil {
+			return nil, err
+		}
+	}
+	if n, err = r.count(8, "sinks"); err != nil {
+		return nil, err
+	}
+	m.Sinks = make([]sinkChunk, n)
+	for i := range m.Sinks {
+		if m.Sinks[i].Node, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if m.Sinks[i].Items, err = r.floats(); err != nil {
+			return nil, err
+		}
+	}
+	return m, r.done()
+}
+
+// batchMsg is one cross-shard edge's per-iteration batch on a data link.
+// Seq numbers batches per edge so a torn reconnect cannot silently skip
+// or replay one.
+type batchMsg struct {
+	Edge  uint32
+	Seq   uint64
+	Items []float64
+}
+
+func (m *batchMsg) encode() []byte {
+	var b wbuf
+	b.u32(m.Edge)
+	b.u64(m.Seq)
+	b.floats(m.Items)
+	return b
+}
+
+func decodeBatch(p []byte) (*batchMsg, error) {
+	r := &rbuf{b: p}
+	m := &batchMsg{}
+	var err error
+	if m.Edge, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if m.Seq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if m.Items, err = r.floats(); err != nil {
+		return nil, err
+	}
+	return m, r.done()
+}
+
+// linkHelloMsg identifies a dialing shard on a fresh data connection.
+type linkHelloMsg struct {
+	From uint32
+	Gen  uint32
+}
+
+func (m *linkHelloMsg) encode() []byte {
+	var b wbuf
+	b.u32(m.From)
+	b.u32(m.Gen)
+	return b
+}
+
+func decodeLinkHello(p []byte) (*linkHelloMsg, error) {
+	r := &rbuf{b: p}
+	m := &linkHelloMsg{}
+	var err error
+	if m.From, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if m.Gen, err = r.u32(); err != nil {
+		return nil, err
+	}
+	return m, r.done()
+}
+
+// beatMsg is a shard heartbeat: WaitingOn lists the stable IDs of shards
+// some local worker is currently blocked receiving from. At a barrier
+// deadline the coordinator builds the wait-graph from these, so a wedged
+// shard (waiting on nobody) is told apart from the downstream shards it
+// starved — only the root cause is declared dead.
+type beatMsg struct {
+	WaitingOn []uint32
+}
+
+func (m *beatMsg) encode() []byte {
+	var b wbuf
+	b.u32(uint32(len(m.WaitingOn)))
+	for _, s := range m.WaitingOn {
+		b.u32(s)
+	}
+	return b
+}
+
+func decodeBeat(p []byte) (*beatMsg, error) {
+	r := &rbuf{b: p}
+	m := &beatMsg{}
+	n, err := r.count(4, "waiting-on shards")
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		m.WaitingOn = make([]uint32, n)
+		for i := range m.WaitingOn {
+			if m.WaitingOn[i], err = r.u32(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, r.done()
+}
+
+// genMsg is the shared shape of the small control acks that carry only a
+// generation (ready, aborted) or a generation plus a count (run).
+type genMsg struct {
+	Gen   uint32
+	Iters uint32
+}
+
+func (m *genMsg) encode() []byte {
+	var b wbuf
+	b.u32(m.Gen)
+	b.u32(m.Iters)
+	return b
+}
+
+func decodeGen(p []byte) (*genMsg, error) {
+	r := &rbuf{b: p}
+	m := &genMsg{}
+	var err error
+	if m.Gen, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if m.Iters, err = r.u32(); err != nil {
+		return nil, err
+	}
+	return m, r.done()
+}
+
+// textMsg carries jobOK's fingerprint echo, abort reasons, and error
+// reports.
+type textMsg struct {
+	Code uint64
+	Text string
+}
+
+func (m *textMsg) encode() []byte {
+	var b wbuf
+	b.u64(m.Code)
+	b.str(m.Text)
+	return b
+}
+
+func decodeText(p []byte) (*textMsg, error) {
+	r := &rbuf{b: p}
+	m := &textMsg{}
+	var err error
+	if m.Code, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if m.Text, err = r.str(); err != nil {
+		return nil, err
+	}
+	return m, r.done()
+}
+
+// decodeAny re-parses a frame's payload by type — the fuzz target's hook
+// into every payload decoder. Returns an error for types whose payloads
+// are free-form (heartbeat, bye) only when bytes are present.
+func decodeAny(t msgType, p []byte) error {
+	var err error
+	switch t {
+	case mtHello:
+		_, err = decodeHello(p)
+	case mtJob:
+		_, err = decodeJob(p)
+	case mtAssign:
+		_, err = decodeAssign(p)
+	case mtBarrier:
+		_, err = decodeBarrier(p)
+	case mtBatch:
+		_, err = decodeBatch(p)
+	case mtLinkHello:
+		_, err = decodeLinkHello(p)
+	case mtReady, mtRun, mtAborted, mtAbort:
+		if t == mtAbort {
+			_, err = decodeText(p)
+		} else {
+			_, err = decodeGen(p)
+		}
+	case mtJobOK, mtError:
+		_, err = decodeText(p)
+	case mtHeartbeat:
+		_, err = decodeBeat(p)
+	case mtBye:
+		if len(p) != 0 {
+			err = fmt.Errorf("dist: %s frames carry no payload", t)
+		}
+	default:
+		err = fmt.Errorf("dist: unknown frame type %s", t)
+	}
+	return err
+}

@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// fconn wraps a TCP connection with the wire framing: sends are locked
+// single Writes under a per-message deadline (a wedged peer cannot hold
+// the sender forever), reads come off a buffered frame reader.
+type fconn struct {
+	c   net.Conn
+	r   *bufio.Reader
+	wmu sync.Mutex
+	wto time.Duration
+}
+
+func newFConn(c net.Conn, writeTimeout time.Duration) *fconn {
+	return &fconn{c: c, r: bufio.NewReaderSize(c, 64<<10), wto: writeTimeout}
+}
+
+func (f *fconn) send(t msgType, payload []byte) error {
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	if f.wto > 0 {
+		f.c.SetWriteDeadline(time.Now().Add(f.wto))
+	}
+	return writeFrame(f.c, t, payload)
+}
+
+// recv reads one frame; a zero timeout blocks indefinitely.
+func (f *fconn) recv(timeout time.Duration) (msgType, []byte, error) {
+	if timeout > 0 {
+		f.c.SetReadDeadline(time.Now().Add(timeout))
+	} else {
+		f.c.SetReadDeadline(time.Time{})
+	}
+	return readFrame(f.r)
+}
+
+func (f *fconn) close() { f.c.Close() }
+
+// dialRetry dials addr until it connects or the budget runs out, backing
+// off exponentially with jitter between attempts so a herd of shards
+// joining one coordinator (or re-dialing one recovering peer) does not
+// stampede in lockstep.
+func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
+	delay := 20 * time.Millisecond
+	var lastErr error
+	for {
+		attempt := time.Until(deadline)
+		if attempt <= 0 {
+			return nil, fmt.Errorf("dist: dial %s: budget exhausted: %w", addr, lastErr)
+		}
+		if attempt > 2*time.Second {
+			attempt = 2 * time.Second
+		}
+		c, err := net.DialTimeout("tcp", addr, attempt)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		// Jitter the backoff into [delay/2, 3*delay/2).
+		sleep := delay/2 + time.Duration(rand.Int64N(int64(delay)))
+		if time.Now().Add(sleep).After(deadline) {
+			return nil, fmt.Errorf("dist: dial %s: budget exhausted: %w", addr, lastErr)
+		}
+		time.Sleep(sleep)
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	osexec "os/exec"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The process tests re-exec this test binary as real shard workers: when
+// STREAMIT_DIST_HELPER names a coordinator address, TestMain becomes a
+// shard process — it joins, serves, and exits without ever running tests.
+// Crashes are then genuine: kill -9 takes out an OS process, a crash
+// fault exits with status 137, and the coordinator recovers over real
+// severed sockets.
+
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("STREAMIT_DIST_HELPER"); addr != "" {
+		opts := ShardOptions{
+			Name: os.Getenv("STREAMIT_DIST_NAME"),
+			Log:  func(string, ...any) {},
+		}
+		if ms, err := strconv.Atoi(os.Getenv("STREAMIT_DIST_HB_MS")); err == nil && ms > 0 {
+			opts.Heartbeat = time.Duration(ms) * time.Millisecond
+		}
+		if err := Join(addr, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "shard %s: %v\n", opts.Name, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// procConfig tunes a Config to the helper processes' default cadence.
+func procConfig(shards int) Config {
+	cfg := testConfig(shards)
+	cfg.Heartbeat = 50 * time.Millisecond
+	cfg.HeartbeatTimeout = time.Second
+	cfg.EpochTimeout = 10 * time.Second
+	cfg.JoinTimeout = 30 * time.Second
+	return cfg
+}
+
+// spawnShards re-execs the test binary as n shard worker processes joined
+// to addr, and guarantees they are reaped at test end.
+func spawnShards(t *testing.T, addr string, n int) []*osexec.Cmd {
+	t.Helper()
+	cmds := make([]*osexec.Cmd, n)
+	for i := range cmds {
+		cmd := osexec.Command(os.Args[0], "-test.run=^$")
+		cmd.Env = append(os.Environ(),
+			"STREAMIT_DIST_HELPER="+addr,
+			fmt.Sprintf("STREAMIT_DIST_NAME=proc%d", i),
+			"STREAMIT_DIST_HB_MS=50",
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawning shard process %d: %v", i, err)
+		}
+		cmds[i] = cmd
+	}
+	t.Cleanup(func() {
+		for _, cmd := range cmds {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmds
+}
+
+// TestDistProcesses: a clean sharded run across real OS processes over
+// loopback TCP is bit-identical to the single-process mapped engine,
+// final image included.
+func TestDistProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process tests are not -short tests")
+	}
+	spec := Spec{App: "FMRadio"}
+	cfg := procConfig(2)
+	co, err := NewCoordinator(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := co.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spawnShards(t, addr, 2)
+	const total = 12
+	res, err := co.Run(total)
+	if err != nil {
+		t.Fatalf("distributed run over processes: %v", err)
+	}
+	if res.Iterations != total || res.Recoveries != 0 {
+		t.Fatalf("committed %d iterations with %d recoveries, want %d clean", res.Iterations, res.Recoveries, total)
+	}
+	want, wantImg := refRun(t, spec, cfg, total)
+	sameOutputs(t, "processes vs single-process", res.Outputs, want)
+	if string(res.FinalImage) != string(wantImg) {
+		t.Fatal("final barrier image differs from the single-process checkpoint")
+	}
+}
+
+// TestDistProcessKill9: one shard process is killed with SIGKILL mid-run
+// — no goodbye, no flush, a reset socket. The coordinator rolls the
+// survivors back to the last barrier and the committed output is still
+// bit-identical.
+func TestDistProcessKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process tests are not -short tests")
+	}
+	spec := Spec{App: "FMRadio"}
+	cfg := procConfig(3)
+	var (
+		killMu sync.Mutex
+		cmds   []*osexec.Cmd
+		killed bool
+	)
+	cfg.OnBarrier = func(iter int64) {
+		killMu.Lock()
+		defer killMu.Unlock()
+		if !killed && iter >= 8 && len(cmds) > 1 {
+			cmds[1].Process.Kill()
+			killed = true
+		}
+	}
+	co, err := NewCoordinator(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := co.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := spawnShards(t, addr, 3)
+	killMu.Lock()
+	cmds = started
+	killMu.Unlock()
+	const total = 24
+	res, err := co.Run(total)
+	if err != nil {
+		t.Fatalf("distributed run did not survive kill -9: %v", err)
+	}
+	if res.Iterations != total {
+		t.Fatalf("committed %d iterations, want %d", res.Iterations, total)
+	}
+	if res.Recoveries < 1 || len(res.Lost) != 1 {
+		t.Fatalf("kill -9 caused %d recoveries and lost %v, want >= 1 recovery of exactly one shard",
+			res.Recoveries, res.Lost)
+	}
+	want, _ := refRun(t, spec, cfg, total)
+	sameOutputs(t, "post-kill vs single-process", res.Outputs, want)
+}
+
+// TestDistProcessCrashFault: the injected crash fault in a real shard
+// process uses the default CrashFn — os.Exit(137), kill -9 semantics from
+// the inside. Recovery is bit-identical and names the right shard.
+func TestDistProcessCrashFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process tests are not -short tests")
+	}
+	spec := Spec{App: "FMRadio"}
+	cfg := procConfig(3)
+	cfg.Faults = "crash:shard1@6"
+	co, err := NewCoordinator(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := co.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spawnShards(t, addr, 3)
+	const total = 16
+	res, err := co.Run(total)
+	if err != nil {
+		t.Fatalf("distributed run did not survive the crash fault: %v", err)
+	}
+	if res.Iterations != total {
+		t.Fatalf("committed %d iterations, want %d", res.Iterations, total)
+	}
+	if res.Recoveries < 1 || !reflect.DeepEqual(res.Lost, []int{1}) {
+		t.Fatalf("crash fault caused %d recoveries and lost %v, want shard 1 exactly", res.Recoveries, res.Lost)
+	}
+	want, _ := refRun(t, spec, cfg, total)
+	sameOutputs(t, "post-crash-fault vs single-process", res.Outputs, want)
+}
+
+// TestDistChaosSoak: seeded rounds of randomized fault plans — kind,
+// victim, and trigger iteration all drawn from a fixed PCG stream — each
+// of which must recover bit-identically. The seed makes failures
+// reproducible.
+func TestDistChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the chaos soak is not a -short test")
+	}
+	kinds := []string{"crash", "stall", "partition"}
+	programs := []string{"FMRadio", "FilterBank", "DCT"}
+	rng := rand.New(rand.NewPCG(0xC0FFEE, 0xD15C0))
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		kind := kinds[rng.IntN(len(kinds))]
+		app := programs[rng.IntN(len(programs))]
+		victim := rng.IntN(3)
+		at := 3 + rng.IntN(6)
+		t.Run(fmt.Sprintf("%d_%s_%s_shard%d_at%d", round, kind, app, victim, at), func(t *testing.T) {
+			spec := Spec{App: app}
+			cfg := testConfig(3)
+			cfg.Faults = fmt.Sprintf("%s:shard%d@%d", kind, victim, at)
+			if kind == "stall" {
+				cfg.EpochTimeout = 2 * time.Second
+			}
+			const total = 16
+			res := runDist(t, spec, cfg, total)
+			if res.Iterations != total {
+				t.Fatalf("committed %d iterations, want %d", res.Iterations, total)
+			}
+			if res.Recoveries < 1 {
+				t.Fatalf("fault %q caused no recovery", cfg.Faults)
+			}
+			found := false
+			for _, id := range res.Lost {
+				if id == victim {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("lost %v does not include the faulted shard %d", res.Lost, victim)
+			}
+			want, _ := refRun(t, spec, cfg, total)
+			sameOutputs(t, "post-chaos vs single-process", res.Outputs, want)
+		})
+	}
+}

@@ -1,0 +1,17 @@
+package dist
+
+import (
+	"streamit/internal/apps"
+	"streamit/internal/ir"
+)
+
+// SuiteRegistry maps every benchmark app name to its builder — the
+// registry a coordinator and its shards share when the program is named
+// by app rather than shipped as source.
+func SuiteRegistry() map[string]func() *ir.Program {
+	m := make(map[string]func() *ir.Program)
+	for _, a := range apps.Suite() {
+		m[a.Name] = a.Build
+	}
+	return m
+}

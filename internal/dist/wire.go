@@ -1,0 +1,282 @@
+// Package dist executes one mapped ExecPlan across OS processes: a
+// coordinator compiles the program, fingerprints the rewritten graph, and
+// drives shard workers over TCP — each shard compiles the same source
+// locally (verifying the fingerprint, so the graph never crosses the wire
+// twice), runs its slice of the worker set as a sharded MappedEngine, and
+// exchanges cross-shard edge batches directly with its peers. Epoch
+// barriers reuse the coordinated-checkpoint machinery: every shard
+// exports the state it owns, the coordinator assembles the canonical
+// byte-interchangeable image, and a shard crash (process kill, socket
+// reset, heartbeat loss, wedged barrier) rolls the survivors back to that
+// image and re-plans the dead shard's partitions onto them — the
+// fingerprint never changes, so the stream resumes bit-identical.
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Wire framing: every message is
+//
+//	u32 magic "STRW" | u8 type | u32 payload length | payload | u32 CRC
+//
+// little-endian, CRC-32C (Castagnoli) over type + length + payload. The
+// length is validated against MaxFrame BEFORE any payload allocation, so
+// a torn or hostile header cannot trigger a huge allocation; the CRC
+// rejects corrupted frames before their payload is parsed. Payloads use
+// the same hand-rolled little-endian encoding style as the checkpoint
+// image format (bounds-checked reader, no reflection).
+
+const (
+	frameMagic = 0x57525453 // "STRW" little-endian
+
+	// MaxFrame caps a frame's payload; larger length prefixes are
+	// rejected before allocation. Checkpoint images for the app suite are
+	// tens of kilobytes; 64 MiB leaves room for very large graphs.
+	MaxFrame = 64 << 20
+
+	// frameHdrLen is magic + type + payload length.
+	frameHdrLen = 4 + 1 + 4
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// msgType enumerates the frame types.
+type msgType byte
+
+const (
+	mtInvalid   msgType = iota
+	mtHello             // shard -> coordinator: join (name, data address)
+	mtJob               // coordinator -> shard: program + plan options + fingerprint
+	mtJobOK             // shard -> coordinator: local compile verified the fingerprint
+	mtAssign            // coordinator -> shard: generation topology (+ optional restore image)
+	mtReady             // shard -> coordinator: engine built, links up, restored
+	mtRun               // coordinator -> shard: run one epoch
+	mtBarrier           // shard -> coordinator: owned slice of the barrier state
+	mtAbort             // coordinator -> shard: tear down the generation
+	mtAborted           // shard -> coordinator: teardown complete
+	mtHeartbeat         // shard -> coordinator: liveness
+	mtBye               // coordinator -> shard: clean shutdown
+	mtError             // either direction: fatal error report
+	mtLinkHello         // shard -> shard on a data connection: identify + generation
+	mtBatch             // shard -> shard: one edge's per-iteration batch
+)
+
+func (t msgType) String() string {
+	names := [...]string{"invalid", "hello", "job", "jobok", "assign", "ready", "run",
+		"barrier", "abort", "aborted", "heartbeat", "bye", "error", "linkhello", "batch"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("type(%d)", byte(t))
+}
+
+// frameCRC computes the frame checksum over type + length + payload.
+func frameCRC(t msgType, payload []byte) uint32 {
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, hdr[:])
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// EncodeFrame assembles one wire frame.
+func EncodeFrame(t msgType, payload []byte) []byte {
+	b := make([]byte, 0, frameHdrLen+len(payload)+4)
+	b = binary.LittleEndian.AppendUint32(b, frameMagic)
+	b = append(b, byte(t))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	b = binary.LittleEndian.AppendUint32(b, frameCRC(t, payload))
+	return b
+}
+
+// DecodeFrame parses one frame from the front of b, returning the frame
+// type, its payload (aliasing b), and the total bytes consumed. Oversized
+// length prefixes, bad magic, truncation, and CRC mismatches all fail —
+// and the length check precedes any payload access, so a hostile prefix
+// cannot drive allocation.
+func DecodeFrame(b []byte) (msgType, []byte, int, error) {
+	if len(b) < frameHdrLen {
+		return 0, nil, 0, fmt.Errorf("dist: truncated frame header: %d of %d bytes", len(b), frameHdrLen)
+	}
+	if m := binary.LittleEndian.Uint32(b); m != frameMagic {
+		return 0, nil, 0, fmt.Errorf("dist: bad frame magic %#x", m)
+	}
+	t := msgType(b[4])
+	n := binary.LittleEndian.Uint32(b[5:])
+	if n > MaxFrame {
+		return 0, nil, 0, fmt.Errorf("dist: frame payload of %d bytes exceeds the %d-byte cap", n, MaxFrame)
+	}
+	total := frameHdrLen + int(n) + 4
+	if len(b) < total {
+		return 0, nil, 0, fmt.Errorf("dist: truncated frame: %d of %d bytes", len(b), total)
+	}
+	payload := b[frameHdrLen : frameHdrLen+int(n)]
+	crc := binary.LittleEndian.Uint32(b[frameHdrLen+int(n):])
+	if crc != frameCRC(t, payload) {
+		return 0, nil, 0, fmt.Errorf("dist: frame CRC mismatch on %s frame", t)
+	}
+	return t, payload, total, nil
+}
+
+// writeFrame ships one frame in a single Write.
+func writeFrame(w io.Writer, t msgType, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("dist: refusing to send %d-byte %s payload (cap %d)", len(payload), t, MaxFrame)
+	}
+	_, err := w.Write(EncodeFrame(t, payload))
+	return err
+}
+
+// readFrame reads one frame from a buffered reader. The length prefix is
+// validated against MaxFrame before the payload buffer is allocated.
+func readFrame(r *bufio.Reader) (msgType, []byte, error) {
+	var hdr [frameHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if m := binary.LittleEndian.Uint32(hdr[:]); m != frameMagic {
+		return 0, nil, fmt.Errorf("dist: bad frame magic %#x", m)
+	}
+	t := msgType(hdr[4])
+	n := binary.LittleEndian.Uint32(hdr[5:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("dist: frame payload of %d bytes exceeds the %d-byte cap", n, MaxFrame)
+	}
+	body := make([]byte, int(n)+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	payload := body[:n]
+	crc := binary.LittleEndian.Uint32(body[n:])
+	if crc != frameCRC(t, payload) {
+		return 0, nil, fmt.Errorf("dist: frame CRC mismatch on %s frame", t)
+	}
+	return t, payload, nil
+}
+
+// wbuf is the append-based payload encoder.
+type wbuf []byte
+
+func (b *wbuf) u8(v byte)     { *b = append(*b, v) }
+func (b *wbuf) u32(v uint32)  { *b = binary.LittleEndian.AppendUint32(*b, v) }
+func (b *wbuf) u64(v uint64)  { *b = binary.LittleEndian.AppendUint64(*b, v) }
+func (b *wbuf) i64(v int64)   { b.u64(uint64(v)) }
+func (b *wbuf) f64(v float64) { b.u64(math.Float64bits(v)) }
+func (b *wbuf) str(s string) {
+	b.u32(uint32(len(s)))
+	*b = append(*b, s...)
+}
+func (b *wbuf) bytes(p []byte) {
+	b.u32(uint32(len(p)))
+	*b = append(*b, p...)
+}
+func (b *wbuf) floats(vs []float64) {
+	b.u32(uint32(len(vs)))
+	for _, v := range vs {
+		b.f64(v)
+	}
+}
+
+// rbuf is the bounds-checked payload decoder. Every count is validated
+// against the remaining bytes before the backing slice is allocated, the
+// same discipline as the checkpoint reader.
+type rbuf struct {
+	b   []byte
+	off int
+}
+
+func (r *rbuf) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, fmt.Errorf("dist: truncated payload: want %d bytes at offset %d of %d", n, r.off, len(r.b))
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v, nil
+}
+
+// count validates a declared element count against the bytes remaining.
+func (r *rbuf) count(elemSize int, what string) (int, error) {
+	n, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int64(n)*int64(elemSize) > int64(len(r.b)-r.off) {
+		return 0, fmt.Errorf("dist: payload declares %d %s but only %d bytes remain", n, what, len(r.b)-r.off)
+	}
+	return int(n), nil
+}
+
+func (r *rbuf) u8() (byte, error) {
+	v, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return v[0], nil
+}
+func (r *rbuf) u32() (uint32, error) {
+	v, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(v), nil
+}
+func (r *rbuf) u64() (uint64, error) {
+	v, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(v), nil
+}
+func (r *rbuf) i64() (int64, error) {
+	v, err := r.u64()
+	return int64(v), err
+}
+func (r *rbuf) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+func (r *rbuf) str() (string, error) {
+	n, err := r.count(1, "string bytes")
+	if err != nil {
+		return "", err
+	}
+	v, err := r.take(n)
+	return string(v), err
+}
+func (r *rbuf) bytes() ([]byte, error) {
+	n, err := r.count(1, "bytes")
+	if err != nil {
+		return nil, err
+	}
+	v, err := r.take(n)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), v...), nil
+}
+func (r *rbuf) floats() ([]float64, error) {
+	n, err := r.count(8, "floats")
+	if err != nil {
+		return nil, err
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		if vs[i], err = r.f64(); err != nil {
+			return nil, err
+		}
+	}
+	return vs, nil
+}
+func (r *rbuf) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("dist: %d trailing bytes after payload", len(r.b)-r.off)
+	}
+	return nil
+}

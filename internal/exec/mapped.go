@@ -105,6 +105,16 @@ type MappedEngine struct {
 	// messaging state, segment position); nil for lockstep plans.
 	swp *swpState
 
+	// local masks the workers this engine instance actually runs when it
+	// is one shard of a distributed run (Options.LocalWorkers); nil means
+	// all workers are local. remote carries the cross-shard transports;
+	// remoteIn/remoteOut mark edges whose producer or consumer lives on a
+	// peer shard.
+	local     []bool
+	remote    *RemoteHooks
+	remoteIn  []bool
+	remoteOut []bool
+
 	nodes []*pnodeRT
 	order [][]*ir.Node // per-worker node lists in topological order
 
@@ -188,6 +198,16 @@ func NewMappedOpts(g *ir.Graph, s *sched.Schedule, assign []int, workers int, op
 	me := &MappedEngine{G: g, Sch: s, Backend: opts.Backend, Workers: workers,
 		Assign: append([]int(nil), assign...), Depth: depth,
 		Watchdog: opts.Watchdog, CheckpointEvery: opts.CheckpointEvery, rec: opts.Trace}
+	if opts.LocalWorkers != nil {
+		if len(opts.LocalWorkers) != workers {
+			return nil, fmt.Errorf("exec: LocalWorkers masks %d of %d workers", len(opts.LocalWorkers), workers)
+		}
+		if opts.Stages != nil {
+			return nil, fmt.Errorf("exec: sharded execution requires a lockstep plan (no Stages)")
+		}
+		me.local = append([]bool(nil), opts.LocalWorkers...)
+		me.remote = opts.Remote
+	}
 	if opts.Stages != nil {
 		sw, err := newSWPState(g, s, opts, me.Assign)
 		if err != nil {
@@ -365,16 +385,38 @@ func (me *MappedEngine) buildTopology() error {
 	me.order = make([][]*ir.Node, me.Workers)
 	for _, n := range topo {
 		w := me.Assign[n.ID]
+		if !me.localWorker(w) {
+			continue
+		}
 		me.order[w] = append(me.order[w], n)
 	}
 	me.queues = make([]*SliceQueue, len(me.G.Edges))
 	me.stage = make([]*SliceQueue, len(me.G.Edges))
 	me.chans = make([]chan []float64, len(me.G.Edges))
+	me.remoteIn = make([]bool, len(me.G.Edges))
+	me.remoteOut = make([]bool, len(me.G.Edges))
 	for _, e := range me.G.Edges {
 		me.queues[e.ID] = &SliceQueue{}
-		if me.Assign[e.Src.ID] != me.Assign[e.Dst.ID] {
+		srcLocal, dstLocal := me.localWorker(me.Assign[e.Src.ID]), me.localWorker(me.Assign[e.Dst.ID])
+		switch {
+		case srcLocal && dstLocal:
+			if me.Assign[e.Src.ID] != me.Assign[e.Dst.ID] {
+				me.stage[e.ID] = &SliceQueue{}
+				me.chans[e.ID] = make(chan []float64, me.Depth)
+			}
+		case srcLocal:
+			// Producer here, consumer on a peer shard: stage the batch and
+			// ship it through the remote transport each iteration.
+			if me.remote == nil {
+				return fmt.Errorf("exec: edge %s crosses the shard boundary but no remote transport is configured", e)
+			}
+			me.remoteOut[e.ID] = true
 			me.stage[e.ID] = &SliceQueue{}
-			me.chans[e.ID] = make(chan []float64, me.Depth)
+		case dstLocal:
+			if me.remote == nil {
+				return fmt.Errorf("exec: edge %s crosses the shard boundary but no remote transport is configured", e)
+			}
+			me.remoteIn[e.ID] = true
 		}
 	}
 	me.statuses = make([]*nodeStatus, len(me.G.Nodes))
@@ -829,7 +871,21 @@ func (me *MappedEngine) stepNode(c *mnodeCtx) error {
 	n := c.rt.node
 	st := me.statuses[n.ID]
 	for p, e := range n.In {
-		if e == nil || me.chans[e.ID] == nil {
+		if e == nil {
+			continue
+		}
+		if me.remoteIn != nil && me.remoteIn[e.ID] {
+			batch, err := me.remote.Recv(e.ID, me.stopCh)
+			if err != nil {
+				if errors.Is(err, ErrRemoteStopped) {
+					return errStopped
+				}
+				return err
+			}
+			c.in[p].Append(batch)
+			continue
+		}
+		if me.chans[e.ID] == nil {
 			continue
 		}
 		batch, err := me.recvBatch(n, e, me.chans[e.ID], c.in[p], st)
@@ -853,6 +909,15 @@ func (me *MappedEngine) stepNode(c *mnodeCtx) error {
 			continue
 		}
 		batch := c.out[p].Take(c.produce[p])
+		if me.remoteOut != nil && me.remoteOut[e.ID] {
+			if err := me.remote.Send(e.ID, batch, me.stopCh); err != nil {
+				if errors.Is(err, ErrRemoteStopped) {
+					return errStopped
+				}
+				return err
+			}
+			continue
+		}
 		if err := me.sendBatch(e, me.chans[e.ID], batch, st); err != nil {
 			return err
 		}

@@ -108,6 +108,12 @@ func (me *MappedEngine) WriteCheckpoint(w io.Writer, iteration int64) error {
 	if !me.ready {
 		return fmt.Errorf("exec: mapped engine has no state to checkpoint; run it (or restore into it) first")
 	}
+	if me.local != nil && me.iter > 0 {
+		// A shard advances only its own partitions; the rest of the graph
+		// is stale here. The coordinator assembles full images from the
+		// shards' ExportShard slices instead.
+		return fmt.Errorf("exec: a sharded engine holds only its local partitions' state; use ExportShard + AssembleShardImage")
+	}
 	return writeImage(w, me.Fingerprint(), me.image(iteration))
 }
 

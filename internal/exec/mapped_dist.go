@@ -1,0 +1,215 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"streamit/internal/ir"
+	"streamit/internal/sched"
+	"streamit/internal/wfunc"
+)
+
+// This file is the mapped engine's shard face: the pieces internal/dist
+// composes into a distributed run. A shard is a full MappedEngine over the
+// whole rewritten graph whose Options.LocalWorkers mask names the workers
+// this process executes; initialization replays locally (it is
+// deterministic and cheap), steady state fires only the local partitions,
+// and edges crossing the shard boundary move their per-iteration batches
+// through RemoteHooks instead of in-memory channels. At every epoch
+// barrier each shard exports the state it owns (ExportShard) and the
+// coordinator reassembles the canonical engine-neutral checkpoint image
+// (AssembleShardImage) — byte-identical to what a single-process run
+// would have written, which is what makes cross-process rollback,
+// migration, and sequential-engine interchange work.
+
+// ErrRemoteStopped is the sentinel a RemoteHooks implementation returns
+// when the epoch's stop channel fired while it was blocked; the worker
+// unwinds quietly instead of reporting a transport error.
+var ErrRemoteStopped = errors.New("exec: remote transfer stopped")
+
+// RemoteHooks carries the cross-shard edge transport of a sharded mapped
+// engine. Send ships one iteration's batch of a local producer's edge;
+// Recv delivers one batch of a remote producer's edge. Both may block
+// (that is the backpressure) but must unwind with ErrRemoteStopped when
+// stop closes. Batches may be empty but are never nil on Send.
+type RemoteHooks struct {
+	Send func(edge int, batch []float64, stop <-chan struct{}) error
+	Recv func(edge int, stop <-chan struct{}) ([]float64, error)
+}
+
+// localWorker reports whether worker w runs in this process.
+func (me *MappedEngine) localWorker(w int) bool {
+	return me.local == nil || me.local[w]
+}
+
+// Sharded reports whether this engine is one shard of a distributed run.
+func (me *MappedEngine) Sharded() bool { return me.local != nil }
+
+// Prepare replays initialization and (re)builds the steady-state topology
+// without running any steady iterations — the distributed shard's setup
+// step, after which RestoreCheckpoint or StepEpoch may be called. It is
+// Run's setup phase exposed on its own.
+func (me *MappedEngine) Prepare() error { return me.setup() }
+
+// Iteration returns the number of completed steady iterations.
+func (me *MappedEngine) Iteration() int64 { return me.iter }
+
+// StepEpoch runs iters steady iterations across the local workers and
+// waits for the barrier — one distributed epoch. Unlike Run it takes no
+// checkpoints and performs no crash recovery (the distributed coordinator
+// owns both); on error the engine's state is unspecified and the shard
+// must discard it. The engine must be Prepared or restored first.
+func (me *MappedEngine) StepEpoch(iters int) error {
+	if !me.ready {
+		return fmt.Errorf("exec: engine not prepared; call Prepare or RestoreCheckpoint first")
+	}
+	if iters <= 0 {
+		return fmt.Errorf("exec: epoch of %d iterations", iters)
+	}
+	if err := me.runEpoch(iters); err != nil {
+		return err
+	}
+	me.iter += int64(iters)
+	return nil
+}
+
+// ShardNodeState is one locally-owned node's share of a barrier image:
+// its firing count and (for stateful filters) its kernel state. The state
+// is referenced, not copied — serialize it before resuming the engine.
+type ShardNodeState struct {
+	ID    int
+	Fired int64
+	State *wfunc.State
+}
+
+// ShardEdgeState is one locally-owned edge's share of a barrier image:
+// the buffered residue sitting in its consumer queue (ownership follows
+// the consumer, which is where a quiesced edge's items live).
+type ShardEdgeState struct {
+	ID    int
+	Items []float64
+}
+
+// ShardState is the slice of a coordinated barrier image owned by one
+// shard: its nodes' firing counts and states, and the residue of every
+// edge whose consumer it runs. The coordinator merges the shards'
+// ShardStates into a canonical checkpoint with AssembleShardImage.
+type ShardState struct {
+	Iteration int64
+	Nodes     []ShardNodeState
+	Edges     []ShardEdgeState
+}
+
+// ExportShard captures this shard's share of the current barrier: every
+// node on a local worker, and every edge consumed by a local worker. Must
+// be called at an epoch barrier (after Prepare/StepEpoch returned). The
+// node states are referenced, not cloned.
+func (me *MappedEngine) ExportShard() (*ShardState, error) {
+	if !me.ready {
+		return nil, fmt.Errorf("exec: engine not prepared; nothing to export")
+	}
+	st := &ShardState{Iteration: me.iter}
+	for _, n := range me.G.Nodes {
+		if !me.localWorker(me.Assign[n.ID]) {
+			continue
+		}
+		rt := me.nodes[n.ID]
+		st.Nodes = append(st.Nodes, ShardNodeState{ID: n.ID, Fired: rt.fired, State: rt.state})
+	}
+	for _, e := range me.G.Edges {
+		if !me.localWorker(me.Assign[e.Dst.ID]) {
+			continue
+		}
+		q := me.queues[e.ID]
+		items := make([]float64, 0, q.Len())
+		for i := 0; i < q.Len(); i++ {
+			items = append(items, q.Peek(i))
+		}
+		if sq := me.stage[e.ID]; sq != nil {
+			// Quiesced lockstep barriers leave staging empty; keep the
+			// image()-identical concatenation anyway for safety.
+			for i := 0; i < sq.Len(); i++ {
+				items = append(items, sq.Peek(i))
+			}
+		}
+		st.Edges = append(st.Edges, ShardEdgeState{ID: e.ID, Items: items})
+	}
+	return st, nil
+}
+
+// AssembleShardImage merges per-shard barrier states into the canonical
+// engine-neutral checkpoint image over (g, s) — byte-identical to the
+// image a single-process mapped or sequential engine would write at the
+// same iteration. Every node and every edge must be owned by exactly one
+// part; firing counts are validated against the schedule's initialization
+// totals, and per-edge pushed/popped counters are reconstructed from the
+// firing counts exactly as the mapped engine does.
+func AssembleShardImage(g *ir.Graph, s *sched.Schedule, iteration int64, parts []*ShardState) ([]byte, error) {
+	initFired := make([]int64, len(g.Nodes))
+	for _, n := range g.Nodes {
+		initFired[n.ID] = int64(s.InitReps[n.ID])
+	}
+	img := &ckptImage{
+		iteration: iteration,
+		nodes:     make([]ckptNode, len(g.Nodes)),
+		edges:     make([]ckptEdge, len(g.Edges)),
+		pending:   make([][]*message, len(g.Nodes)),
+	}
+	haveNode := make([]bool, len(g.Nodes))
+	haveEdge := make([]bool, len(g.Edges))
+	for pi, part := range parts {
+		if part == nil {
+			return nil, fmt.Errorf("exec: assemble: part %d is nil", pi)
+		}
+		for _, ns := range part.Nodes {
+			if ns.ID < 0 || ns.ID >= len(g.Nodes) {
+				return nil, fmt.Errorf("exec: assemble: part %d names node %d of %d", pi, ns.ID, len(g.Nodes))
+			}
+			if haveNode[ns.ID] {
+				return nil, fmt.Errorf("exec: assemble: node %d owned by two shards", ns.ID)
+			}
+			haveNode[ns.ID] = true
+			if ns.Fired < initFired[ns.ID] {
+				return nil, fmt.Errorf("exec: assemble: node %s fired %d times, below its initialization count %d",
+					g.Nodes[ns.ID].Name, ns.Fired, initFired[ns.ID])
+			}
+			img.nodes[ns.ID] = ckptNode{fired: ns.Fired, state: ns.State}
+			img.firings += ns.Fired
+		}
+		for _, es := range part.Edges {
+			if es.ID < 0 || es.ID >= len(g.Edges) {
+				return nil, fmt.Errorf("exec: assemble: part %d names edge %d of %d", pi, es.ID, len(g.Edges))
+			}
+			if haveEdge[es.ID] {
+				return nil, fmt.Errorf("exec: assemble: edge %d owned by two shards", es.ID)
+			}
+			haveEdge[es.ID] = true
+			img.edges[es.ID] = ckptEdge{items: es.Items}
+		}
+	}
+	for id, ok := range haveNode {
+		if !ok {
+			return nil, fmt.Errorf("exec: assemble: node %s owned by no shard", g.Nodes[id].Name)
+		}
+	}
+	for id, ok := range haveEdge {
+		if !ok {
+			return nil, fmt.Errorf("exec: assemble: edge %s owned by no shard", g.Edges[id])
+		}
+	}
+	for _, e := range g.Edges {
+		pushed := initFired[e.Src.ID]*int64(e.Src.PushPort(e.SrcPort)) + int64(len(e.Initial)) +
+			(img.nodes[e.Src.ID].fired-initFired[e.Src.ID])*int64(e.Src.PushPort(e.SrcPort))
+		ie := &img.edges[e.ID]
+		ie.pushed = pushed
+		ie.popped = pushed - int64(len(ie.items))
+		if ie.popped < 0 {
+			return nil, fmt.Errorf("exec: assemble: edge %s buffers %d items but only %d were ever pushed", e, len(ie.items), pushed)
+		}
+	}
+	var buf sliceBuffer
+	if err := writeImage(&buf, graphFingerprint(g, s), img); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

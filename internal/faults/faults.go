@@ -46,6 +46,11 @@ const (
 	// Slow injects a one-shot delay into a worker's iteration (worker
 	// faults only) — degradation without failure.
 	Slow
+	// Partition makes a distributed shard stop heartbeating while its
+	// sockets stay open (shard faults only) — the network-partition
+	// failure mode, distinct from a crash (connection reset) and a stall
+	// (heartbeats keep flowing but the barrier never arrives).
+	Partition
 )
 
 // CorruptValue is the sentinel emitted by Corrupt faults — large, exactly
@@ -66,6 +71,8 @@ func (k Kind) String() string {
 		return "crash"
 	case Slow:
 		return "slow"
+	case Partition:
+		return "partition"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -116,6 +123,25 @@ func (f WorkerFault) String() string {
 	return fmt.Sprintf("%s:worker%d@%d", f.Kind, f.Worker, f.Iter)
 }
 
+// ShardFault is one scheduled shard-level failure on the distributed
+// engine: shard Shard (its stable join-order ID, which survives re-plans)
+// fails at the start of steady iteration Iter. Crash kills the shard
+// process (or, in-process, severs every connection at once); Stall wedges
+// the shard while its heartbeats keep flowing (barrier-deadline fodder);
+// Partition silences heartbeats while the sockets stay open. Shard faults
+// are one-shot and survive rollback, like worker faults. Engines other
+// than the distributed one ignore them.
+type ShardFault struct {
+	Shard int
+	Iter  int64
+	Kind  Kind // Crash, Stall, or Partition
+}
+
+// String renders the spec form of the shard fault.
+func (f ShardFault) String() string {
+	return fmt.Sprintf("%s:shard%d@%d", f.Kind, f.Shard, f.Iter)
+}
+
 // RandSpec asks for N pseudo-random faults derived from Seed, scheduled
 // over the graph's filters within the first MaxFiring firings. Stalls are
 // never generated randomly (they would hang watchdog-less engines);
@@ -133,18 +159,28 @@ type RandSpec struct {
 type Plan struct {
 	Faults       []Fault
 	WorkerFaults []WorkerFault
+	ShardFaults  []ShardFault
 	Rand         *RandSpec
 }
 
 // Empty reports whether the plan schedules nothing.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Faults) == 0 && len(p.WorkerFaults) == 0 && p.Rand == nil)
+	return p == nil || (len(p.Faults) == 0 && len(p.WorkerFaults) == 0 && len(p.ShardFaults) == 0 && p.Rand == nil)
 }
 
 // workerTarget recognizes the "workerN" target form of worker-level
 // faults.
 func workerTarget(target string) (int, bool) {
-	rest, ok := strings.CutPrefix(target, "worker")
+	return indexedTarget(target, "worker")
+}
+
+// shardTarget recognizes the "shardN" target form of shard-level faults.
+func shardTarget(target string) (int, bool) {
+	return indexedTarget(target, "shard")
+}
+
+func indexedTarget(target, prefix string) (int, bool) {
+	rest, ok := strings.CutPrefix(target, prefix)
 	if !ok || rest == "" {
 		return 0, false
 	}
@@ -157,7 +193,8 @@ func workerTarget(target string) (int, bool) {
 
 // ParsePlan parses a -faults flag value. Entries are separated by ';' or
 // ','; each is kind:filter@firing, kind:workerN@iteration (kind: crash,
-// stall, or slow — mapped engine only), or rand:N@seed.
+// stall, or slow — mapped engine only), kind:shardN@iteration (kind:
+// crash, stall, or partition — distributed engine only), or rand:N@seed.
 func ParsePlan(spec string) (*Plan, error) {
 	p := &Plan{}
 	for _, entry := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
@@ -189,6 +226,21 @@ func ParsePlan(spec string) (*Plan, error) {
 			continue
 		}
 		target = strings.TrimSpace(target)
+		if sh, ok := shardTarget(target); ok {
+			var kind Kind
+			switch kindStr {
+			case "crash":
+				kind = Crash
+			case "stall":
+				kind = Stall
+			case "partition":
+				kind = Partition
+			default:
+				return nil, fmt.Errorf("faults: entry %q: shard faults want crash, stall, or partition", entry)
+			}
+			p.ShardFaults = append(p.ShardFaults, ShardFault{Shard: sh, Iter: at, Kind: kind})
+			continue
+		}
 		if w, ok := workerTarget(target); ok {
 			var kind Kind
 			switch kindStr {
@@ -206,6 +258,9 @@ func ParsePlan(spec string) (*Plan, error) {
 		}
 		if kindStr == "crash" || kindStr == "slow" {
 			return nil, fmt.Errorf("faults: entry %q: %s faults target workers (workerN), not filters", entry, kindStr)
+		}
+		if kindStr == "partition" {
+			return nil, fmt.Errorf("faults: entry %q: partition faults target shards (shardN), not filters", entry)
 		}
 		kind, err := ParseKind(kindStr)
 		if err != nil {

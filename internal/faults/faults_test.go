@@ -265,3 +265,40 @@ func TestPoliciesResolveInstances(t *testing.T) {
 		t.Errorf("fallback = %v, want fail", got)
 	}
 }
+
+func TestParsePlanShardFaults(t *testing.T) {
+	p, err := ParsePlan("crash:shard1@32; stall:shard0@5, partition:shard2@8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ShardFault{
+		{Shard: 1, Iter: 32, Kind: Crash},
+		{Shard: 0, Iter: 5, Kind: Stall},
+		{Shard: 2, Iter: 8, Kind: Partition},
+	}
+	if !reflect.DeepEqual(p.ShardFaults, want) {
+		t.Fatalf("got %v, want %v", p.ShardFaults, want)
+	}
+	if got := want[2].String(); got != "partition:shard2@8" {
+		t.Fatalf("String() = %q", got)
+	}
+	// Partition targets shards, never filters or workers; shard faults
+	// reject filter-only kinds.
+	for _, bad := range []string{"partition:LowPass@3", "partition:worker1@3", "panic:shard0@3", "slow:shard0@3", "crash:shard-1@3"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", bad)
+		}
+	}
+	// A shard-only plan is non-empty, and shard faults coexist with the
+	// filter and worker forms in one spec.
+	if p.Empty() {
+		t.Fatal("shard-only plan reported empty")
+	}
+	mixed, err := ParsePlan("panic:LowPass@3; crash:worker1@9; crash:shard0@12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed.Faults) != 1 || len(mixed.WorkerFaults) != 1 || len(mixed.ShardFaults) != 1 {
+		t.Fatalf("mixed plan parsed as %+v", mixed)
+	}
+}

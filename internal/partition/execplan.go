@@ -593,55 +593,7 @@ func (p *ExecPlan) AssignMeasured(g2 *ir.Graph, s2 *sched.Schedule, workers int,
 	if workers < 1 {
 		workers = 1
 	}
-	nodeW := make([]int64, len(g2.Nodes))
-	for _, n := range g2.Nodes {
-		var w int64
-		switch n.Kind {
-		case ir.NodeFilter:
-			if n.IsSource() || n.IsSink() {
-				w = 0
-			} else if pf, ok := p.Work[n.Filter]; ok {
-				w = pf * int64(s2.Reps[n.ID])
-			} else {
-				c := wfunc.EstimateKernel(n.Filter.Kernel)
-				w = c.Cycles * int64(s2.Reps[n.ID])
-			}
-		default:
-			items := int64(n.TotalPop()+n.TotalPush()) * int64(s2.Reps[n.ID]) / 2
-			w = items * routerCost
-		}
-		if w < 1 {
-			w = 1 // zero-work endpoints still spread across workers
-		}
-		nodeW[n.ID] = w
-	}
-	if len(perFiringNS) > 0 {
-		var sumStatic, sumNS float64
-		for _, n := range g2.Nodes {
-			if n.Kind != ir.NodeFilter || n.IsSource() || n.IsSink() {
-				continue
-			}
-			if ns, ok := perFiringNS[n.Name]; ok && ns > 0 {
-				sumStatic += float64(nodeW[n.ID])
-				sumNS += float64(ns) * float64(s2.Reps[n.ID])
-			}
-		}
-		if sumStatic > 0 && sumNS > 0 {
-			scale := sumStatic / sumNS
-			for _, n := range g2.Nodes {
-				if n.Kind != ir.NodeFilter || n.IsSource() || n.IsSink() {
-					continue
-				}
-				if ns, ok := perFiringNS[n.Name]; ok && ns > 0 {
-					w := int64(float64(ns) * float64(s2.Reps[n.ID]) * scale)
-					if w < 1 {
-						w = 1
-					}
-					nodeW[n.ID] = w
-				}
-			}
-		}
-	}
+	nodeW := p.nodeWeights(g2, s2, perFiringNS)
 	// Packing units: single nodes, except that pipelined plans keep every
 	// stage cluster (feedback cycles, messaging hulls) whole — its members
 	// must fire as a unit on one worker.

@@ -1,0 +1,143 @@
+package partition
+
+import (
+	"testing"
+
+	"streamit/internal/apps"
+	"streamit/internal/ir"
+	"streamit/internal/sched"
+)
+
+func buildShardedPlan(t *testing.T, strat Strategy, workers int) (*ExecPlan, *ir.Graph, *sched.Schedule) {
+	t.Helper()
+	prog := apps.FMRadio(4, 16)
+	g, err := ir.Flatten(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildExecPlan(prog, g, s, ExecPlanOptions{Strategy: strat, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ir.Flatten(plan.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sched.Compute(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, g2, s2
+}
+
+// TestAssignSharded: every node lands in a valid global worker slot, both
+// shards get real work, and the second level actually spreads a shard's
+// nodes over its local workers.
+func TestAssignSharded(t *testing.T) {
+	plan, g2, s2 := buildShardedPlan(t, StratCoarseData, 4)
+	const shards, perShard = 2, 2
+	assign, err := plan.AssignSharded(g2, s2, shards, perShard, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != len(g2.Nodes) {
+		t.Fatalf("assignment covers %d of %d nodes", len(assign), len(g2.Nodes))
+	}
+	perWorker := make([]int, shards*perShard)
+	perShardN := make([]int, shards)
+	for id, w := range assign {
+		if w < 0 || w >= shards*perShard {
+			t.Fatalf("node %d assigned to worker %d of %d", id, w, shards*perShard)
+		}
+		perWorker[w]++
+		perShardN[w/perShard]++
+	}
+	for sh, n := range perShardN {
+		if n == 0 {
+			t.Fatalf("shard %d received no nodes: per-worker %v", sh, perWorker)
+		}
+	}
+	busyWorkers := 0
+	for _, n := range perWorker {
+		if n > 0 {
+			busyWorkers++
+		}
+	}
+	if busyWorkers < shards+1 {
+		t.Fatalf("second-level packing left work on only %d workers: %v", busyWorkers, perWorker)
+	}
+
+	// Determinism: the distributed shards each compute this locally and
+	// must agree with the coordinator.
+	again, err := plan.AssignSharded(g2, s2, shards, perShard, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range assign {
+		if assign[id] != again[id] {
+			t.Fatalf("sharded assignment not deterministic at node %d: %d vs %d", id, assign[id], again[id])
+		}
+	}
+}
+
+// TestAssignShardedMeasured: live measurements steer the shard-level
+// packing — a node measured as the dominant cost ends up alone against
+// the rest, and the call stays valid.
+func TestAssignShardedMeasured(t *testing.T) {
+	plan, g2, s2 := buildShardedPlan(t, StratTask, 4)
+	// Find a mid-graph filter and declare it overwhelmingly expensive.
+	var hot string
+	for _, n := range g2.Nodes {
+		if n.Kind == ir.NodeFilter && !n.IsSource() && !n.IsSink() {
+			hot = n.Name
+			break
+		}
+	}
+	if hot == "" {
+		t.Fatal("no interior filter found")
+	}
+	measured := map[string]int64{hot: 1_000_000}
+	assign, err := plan.AssignSharded(g2, s2, 2, 2, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hotShard int
+	for _, n := range g2.Nodes {
+		if n.Name == hot {
+			hotShard = assign[n.ID] / 2
+		}
+	}
+	// The hot node's shard should carry fewer peers than the other shard.
+	counts := []int{0, 0}
+	for _, w := range assign {
+		counts[w/2]++
+	}
+	other := 1 - hotShard
+	if counts[hotShard] > counts[other] {
+		t.Fatalf("hot filter %s's shard %d carries %d nodes vs %d on the other; measured weights ignored",
+			hot, hotShard, counts[hotShard], counts[other])
+	}
+}
+
+// TestAssignShardedRejects: pipelined plans and degenerate shapes fail
+// loudly.
+func TestAssignShardedRejects(t *testing.T) {
+	plan, g2, s2 := buildShardedPlan(t, StratCoarseData, 4)
+	if _, err := plan.AssignSharded(g2, s2, 0, 2, nil); err == nil {
+		t.Fatal("0 shards should be rejected")
+	}
+	if _, err := plan.AssignSharded(g2, s2, 2, 0, nil); err == nil {
+		t.Fatal("0 workers per shard should be rejected")
+	}
+	swp, g2p, s2p := buildShardedPlan(t, StratSWP, 4)
+	if !swp.Pipelined {
+		t.Skip("SWP strategy produced a lockstep plan")
+	}
+	if _, err := swp.AssignSharded(g2p, s2p, 2, 2, nil); err == nil {
+		t.Fatal("pipelined plans should be rejected")
+	}
+}
